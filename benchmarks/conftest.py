@@ -1,0 +1,32 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one figure panel (or textual claim / ablation) of
+the paper at the scale selected by the ``REPRO_SCALE`` environment variable
+(``bench`` by default, ``paper`` for the paper's full parameters -- see
+``repro.experiments.config``).  Each benchmark prints the measured table and,
+where the paper reports a series, the shape comparison against the values
+digitized from Figure 1; EXPERIMENTS.md summarizes one such run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentScale, resolve_scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    """The experiment scale every benchmark in this session runs at."""
+    resolved = resolve_scale()
+    print(f"\n[repro] benchmark scale: {resolved.name} (N={resolved.peer_count})")
+    return resolved
+
+
+def print_report(title: str, table: str, *extra_lines: str) -> None:
+    """Print a benchmark's measured table in a recognisable block."""
+    banner = "=" * 72
+    print(f"\n{banner}\n{title}\n{banner}\n{table}")
+    for line in extra_lines:
+        print(line)
+    print(banner)

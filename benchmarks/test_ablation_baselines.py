@@ -1,0 +1,26 @@
+"""Ablation A1: the Section 2 construction versus baseline strategies.
+
+Quantifies the introduction's motivation ("existing solutions send many
+messages"): on the same overlay, the space-partitioning construction pays
+``N - 1`` messages while flooding pays one per directed edge, and sequential
+unicast concentrates a degree of ``N - 1`` on the initiator.
+"""
+
+from conftest import print_report
+
+from repro.experiments.ablations import run_baseline_comparison
+
+
+def test_baseline_comparison(benchmark, scale):
+    rows, table = benchmark.pedantic(
+        run_baseline_comparison, args=(scale,), kwargs={"dimension": 2}, iterations=1, rounds=1
+    )
+    print_report(f"Ablation A1 - construction strategies [{scale.name}]", table.to_table())
+
+    by_name = {row.strategy: row for row in rows}
+    space = by_name["space-partition"]
+    assert space.construction_messages == scale.peer_count - 1
+    assert space.duplicate_deliveries == 0
+    assert by_name["flooding"].construction_messages > space.construction_messages
+    assert by_name["sequential-unicast"].maximum_tree_degree == scale.peer_count - 1
+    assert space.maximum_tree_degree < by_name["sequential-unicast"].maximum_tree_degree

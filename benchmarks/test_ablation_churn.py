@@ -1,0 +1,23 @@
+"""Ablation A3: departure robustness of the stability tree versus oblivious trees.
+
+Replays lifetime-ordered departures against the Section 3 tree and against
+two lifetime-oblivious spanning trees of the same overlay.  Expected result:
+the stability tree records zero disconnection events, the others do not.
+"""
+
+from conftest import print_report
+
+from repro.experiments.ablations import run_churn_ablation
+
+
+def test_churn_ablation(benchmark, scale):
+    rows, table = benchmark.pedantic(
+        run_churn_ablation, args=(scale,), kwargs={"dimension": 3, "k": 2}, iterations=1, rounds=1
+    )
+    print_report(f"Ablation A3 - departures vs tree strategy [{scale.name}]", table.to_table())
+
+    by_name = {row.strategy: row for row in rows}
+    assert by_name["stability"].disconnection_events == 0
+    assert by_name["stability"].orphaned_peer_events == 0
+    others = [row for row in rows if row.strategy != "stability"]
+    assert any(row.disconnection_events > 0 for row in others)

@@ -1,0 +1,24 @@
+"""Ablation A2: median versus nearest / farthest / random region picks.
+
+The paper's construction picks the median-distance neighbour of every orthant
+region.  This ablation measures how that choice compares with the obvious
+alternatives on the longest-root-to-leaf-path metric of Figure 1 (b).
+"""
+
+from conftest import print_report
+
+from repro.experiments.ablations import run_pick_strategy_ablation
+
+
+def test_pick_strategy_ablation(benchmark, scale):
+    rows, table = benchmark.pedantic(
+        run_pick_strategy_ablation, args=(scale,), kwargs={"dimension": 2}, iterations=1, rounds=1
+    )
+    print_report(f"Ablation A2 - region pick strategy [{scale.name}]", table.to_table())
+
+    by_name = {row.strategy: row for row in rows}
+    assert set(by_name) == {"median", "nearest", "farthest", "random"}
+    # Picking the nearest neighbour of every region produces the deepest
+    # trees (progress towards far corners is slowest); the paper's median
+    # pick must not be worse than it.
+    assert by_name["median"].average_longest_path <= by_name["nearest"].average_longest_path

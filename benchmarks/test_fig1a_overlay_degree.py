@@ -1,0 +1,40 @@
+"""Figure 1 (a): maximum and average overlay degree versus dimension.
+
+Paper setup: ``N = 1000`` random peers, empty-rectangle neighbour selection,
+``D = 2..5``.  Expected shape: both series grow steeply with ``D`` (the paper
+reads roughly max 45 / avg 12 at ``D = 2`` up to max ~620 / avg ~190 at
+``D = 5``).
+"""
+
+from conftest import print_report
+
+from repro.experiments.figure1a import run_figure1a
+from repro.metrics.reporting import format_table
+
+
+def test_figure1a_overlay_degree(benchmark, scale):
+    result = benchmark.pedantic(run_figure1a, args=(scale,), iterations=1, rounds=1)
+
+    comparisons = result.compare_with_paper()
+    comparison_rows = [
+        [f"max degree (D={label})", measured, reference, ratio]
+        for label, measured, reference, ratio in zip(
+            comparisons["maximum_degree"].labels,
+            comparisons["maximum_degree"].measured,
+            comparisons["maximum_degree"].reference,
+            comparisons["maximum_degree"].ratios,
+        )
+    ]
+    print_report(
+        f"Figure 1(a) - overlay degree vs dimension [{result.scale_name}]",
+        result.to_table(),
+        "paper comparison (measured vs digitized, N=1000 in the paper):",
+        format_table(["series", "measured", "paper", "ratio"], comparison_rows),
+        f"rank correlation (max degree): {comparisons['maximum_degree'].rank_correlation:.2f}",
+    )
+
+    # Shape assertions: degrees grow monotonically with the dimension.
+    degrees = [row.average_degree for row in result.rows]
+    assert degrees == sorted(degrees)
+    assert comparisons["maximum_degree"].rank_correlation > 0.9
+    assert comparisons["average_degree"].rank_correlation > 0.9

@@ -1,0 +1,33 @@
+"""Figure 1 (b): longest root-to-leaf path of the Section 2 multicast tree.
+
+Paper setup: the Figure 1 (a) overlays; a tree is built from every peer; the
+panel reports the maximum and average (over initiators) longest root-to-leaf
+path.  Expected shape: paths shrink as the dimension grows (deeper trees at
+``D = 2``, bushier trees at ``D = 5``), and every session satisfies the
+``N - 1`` message and ``2^D`` degree claims.
+"""
+
+from conftest import print_report
+
+from repro.experiments.figure1b import run_figure1b
+
+
+def test_figure1b_tree_path_lengths(benchmark, scale):
+    result = benchmark.pedantic(run_figure1b, args=(scale,), iterations=1, rounds=1)
+
+    comparisons = result.compare_with_paper()
+    print_report(
+        f"Figure 1(b) - longest root-to-leaf path vs dimension [{result.scale_name}]",
+        result.to_table(),
+        "rank correlation vs paper (max longest path): "
+        f"{comparisons['maximum_longest_path'].rank_correlation:.2f}",
+        "rank correlation vs paper (avg longest path): "
+        f"{comparisons['average_longest_path'].rank_correlation:.2f}",
+    )
+
+    for row in result.rows:
+        assert row.all_sessions_sent_n_minus_1_messages
+        assert row.all_sessions_respected_degree_bound
+    # Shape: average longest path does not grow with the dimension.
+    averages = [row.average_longest_path for row in result.rows]
+    assert averages[0] >= averages[-1]

@@ -1,0 +1,29 @@
+"""Figure 1 (c): overlay degree versus peer count at ``D = 2``.
+
+Paper setup: two-dimensional identifiers, ``N = 100 .. 5000``; the panel
+plots the maximum and average degree next to ``10 * log10(N)``.  Expected
+shape: slow (logarithm-like) growth of both series with ``N``.
+"""
+
+from conftest import print_report
+
+from repro.experiments.figure1c import run_figure1c
+
+
+def test_figure1c_degree_scaling(benchmark, scale):
+    result = benchmark.pedantic(run_figure1c, args=(scale,), iterations=1, rounds=1)
+
+    log_comparison = result.compare_with_log_growth()
+    print_report(
+        f"Figure 1(c) - overlay degree vs peer count, D=2 [{result.scale_name}]",
+        result.to_table(),
+        f"rank correlation against 10*log10(N): {log_comparison.rank_correlation:.2f}",
+        f"same growth direction as 10*log10(N): {log_comparison.same_direction}",
+    )
+
+    # Shape: degrees never shrink as N grows, and they track the log curve's
+    # ordering (the paper's "proportional to log(N)" observation).
+    maxima = [row.maximum_degree for row in result.rows]
+    assert maxima == sorted(maxima)
+    assert log_comparison.rank_correlation > 0.9
+    assert log_comparison.same_direction

@@ -1,0 +1,36 @@
+"""Figure 1 (d): stability multicast tree diameter versus ``K``.
+
+Paper setup: ``N = 1000`` peers with the lifetime embedded as the first
+coordinate, Orthogonal Hyperplanes overlays with ``K = 1..50`` and
+``D = 2..10``.  Expected shape: the diameter is largest for small ``K`` and
+low dimensions and decreases as either grows (richer overlays give shallower
+preferred-neighbour trees); for small ``K`` the diameter is already modest,
+which is the paper's stated take-away.
+"""
+
+from conftest import print_report
+
+from repro.experiments.figure1d_e import run_stability_sweep
+from repro.metrics.reporting import format_table
+
+
+def test_figure1d_stability_tree_diameter(benchmark, scale):
+    result = benchmark.pedantic(run_stability_sweep, args=(scale,), iterations=1, rounds=1)
+
+    series = result.diameter_series()
+    rows = []
+    for dimension in sorted(series):
+        for k, diameter in series[dimension]:
+            rows.append([f"D={dimension}", k, diameter])
+    print_report(
+        f"Figure 1(d) - stability tree diameter vs K [{result.scale_name}]",
+        format_table(["dimension", "K", "tree diameter"], rows),
+    )
+
+    assert result.all_invariants_hold()
+    # Shape: for every dimension the diameter at the largest K does not exceed
+    # the diameter at K = 1 (denser overlays cannot deepen the tree envelope).
+    for dimension, points in series.items():
+        first_k_diameter = points[0][1]
+        last_k_diameter = points[-1][1]
+        assert last_k_diameter <= first_k_diameter

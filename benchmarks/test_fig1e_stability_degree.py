@@ -1,0 +1,32 @@
+"""Figure 1 (e): maximum stability-tree degree of a peer versus ``K``.
+
+Same sweep as Figure 1 (d).  Expected shape: the maximum tree degree grows
+with ``K`` (keeping more overlay neighbours per orthant concentrates more
+children on long-lived peers) and with the dimension; for small ``K`` the
+degree stays small, matching the paper's observation.
+"""
+
+from conftest import print_report
+
+from repro.experiments.figure1d_e import run_stability_sweep
+from repro.metrics.reporting import format_table
+
+
+def test_figure1e_stability_tree_degree(benchmark, scale):
+    result = benchmark.pedantic(run_stability_sweep, args=(scale,), iterations=1, rounds=1)
+
+    series = result.degree_series()
+    rows = []
+    for dimension in sorted(series):
+        for k, degree in series[dimension]:
+            rows.append([f"D={dimension}", k, degree])
+    print_report(
+        f"Figure 1(e) - maximum stability tree degree vs K [{result.scale_name}]",
+        format_table(["dimension", "K", "max tree degree"], rows),
+    )
+
+    assert result.all_invariants_hold()
+    # Shape: for every dimension the maximum degree at the largest K is at
+    # least the one at K = 1.
+    for dimension, points in series.items():
+        assert points[-1][1] >= points[0][1]

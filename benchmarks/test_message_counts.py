@@ -1,0 +1,94 @@
+"""Textual claim X1: the Section 2 construction sends exactly ``N - 1`` messages.
+
+The paper states the claim for every configuration of Section 2; this bench
+verifies it on the Figure 1 (a)/(b) overlays by constructing trees from a
+sample of initiators at every dimension, counting messages, duplicates and
+unreached peers, and additionally counts the actual protocol messages of a
+message-level (gossip) run on a smaller instance.
+"""
+
+from conftest import print_report
+
+from repro.experiments.common import build_section2_topology, derive_seed, sample_roots
+from repro.metrics.reporting import format_table
+from repro.multicast.space_partition import SpacePartitionTreeBuilder
+from repro.overlay.selection.empty_rectangle import EmptyRectangleSelection
+from repro.simulation.runner import run_gossip_overlay, run_multicast_over_gossip_overlay
+from repro.workloads.peers import generate_peers
+
+
+def _count_messages(scale):
+    builder = SpacePartitionTreeBuilder()
+    rows = []
+    all_exact = True
+    for dimension in scale.section2_dimensions:
+        topology = build_section2_topology(
+            scale.peer_count, dimension, seed=derive_seed(scale.seed, 20, dimension)
+        )
+        roots = sample_roots(
+            topology.peers.keys(), scale.root_sample, seed=derive_seed(scale.seed, 21, dimension)
+        )
+        results = [builder.build(topology, root) for root in roots]
+        exact = all(
+            r.messages_sent == scale.peer_count - 1
+            and r.duplicate_deliveries == 0
+            and r.delivered_everywhere
+            for r in results
+        )
+        all_exact = all_exact and exact
+        rows.append(
+            [
+                dimension,
+                len(roots),
+                scale.peer_count - 1,
+                max(r.messages_sent for r in results),
+                sum(r.duplicate_deliveries for r in results),
+                sum(len(r.unreached_peers) for r in results),
+                exact,
+            ]
+        )
+    return rows, all_exact
+
+
+def test_construction_sends_n_minus_1_messages(benchmark, scale):
+    rows, all_exact = benchmark.pedantic(
+        _count_messages, args=(scale,), iterations=1, rounds=1
+    )
+    print_report(
+        f"Claim X1 - construction message count == N-1 [{scale.name}]",
+        format_table(
+            ["D", "sessions", "N-1", "max messages", "duplicates", "unreached", "exact"],
+            rows,
+        ),
+    )
+    assert all_exact
+
+
+def test_message_level_protocol_counts_n_minus_1(benchmark):
+    """The same claim, measured on real protocol messages (small instance)."""
+
+    def run():
+        peers = generate_peers(30, 2, seed=77)
+        overlay = run_gossip_overlay(
+            peers, EmptyRectangleSelection(), settle_time=40.0, seed=5
+        )
+        return run_multicast_over_gossip_overlay(overlay, root=peers[0].peer_id), len(peers)
+
+    outcome, count = benchmark.pedantic(run, iterations=1, rounds=1)
+    print_report(
+        "Claim X1 (message level) - construct messages on the simulated network",
+        format_table(
+            ["peers", "construct messages", "duplicates", "unreached"],
+            [
+                [
+                    count,
+                    outcome.construction_messages,
+                    outcome.result.duplicate_deliveries,
+                    len(outcome.result.unreached_peers),
+                ]
+            ],
+        ),
+    )
+    assert outcome.construction_messages == count - 1
+    assert outcome.result.duplicate_deliveries == 0
+    assert outcome.result.delivered_everywhere

@@ -1,0 +1,77 @@
+"""Quickstart: build a geometric overlay and a space-partitioning multicast tree.
+
+This is the smallest end-to-end use of the library:
+
+1. generate a population of peers with random virtual coordinates,
+2. build the equilibrium empty-rectangle overlay (the Section 2 overlay),
+3. construct a multicast tree from one initiator using responsibility-zone
+   splitting, and
+4. verify the paper's claims on it: ``N - 1`` construction messages, no
+   duplicate deliveries, every peer reached, per-peer fanout at most ``2^D``.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    EmptyRectangleSelection,
+    OverlayNetwork,
+    SpacePartitionTreeBuilder,
+    disseminate,
+    generate_peers,
+)
+from repro.metrics.degree import degree_statistics
+from repro.metrics.reporting import format_table
+
+
+def main() -> None:
+    peer_count, dimension = 300, 2
+    peers = generate_peers(peer_count, dimension, seed=42)
+
+    overlay = OverlayNetwork.build_equilibrium(peers, EmptyRectangleSelection())
+    topology = overlay.snapshot()
+    degrees = degree_statistics(topology)
+    print("Overlay (empty-rectangle selection)")
+    print(
+        format_table(
+            ["peers", "D", "max degree", "avg degree", "connected"],
+            [[peer_count, dimension, degrees.maximum, degrees.average, topology.is_connected()]],
+        )
+    )
+
+    root = peers[0].peer_id
+    result = SpacePartitionTreeBuilder().build(topology, root)
+    dissemination = disseminate(result.tree)
+    print("\nSpace-partitioning multicast tree")
+    print(
+        format_table(
+            ["root", "messages", "N-1", "duplicates", "unreached", "height", "max fanout"],
+            [
+                [
+                    root,
+                    result.messages_sent,
+                    peer_count - 1,
+                    result.duplicate_deliveries,
+                    len(result.unreached_peers),
+                    result.tree.height(),
+                    max(result.region_fanout.values()),
+                ]
+            ],
+        )
+    )
+    print(
+        f"\nDisseminating one datum costs {dissemination.messages_sent} messages; "
+        f"the farthest peer is {dissemination.max_hops} hops from the root "
+        f"(average {dissemination.average_hops:.2f})."
+    )
+
+    assert result.messages_sent == peer_count - 1
+    assert result.duplicate_deliveries == 0
+    assert result.delivered_everywhere
+    assert max(result.region_fanout.values()) <= 2**dimension
+    print("\nAll Section 2 claims hold on this run.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works on environments whose setuptools/pip pairing
+predates PEP 660 editable wheels (legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

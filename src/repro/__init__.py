@@ -1,0 +1,116 @@
+"""Decentralized multicast trees embedded into geometric P2P overlays.
+
+A reproduction of *"Brief Announcement: Decentralized Construction of
+Multicast Trees Embedded into P2P Overlay Networks based on Virtual Geometric
+Coordinates"* (Andreica, Drăguş, Sâmbotin, Ţăpuş; PODC 2010).
+
+The public API is organised in layers:
+
+* :mod:`repro.geometry` -- points, hyper-rectangles, hyperplanes, distances.
+* :mod:`repro.overlay` -- peers, gossip, neighbour selection methods and the
+  overlay network itself.
+* :mod:`repro.multicast` -- the paper's two constructions (space-partitioning
+  trees and stability trees), baselines, dissemination and churn analysis.
+* :mod:`repro.simulation` -- a deterministic discrete-event replay of the
+  distributed protocol, message by message.
+* :mod:`repro.workloads` -- coordinate, lifetime and churn generators.
+* :mod:`repro.metrics` -- the figures' metrics and reporting helpers.
+* :mod:`repro.experiments` -- drivers reproducing Figure 1 (a)-(e) and the
+  ablations.
+
+Quickstart::
+
+    from repro import (
+        EmptyRectangleSelection, OverlayNetwork, SpacePartitionTreeBuilder,
+        generate_peers,
+    )
+
+    peers = generate_peers(count=200, dimension=2, seed=7)
+    overlay = OverlayNetwork.build_equilibrium(peers, EmptyRectangleSelection())
+    result = SpacePartitionTreeBuilder().build(overlay.snapshot(), root=0)
+    assert result.messages_sent == len(peers) - 1
+"""
+
+from repro.geometry import HyperRectangle, Interval, Point
+from repro.overlay import (
+    ConvergenceError,
+    EmptyRectangleSelection,
+    HyperplanesSelection,
+    KClosestSelection,
+    NetworkAddress,
+    NeighbourSelectionMethod,
+    OrthogonalHyperplanesSelection,
+    OverlayNetwork,
+    PeerInfo,
+    SignCoefficientHyperplanesSelection,
+    TopologySnapshot,
+    make_peer,
+    make_selection_method,
+)
+from repro.multicast import (
+    ConstructionResult,
+    MulticastTree,
+    PickStrategy,
+    PreferredNeighbourForest,
+    SpacePartitionTreeBuilder,
+    StabilityTreeBuilder,
+    TreeValidationError,
+    build_space_partition_tree,
+    build_stability_tree,
+    disseminate,
+    simulate_departures,
+)
+from repro.simulation import (
+    GossipConfig,
+    SimulationEngine,
+    run_gossip_overlay,
+    run_multicast_over_gossip_overlay,
+)
+from repro.workloads import (
+    generate_peers,
+    generate_peers_with_lifetimes,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # geometry
+    "Point",
+    "Interval",
+    "HyperRectangle",
+    # overlay
+    "PeerInfo",
+    "NetworkAddress",
+    "make_peer",
+    "OverlayNetwork",
+    "ConvergenceError",
+    "TopologySnapshot",
+    "NeighbourSelectionMethod",
+    "HyperplanesSelection",
+    "OrthogonalHyperplanesSelection",
+    "SignCoefficientHyperplanesSelection",
+    "KClosestSelection",
+    "EmptyRectangleSelection",
+    "make_selection_method",
+    # multicast
+    "MulticastTree",
+    "TreeValidationError",
+    "PickStrategy",
+    "ConstructionResult",
+    "SpacePartitionTreeBuilder",
+    "build_space_partition_tree",
+    "StabilityTreeBuilder",
+    "PreferredNeighbourForest",
+    "build_stability_tree",
+    "disseminate",
+    "simulate_departures",
+    # simulation
+    "SimulationEngine",
+    "GossipConfig",
+    "run_gossip_overlay",
+    "run_multicast_over_gossip_overlay",
+    # workloads
+    "generate_peers",
+    "generate_peers_with_lifetimes",
+]

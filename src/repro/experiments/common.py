@@ -1,0 +1,96 @@
+"""Shared plumbing for the experiment drivers.
+
+Every figure panel needs the same two ingredients: a population of peers
+drawn from the paper's workload and the equilibrium overlay topology for the
+configured neighbour selection method.  Keeping the construction here means
+all panels agree on seeds and conventions, and the benchmarks measure the
+algorithms rather than incidental setup differences.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.overlay.network import OverlayNetwork
+from repro.overlay.selection.empty_rectangle import EmptyRectangleSelection
+from repro.overlay.selection.orthogonal import OrthogonalHyperplanesSelection
+from repro.overlay.topology import TopologySnapshot
+from repro.workloads.peers import generate_peers, generate_peers_with_lifetimes
+
+__all__ = [
+    "build_section2_topology",
+    "build_section3_topology",
+    "sample_roots",
+    "derive_seed",
+]
+
+
+def derive_seed(base_seed: int, *components: int) -> int:
+    """Deterministically derive a per-configuration seed from the scale seed.
+
+    Mixing in the configuration parameters (dimension, peer count, K, ...)
+    gives every configuration an independent workload while keeping the whole
+    sweep reproducible from the single scale seed.
+    """
+    seed = base_seed
+    for component in components:
+        seed = (seed * 1_000_003 + int(component) + 1) % (2**31 - 1)
+    return seed
+
+
+def build_section2_topology(
+    peer_count: int,
+    dimension: int,
+    *,
+    seed: int,
+) -> TopologySnapshot:
+    """Equilibrium empty-rectangle overlay over a random population.
+
+    This is the Section 2 experimental setup: random identifiers, peers
+    inserted until the topology reaches the equilibrium in which every peer
+    knows every other peer (the fixed point the paper's per-insertion
+    convergence approaches).
+    """
+    peers = generate_peers(peer_count, dimension, seed=seed)
+    overlay = OverlayNetwork.build_equilibrium(peers, EmptyRectangleSelection())
+    return overlay.snapshot()
+
+
+def build_section3_topology(
+    peer_count: int,
+    dimension: int,
+    k: int,
+    *,
+    seed: int,
+) -> TopologySnapshot:
+    """Equilibrium Orthogonal-Hyperplanes overlay with lifetime-first coordinates.
+
+    This is the Section 3 experimental setup: every peer's first coordinate
+    is its departure time ``T(P)``, the remaining coordinates are random, and
+    the overlay keeps the ``K`` closest peers per orthant.
+    """
+    peers = generate_peers_with_lifetimes(peer_count, dimension, seed=seed)
+    overlay = OverlayNetwork.build_equilibrium(
+        peers, OrthogonalHyperplanesSelection(k=k)
+    )
+    return overlay.snapshot()
+
+
+def sample_roots(
+    peer_ids: Sequence[int],
+    sample_size: Optional[int],
+    *,
+    seed: int,
+) -> List[int]:
+    """Initiating peers for the per-root sweeps.
+
+    The paper initiates a construction from every peer; ``sample_size``
+    limits that to a random subset at the smaller scales (``None`` keeps
+    every peer).
+    """
+    ids = sorted(peer_ids)
+    if sample_size is None or sample_size >= len(ids):
+        return ids
+    rng = random.Random(seed)
+    return sorted(rng.sample(ids, sample_size))

@@ -1,0 +1,91 @@
+"""Figure 1 (a): overlay degree versus dimension.
+
+Setup (from the paper): ``N = 1000`` peers with random coordinates, the
+empty-rectangle neighbour selection, one measurement per dimension
+``D = 2..5``.  Reported series: maximum and average topology degree of a
+peer.  The paper's qualitative findings, which this driver checks the shape
+of, are that both series grow quickly with ``D`` and that ``D = 2`` offers
+the best degree/path-length trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments import paper_data
+from repro.experiments.common import build_section2_topology, derive_seed
+from repro.experiments.config import ExperimentScale, resolve_scale
+from repro.metrics.degree import degree_statistics
+from repro.metrics.reporting import SeriesComparison, compare_series, format_table
+
+__all__ = ["Figure1aRow", "Figure1aResult", "run_figure1a"]
+
+
+@dataclass(frozen=True)
+class Figure1aRow:
+    """One bar group of Figure 1 (a): degree statistics for one dimension."""
+
+    dimension: int
+    peer_count: int
+    maximum_degree: int
+    average_degree: float
+
+
+@dataclass(frozen=True)
+class Figure1aResult:
+    """All rows of the panel plus the shape comparison against the paper."""
+
+    scale_name: str
+    rows: Tuple[Figure1aRow, ...]
+
+    def to_table(self) -> str:
+        """Plain-text table in the panel's layout (one row per dimension)."""
+        return format_table(
+            ["D", "peers", "max degree", "avg degree"],
+            [
+                [row.dimension, row.peer_count, row.maximum_degree, row.average_degree]
+                for row in self.rows
+            ],
+        )
+
+    def compare_with_paper(self) -> Dict[str, SeriesComparison]:
+        """Shape comparison of both series against the digitized paper values.
+
+        Only dimensions the paper reports (2..5) participate; the comparison
+        is meaningful even at reduced peer counts because it looks at
+        orderings and trends rather than absolute values.
+        """
+        rows = [row for row in self.rows if row.dimension in paper_data.FIGURE_1A_MAX_DEGREE]
+        dimensions = [row.dimension for row in rows]
+        return {
+            "maximum_degree": compare_series(
+                dimensions,
+                [row.maximum_degree for row in rows],
+                [paper_data.FIGURE_1A_MAX_DEGREE[d] for d in dimensions],
+            ),
+            "average_degree": compare_series(
+                dimensions,
+                [row.average_degree for row in rows],
+                [paper_data.FIGURE_1A_AVG_DEGREE[d] for d in dimensions],
+            ),
+        }
+
+
+def run_figure1a(scale: Optional[ExperimentScale] = None) -> Figure1aResult:
+    """Run the Figure 1 (a) sweep at the given (or environment-selected) scale."""
+    resolved = scale if scale is not None else resolve_scale()
+    rows: List[Figure1aRow] = []
+    for dimension in resolved.section2_dimensions:
+        seed = derive_seed(resolved.seed, 1, dimension)
+        topology = build_section2_topology(resolved.peer_count, dimension, seed=seed)
+        stats = degree_statistics(topology)
+        rows.append(
+            Figure1aRow(
+                dimension=dimension,
+                peer_count=resolved.peer_count,
+                maximum_degree=stats.maximum,
+                average_degree=stats.average,
+            )
+        )
+    return Figure1aResult(scale_name=resolved.name, rows=tuple(rows))

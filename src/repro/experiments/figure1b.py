@@ -1,0 +1,138 @@
+"""Figure 1 (b): longest root-to-leaf path of the Section 2 multicast tree.
+
+Setup (from the paper): the same overlays as Figure 1 (a) (``N = 1000``,
+empty-rectangle selection, ``D = 2..5``); a multicast tree is constructed
+from *every* peer as initiator; for every session the longest root-to-leaf
+path is computed, and the panel reports the maximum and the average of that
+quantity over the ``N`` sessions.
+
+Besides the two plotted series, this driver verifies the two textual claims
+attached to the construction: each session sends exactly ``N - 1`` messages
+(equivalently, reaches every peer with no duplicates), and the per-peer tree
+degree never exceeds ``2^D`` children.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments import paper_data
+from repro.experiments.common import build_section2_topology, derive_seed, sample_roots
+from repro.experiments.config import ExperimentScale, resolve_scale
+from repro.metrics.paths import path_statistics
+from repro.metrics.reporting import SeriesComparison, compare_series, format_table
+from repro.multicast.space_partition import SpacePartitionTreeBuilder
+
+__all__ = ["Figure1bRow", "Figure1bResult", "run_figure1b"]
+
+
+@dataclass(frozen=True)
+class Figure1bRow:
+    """One bar group of Figure 1 (b): path statistics for one dimension."""
+
+    dimension: int
+    peer_count: int
+    sessions: int
+    maximum_longest_path: int
+    average_longest_path: float
+    all_sessions_sent_n_minus_1_messages: bool
+    all_sessions_respected_degree_bound: bool
+
+
+@dataclass(frozen=True)
+class Figure1bResult:
+    """All rows of the panel plus the shape comparison against the paper."""
+
+    scale_name: str
+    rows: Tuple[Figure1bRow, ...]
+
+    def to_table(self) -> str:
+        """Plain-text table in the panel's layout (one row per dimension)."""
+        return format_table(
+            [
+                "D",
+                "peers",
+                "sessions",
+                "max longest path",
+                "avg longest path",
+                "N-1 msgs",
+                "degree<=2^D",
+            ],
+            [
+                [
+                    row.dimension,
+                    row.peer_count,
+                    row.sessions,
+                    row.maximum_longest_path,
+                    row.average_longest_path,
+                    row.all_sessions_sent_n_minus_1_messages,
+                    row.all_sessions_respected_degree_bound,
+                ]
+                for row in self.rows
+            ],
+        )
+
+    def compare_with_paper(self) -> Dict[str, SeriesComparison]:
+        """Shape comparison of both series against the digitized paper values."""
+        rows = [
+            row
+            for row in self.rows
+            if row.dimension in paper_data.FIGURE_1B_MAX_LONGEST_PATH
+        ]
+        dimensions = [row.dimension for row in rows]
+        return {
+            "maximum_longest_path": compare_series(
+                dimensions,
+                [row.maximum_longest_path for row in rows],
+                [paper_data.FIGURE_1B_MAX_LONGEST_PATH[d] for d in dimensions],
+            ),
+            "average_longest_path": compare_series(
+                dimensions,
+                [row.average_longest_path for row in rows],
+                [paper_data.FIGURE_1B_AVG_LONGEST_PATH[d] for d in dimensions],
+            ),
+        }
+
+
+def run_figure1b(scale: Optional[ExperimentScale] = None) -> Figure1bResult:
+    """Run the Figure 1 (b) sweep at the given (or environment-selected) scale."""
+    resolved = scale if scale is not None else resolve_scale()
+    builder = SpacePartitionTreeBuilder()
+    rows: List[Figure1bRow] = []
+    for dimension in resolved.section2_dimensions:
+        seed = derive_seed(resolved.seed, 1, dimension)
+        topology = build_section2_topology(resolved.peer_count, dimension, seed=seed)
+        roots = sample_roots(
+            topology.peers.keys(),
+            resolved.root_sample,
+            seed=derive_seed(resolved.seed, 2, dimension),
+        )
+        results = builder.build_from_every_root(topology, roots=roots)
+
+        trees = [result.tree for result in results.values()]
+        stats = path_statistics(trees)
+        expected_messages = topology.peer_count - 1
+        messages_ok = all(
+            result.messages_sent == expected_messages
+            and result.duplicate_deliveries == 0
+            and result.delivered_everywhere
+            for result in results.values()
+        )
+        degree_bound = 2**dimension
+        degree_ok = all(
+            max(len(tree.children(node)) for node in tree.nodes()) <= degree_bound
+            for tree in trees
+        )
+        rows.append(
+            Figure1bRow(
+                dimension=dimension,
+                peer_count=resolved.peer_count,
+                sessions=len(roots),
+                maximum_longest_path=stats.maximum,
+                average_longest_path=stats.average,
+                all_sessions_sent_n_minus_1_messages=messages_ok,
+                all_sessions_respected_degree_bound=degree_ok,
+            )
+        )
+    return Figure1bResult(scale_name=resolved.name, rows=tuple(rows))

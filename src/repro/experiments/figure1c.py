@@ -1,0 +1,102 @@
+"""Figure 1 (c): overlay degree versus peer count at ``D = 2``.
+
+Setup (from the paper): two-dimensional random identifiers, the
+empty-rectangle overlay, and peer counts ``N = 100 .. 5000``.  The panel
+plots the maximum and average topology degree together with the reference
+curve ``10 * log10(N)``; the paper's observation is that both measured
+series appear proportional to ``log(N)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments import paper_data
+from repro.experiments.common import build_section2_topology, derive_seed
+from repro.experiments.config import ExperimentScale, resolve_scale
+from repro.metrics.degree import degree_statistics
+from repro.metrics.reporting import SeriesComparison, compare_series, format_table
+
+__all__ = ["Figure1cRow", "Figure1cResult", "run_figure1c", "DIMENSION"]
+
+DIMENSION = 2
+
+
+@dataclass(frozen=True)
+class Figure1cRow:
+    """One x-position of Figure 1 (c): degree statistics for one peer count."""
+
+    peer_count: int
+    maximum_degree: int
+    average_degree: float
+    log_reference: float  # the paper's "10 * base-10 logarithm of N" curve
+
+
+@dataclass(frozen=True)
+class Figure1cResult:
+    """All rows of the panel plus shape comparisons."""
+
+    scale_name: str
+    rows: Tuple[Figure1cRow, ...]
+
+    def to_table(self) -> str:
+        """Plain-text table in the panel's layout (one row per peer count)."""
+        return format_table(
+            ["N", "max degree", "avg degree", "10*log10(N)"],
+            [
+                [row.peer_count, row.maximum_degree, row.average_degree, row.log_reference]
+                for row in self.rows
+            ],
+        )
+
+    def compare_with_log_growth(self) -> SeriesComparison:
+        """Shape comparison of the measured maximum degree against ``10*log10(N)``.
+
+        This is the claim the paper actually makes for the panel: the degree
+        appears proportional to ``log(N)``.
+        """
+        return compare_series(
+            [row.peer_count for row in self.rows],
+            [row.maximum_degree for row in self.rows],
+            [row.log_reference for row in self.rows],
+        )
+
+    def compare_with_paper(self) -> Dict[str, SeriesComparison]:
+        """Shape comparison against the digitized paper series (shared N values only)."""
+        rows = [row for row in self.rows if row.peer_count in paper_data.FIGURE_1C_MAX_DEGREE]
+        if not rows:
+            return {}
+        counts = [row.peer_count for row in rows]
+        return {
+            "maximum_degree": compare_series(
+                counts,
+                [row.maximum_degree for row in rows],
+                [paper_data.FIGURE_1C_MAX_DEGREE[n] for n in counts],
+            ),
+            "average_degree": compare_series(
+                counts,
+                [row.average_degree for row in rows],
+                [paper_data.FIGURE_1C_AVG_DEGREE[n] for n in counts],
+            ),
+        }
+
+
+def run_figure1c(scale: Optional[ExperimentScale] = None) -> Figure1cResult:
+    """Run the Figure 1 (c) sweep at the given (or environment-selected) scale."""
+    resolved = scale if scale is not None else resolve_scale()
+    rows: List[Figure1cRow] = []
+    for peer_count in resolved.scaling_peer_counts:
+        seed = derive_seed(resolved.seed, 3, peer_count)
+        topology = build_section2_topology(peer_count, DIMENSION, seed=seed)
+        stats = degree_statistics(topology)
+        rows.append(
+            Figure1cRow(
+                peer_count=peer_count,
+                maximum_degree=stats.maximum,
+                average_degree=stats.average,
+                log_reference=10.0 * math.log10(peer_count),
+            )
+        )
+    return Figure1cResult(scale_name=resolved.name, rows=tuple(rows))

@@ -1,0 +1,131 @@
+"""Immutable points in the virtual coordinate space.
+
+Every peer identifier in the paper is a self-generated point
+``(x(i,1), ..., x(i,D))`` with all coordinates in ``[0, VMAX]``.  The paper
+additionally assumes (w.l.o.g.) that all coordinates in the same dimension
+are distinct; the workload generators in :mod:`repro.workloads` enforce this,
+and the geometric predicates in this package never rely on it silently --
+ties are either rejected or resolved through an explicit, documented rule.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence, Tuple, Union
+
+__all__ = ["Point", "as_point", "validate_coordinates"]
+
+CoordinateLike = Union["Point", Sequence[float]]
+
+
+class Point(tuple):
+    """An immutable point in ``D``-dimensional space.
+
+    ``Point`` subclasses :class:`tuple`, so it is hashable, comparable and
+    iterable like a plain tuple of floats while still providing the small
+    amount of vocabulary the overlay code needs (dimension, per-axis access,
+    translation).
+
+    Examples
+    --------
+    >>> p = Point((1.0, 2.0))
+    >>> p.dimension
+    2
+    >>> p[0]
+    1.0
+    >>> p.translate((-1.0, -2.0))
+    Point((0.0, 0.0))
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, coordinates: Iterable[float]) -> "Point":
+        coords = tuple(float(c) for c in coordinates)
+        if not coords:
+            raise ValueError("a point must have at least one coordinate")
+        for value in coords:
+            if math.isnan(value):
+                raise ValueError("point coordinates must not be NaN")
+        return super().__new__(cls, coords)
+
+    @property
+    def dimension(self) -> int:
+        """Number of coordinates of the point."""
+        return len(self)
+
+    def translate(self, offset: Sequence[float]) -> "Point":
+        """Return the point shifted by ``offset`` (component-wise addition)."""
+        if len(offset) != len(self):
+            raise ValueError(
+                f"offset dimension {len(offset)} does not match point dimension {len(self)}"
+            )
+        return Point(a + b for a, b in zip(self, offset))
+
+    def relative_to(self, origin: "CoordinateLike") -> "Point":
+        """Return this point expressed in a coordinate system centred at ``origin``.
+
+        This is the "conceptual translation" the Hyperplanes neighbour
+        selection method performs: the reference peer becomes the origin.
+        """
+        origin_point = as_point(origin)
+        if origin_point.dimension != self.dimension:
+            raise ValueError(
+                f"origin dimension {origin_point.dimension} does not match "
+                f"point dimension {self.dimension}"
+            )
+        return Point(a - b for a, b in zip(self, origin_point))
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Point({tuple(self)!r})"
+
+
+def as_point(value: CoordinateLike) -> Point:
+    """Coerce ``value`` into a :class:`Point`.
+
+    Accepts an existing :class:`Point` (returned unchanged), or any sequence
+    of numbers (tuples, lists, numpy arrays).
+    """
+    if isinstance(value, Point):
+        return value
+    return Point(value)
+
+
+def validate_coordinates(
+    coordinates: CoordinateLike,
+    *,
+    dimension: int,
+    minimum: float = 0.0,
+    maximum: float = float("inf"),
+) -> Point:
+    """Validate that ``coordinates`` describe a point of the virtual space.
+
+    Parameters
+    ----------
+    coordinates:
+        The candidate identifier.
+    dimension:
+        Required dimensionality ``D`` of the coordinate space.
+    minimum, maximum:
+        Inclusive bounds for every coordinate.  The paper uses ``[0, VMAX]``.
+
+    Returns
+    -------
+    Point
+        The validated point.
+
+    Raises
+    ------
+    ValueError
+        If the dimension does not match or a coordinate is out of range.
+    """
+    point = as_point(coordinates)
+    if point.dimension != dimension:
+        raise ValueError(
+            f"expected a {dimension}-dimensional identifier, got {point.dimension} coordinates"
+        )
+    for axis, value in enumerate(point):
+        if not (minimum <= value <= maximum):
+            raise ValueError(
+                f"coordinate {value!r} on axis {axis} is outside [{minimum}, {maximum}]"
+            )
+    return point

@@ -1,0 +1,298 @@
+"""Axis-aligned hyper-rectangles with open, closed and unbounded sides.
+
+Responsibility zones in the space-partitioning multicast construction are
+axis-aligned hyper-rectangles.  The paper uses the *strict interior* of a
+rectangle as the zone of a peer, and the child zone handed to a selected
+neighbour ``Q`` is the intersection of the parent zone with an orthant
+rectangle whose side in dimension ``i`` is ``(-inf, x(P, i))`` or
+``(x(P, i), +inf)`` -- open on the reference coordinate and unbounded on the
+other end.  :class:`Interval` and :class:`HyperRectangle` model exactly this
+vocabulary: per-dimension intervals whose endpoints may be open, closed, or
+infinite, with intersection, membership and emptiness predicates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+from repro.geometry.point import CoordinateLike, as_point
+
+__all__ = ["Interval", "HyperRectangle"]
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A one-dimensional interval with independently open or closed ends.
+
+    Attributes
+    ----------
+    lower, upper:
+        Endpoints.  ``-inf`` / ``+inf`` describe unbounded sides.
+    lower_open, upper_open:
+        Whether the corresponding endpoint is excluded.  Infinite endpoints
+        are always treated as open regardless of the flag.
+    """
+
+    lower: float = -_INF
+    upper: float = _INF
+    lower_open: bool = False
+    upper_open: bool = False
+
+    def __post_init__(self) -> None:
+        lower = float(self.lower)
+        upper = float(self.upper)
+        if math.isnan(lower) or math.isnan(upper):
+            raise ValueError("interval endpoints must not be NaN")
+        object.__setattr__(self, "lower", lower)
+        object.__setattr__(self, "upper", upper)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def closed(cls, lower: float, upper: float) -> "Interval":
+        """The closed interval ``[lower, upper]``."""
+        return cls(lower, upper, lower_open=False, upper_open=False)
+
+    @classmethod
+    def open(cls, lower: float, upper: float) -> "Interval":
+        """The open interval ``(lower, upper)``."""
+        return cls(lower, upper, lower_open=True, upper_open=True)
+
+    @classmethod
+    def unbounded(cls) -> "Interval":
+        """The whole real line ``(-inf, +inf)``."""
+        return cls(-_INF, _INF, lower_open=True, upper_open=True)
+
+    @classmethod
+    def less_than(cls, bound: float) -> "Interval":
+        """The interval ``(-inf, bound)`` -- the "below the reference" orthant side."""
+        return cls(-_INF, bound, lower_open=True, upper_open=True)
+
+    @classmethod
+    def greater_than(cls, bound: float) -> "Interval":
+        """The interval ``(bound, +inf)`` -- the "above the reference" orthant side."""
+        return cls(bound, _INF, lower_open=True, upper_open=True)
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        """``True`` if the interval contains no real number."""
+        if self.lower > self.upper:
+            return True
+        if self.lower == self.upper:
+            return self.lower_open or self.upper_open or math.isinf(self.lower)
+        return False
+
+    def contains(self, value: float) -> bool:
+        """``True`` if ``value`` lies inside the interval."""
+        if value < self.lower or value > self.upper:
+            return False
+        if value == self.lower and (self.lower_open or math.isinf(self.lower)):
+            return False
+        if value == self.upper and (self.upper_open or math.isinf(self.upper)):
+            return False
+        return True
+
+    def is_bounded(self) -> bool:
+        """``True`` if both endpoints are finite."""
+        return math.isfinite(self.lower) and math.isfinite(self.upper)
+
+    def length(self) -> float:
+        """Length of the interval (``inf`` when unbounded, ``0`` when empty)."""
+        if self.is_empty():
+            return 0.0
+        return self.upper - self.lower
+
+    # ------------------------------------------------------------------
+    # Combination
+    # ------------------------------------------------------------------
+    def intersect(self, other: "Interval") -> "Interval":
+        """Intersection of two intervals (possibly empty)."""
+        if self.lower > other.lower:
+            lower, lower_open = self.lower, self.lower_open
+        elif self.lower < other.lower:
+            lower, lower_open = other.lower, other.lower_open
+        else:
+            lower, lower_open = self.lower, self.lower_open or other.lower_open
+
+        if self.upper < other.upper:
+            upper, upper_open = self.upper, self.upper_open
+        elif self.upper > other.upper:
+            upper, upper_open = other.upper, other.upper_open
+        else:
+            upper, upper_open = self.upper, self.upper_open or other.upper_open
+
+        return Interval(lower, upper, lower_open=lower_open, upper_open=upper_open)
+
+    def overlaps(self, other: "Interval") -> bool:
+        """``True`` if the two intervals share at least one point."""
+        return not self.intersect(other).is_empty()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        left = "(" if self.lower_open or math.isinf(self.lower) else "["
+        right = ")" if self.upper_open or math.isinf(self.upper) else "]"
+        return f"{left}{self.lower}, {self.upper}{right}"
+
+
+class HyperRectangle:
+    """An axis-aligned ``D``-dimensional box: the product of ``D`` intervals.
+
+    Hyper-rectangles are immutable.  They model both responsibility zones and
+    the "rectangle of influence" test of the empty-rectangle neighbour
+    selection method.
+    """
+
+    __slots__ = ("_intervals",)
+
+    def __init__(self, intervals: Iterable[Interval]) -> None:
+        intervals = tuple(intervals)
+        if not intervals:
+            raise ValueError("a hyper-rectangle needs at least one dimension")
+        for interval in intervals:
+            if not isinstance(interval, Interval):
+                raise TypeError(f"expected Interval, got {type(interval).__name__}")
+        self._intervals = intervals
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def whole_space(cls, dimension: int) -> "HyperRectangle":
+        """The entire ``D``-dimensional space -- the initiator's zone ``Z(A)``."""
+        if dimension < 1:
+            raise ValueError("dimension must be at least 1")
+        return cls(Interval.unbounded() for _ in range(dimension))
+
+    @classmethod
+    def bounding_box(
+        cls,
+        corner_a: CoordinateLike,
+        corner_b: CoordinateLike,
+        *,
+        closed: bool = True,
+    ) -> "HyperRectangle":
+        """The axis-aligned rectangle whose opposite corners are the two points.
+
+        This is the rectangle the empty-rectangle neighbour selection method
+        tests for emptiness: its side in dimension ``i`` is
+        ``[min(a_i, b_i), max(a_i, b_i)]``.
+        """
+        a = as_point(corner_a)
+        b = as_point(corner_b)
+        if a.dimension != b.dimension:
+            raise ValueError("corner points must have the same dimension")
+        intervals = []
+        for x, y in zip(a, b):
+            lower, upper = (x, y) if x <= y else (y, x)
+            if closed:
+                intervals.append(Interval.closed(lower, upper))
+            else:
+                intervals.append(Interval.open(lower, upper))
+        return cls(intervals)
+
+    @classmethod
+    def from_bounds(
+        cls,
+        lowers: Sequence[float],
+        uppers: Sequence[float],
+        *,
+        closed: bool = True,
+    ) -> "HyperRectangle":
+        """Rectangle from parallel sequences of lower and upper bounds."""
+        if len(lowers) != len(uppers):
+            raise ValueError("lower and upper bound sequences must have the same length")
+        maker = Interval.closed if closed else Interval.open
+        return cls(maker(lo, hi) for lo, hi in zip(lowers, uppers))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def dimension(self) -> int:
+        """Number of dimensions of the rectangle."""
+        return len(self._intervals)
+
+    @property
+    def intervals(self) -> Tuple[Interval, ...]:
+        """Per-dimension intervals, in axis order."""
+        return self._intervals
+
+    def interval(self, axis: int) -> Interval:
+        """The interval of the rectangle along ``axis``."""
+        return self._intervals[axis]
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        """``True`` if the rectangle contains no point."""
+        return any(interval.is_empty() for interval in self._intervals)
+
+    def contains(self, point: CoordinateLike) -> bool:
+        """``True`` if ``point`` lies inside the rectangle."""
+        p = as_point(point)
+        if p.dimension != self.dimension:
+            raise ValueError(
+                f"point dimension {p.dimension} does not match rectangle dimension {self.dimension}"
+            )
+        return all(interval.contains(value) for interval, value in zip(self._intervals, p))
+
+    def is_bounded(self) -> bool:
+        """``True`` if every side of the rectangle is finite."""
+        return all(interval.is_bounded() for interval in self._intervals)
+
+    def strictly_contains_any(self, points: Iterable[CoordinateLike]) -> bool:
+        """``True`` if any of ``points`` lies inside the rectangle.
+
+        Convenience used by the brute-force empty-rectangle implementation.
+        """
+        return any(self.contains(point) for point in points)
+
+    # ------------------------------------------------------------------
+    # Combination
+    # ------------------------------------------------------------------
+    def intersect(self, other: "HyperRectangle") -> "HyperRectangle":
+        """Intersection of two rectangles (component-wise interval intersection)."""
+        if other.dimension != self.dimension:
+            raise ValueError("cannot intersect rectangles of different dimensions")
+        return HyperRectangle(
+            a.intersect(b) for a, b in zip(self._intervals, other._intervals)
+        )
+
+    def overlaps(self, other: "HyperRectangle") -> bool:
+        """``True`` if the two rectangles share at least one point."""
+        return not self.intersect(other).is_empty()
+
+    def is_disjoint_from(self, other: "HyperRectangle") -> bool:
+        """``True`` if the two rectangles have no point in common."""
+        return not self.overlaps(other)
+
+    def volume(self) -> float:
+        """Volume of the rectangle (``inf`` when unbounded, ``0`` when empty)."""
+        if self.is_empty():
+            return 0.0
+        result = 1.0
+        for interval in self._intervals:
+            result *= interval.length()
+        return result
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HyperRectangle):
+            return NotImplemented
+        return self._intervals == other._intervals
+
+    def __hash__(self) -> int:
+        return hash(self._intervals)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sides = " x ".join(str(interval) for interval in self._intervals)
+        return f"HyperRectangle({sides})"

@@ -1,0 +1,120 @@
+"""Orthant regions relative to a reference point.
+
+The Orthogonal Hyperplanes method and the Section 2 multicast construction
+both classify peers by the *orthant* they fall into relative to a reference
+peer ``P``: the sign vector ``(sign(x(Q,1) - x(P,1)), ..., sign(x(Q,D) - x(P,D)))``.
+With distinct per-dimension coordinates (the paper's w.l.o.g. assumption) no
+sign is ever zero, so there are exactly ``2^D`` regions.
+
+The multicast construction also converts a region back into geometry: the
+orthant hyper-rectangle ``HR`` whose side in dimension ``i`` is
+``(-inf, x(P,i))`` when the sign is negative and ``(x(P,i), +inf)`` when it is
+positive.  Child responsibility zones are intersections of the parent zone
+with such orthant rectangles.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.geometry.point import CoordinateLike, as_point
+from repro.geometry.rectangle import HyperRectangle, Interval
+
+__all__ = ["orthant_signs", "orthant_rectangle", "all_sign_vectors", "group_by_orthant"]
+
+SignVector = Tuple[int, ...]
+
+
+def orthant_signs(
+    reference: CoordinateLike,
+    point: CoordinateLike,
+    *,
+    zero_sign: int = 1,
+) -> SignVector:
+    """Sign vector of ``point`` relative to ``reference``.
+
+    Parameters
+    ----------
+    reference:
+        The peer at the conceptual origin (``P``).
+    point:
+        The peer being classified (``Q``).
+    zero_sign:
+        Tie-break used when a coordinate of ``point`` equals the corresponding
+        coordinate of ``reference``.  The paper assumes distinct coordinates
+        so this never triggers on paper workloads; ``+1`` (the default) files
+        ties into the "greater than" half-space, which keeps orthant
+        rectangles disjoint.  Must be ``-1`` or ``+1``.
+
+    Returns
+    -------
+    tuple of int
+        A ``D``-tuple with entries in ``{-1, +1}``.
+    """
+    if zero_sign not in (-1, 1):
+        raise ValueError(f"zero_sign must be -1 or +1, got {zero_sign}")
+    ref = as_point(reference)
+    pt = as_point(point)
+    if ref.dimension != pt.dimension:
+        raise ValueError(
+            f"reference dimension {ref.dimension} does not match point dimension {pt.dimension}"
+        )
+    signs = []
+    for r, q in zip(ref, pt):
+        if q > r:
+            signs.append(1)
+        elif q < r:
+            signs.append(-1)
+        else:
+            signs.append(zero_sign)
+    return tuple(signs)
+
+
+def orthant_rectangle(reference: CoordinateLike, signs: Sequence[int]) -> HyperRectangle:
+    """Open orthant rectangle relative to ``reference`` described by ``signs``.
+
+    The side in dimension ``i`` is ``(x(P,i), +inf)`` when ``signs[i] > 0``
+    and ``(-inf, x(P,i))`` when ``signs[i] < 0``.  Both sides are open at the
+    reference coordinate, so the reference point itself never belongs to any
+    orthant rectangle and distinct sign vectors give disjoint rectangles.
+    """
+    ref = as_point(reference)
+    if len(signs) != ref.dimension:
+        raise ValueError(
+            f"sign vector length {len(signs)} does not match reference dimension {ref.dimension}"
+        )
+    intervals: List[Interval] = []
+    for sign, coordinate in zip(signs, ref):
+        if sign > 0:
+            intervals.append(Interval.greater_than(coordinate))
+        elif sign < 0:
+            intervals.append(Interval.less_than(coordinate))
+        else:
+            raise ValueError("orthant sign vectors must not contain zero entries")
+    return HyperRectangle(intervals)
+
+
+def all_sign_vectors(dimension: int) -> List[SignVector]:
+    """All ``2^D`` orthant sign vectors, in a deterministic order."""
+    if dimension < 1:
+        raise ValueError("dimension must be at least 1")
+    return [tuple(v) for v in product((-1, 1), repeat=dimension)]
+
+
+def group_by_orthant(
+    reference: CoordinateLike,
+    points: Iterable[CoordinateLike],
+    *,
+    zero_sign: int = 1,
+):
+    """Group ``points`` into orthant regions relative to ``reference``.
+
+    Returns a dict mapping sign vectors to lists of indices into ``points``.
+    Only regions that actually contain points appear in the result.
+    """
+    groups = {}
+    for index, point in enumerate(points):
+        signs = orthant_signs(reference, point, zero_sign=zero_sign)
+        groups.setdefault(signs, []).append(index)
+    return groups

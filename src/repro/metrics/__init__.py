@@ -1,0 +1,37 @@
+"""Metrics and reporting.
+
+The quantities the paper's Figure 1 reports (overlay degrees, root-to-leaf
+path lengths, tree diameters and tree degrees), computed from topology
+snapshots and multicast trees, plus small helpers to aggregate them over
+experiment sweeps and print paper-style tables.
+"""
+
+from repro.metrics.degree import DegreeStatistics, degree_statistics
+from repro.metrics.paths import (
+    PathStatistics,
+    longest_root_to_leaf_path,
+    path_statistics,
+    tree_diameter,
+)
+from repro.metrics.trees import TreeMetrics, tree_metrics
+from repro.metrics.reporting import (
+    SeriesComparison,
+    compare_series,
+    format_table,
+    summarize_distribution,
+)
+
+__all__ = [
+    "DegreeStatistics",
+    "degree_statistics",
+    "PathStatistics",
+    "longest_root_to_leaf_path",
+    "path_statistics",
+    "tree_diameter",
+    "TreeMetrics",
+    "tree_metrics",
+    "SeriesComparison",
+    "compare_series",
+    "format_table",
+    "summarize_distribution",
+]

@@ -1,0 +1,70 @@
+"""Degree statistics of overlay topologies.
+
+Figure 1 (a) and (c) of the paper report the maximum and average topology
+degree of a peer.  :func:`degree_statistics` computes those (plus a few extra
+summary values useful for debugging and the ablations) from either a
+:class:`~repro.overlay.topology.TopologySnapshot` or a plain adjacency
+mapping.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Union
+
+from repro.overlay.topology import TopologySnapshot
+
+__all__ = ["DegreeStatistics", "degree_statistics"]
+
+
+@dataclass(frozen=True)
+class DegreeStatistics:
+    """Summary of a degree distribution."""
+
+    peer_count: int
+    minimum: int
+    maximum: int
+    average: float
+    median: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view (used by the reporting helpers)."""
+        return {
+            "peers": self.peer_count,
+            "min_degree": self.minimum,
+            "max_degree": self.maximum,
+            "avg_degree": self.average,
+            "median_degree": self.median,
+        }
+
+
+def degree_statistics(
+    topology: Union[TopologySnapshot, Mapping[int, Iterable[int]]],
+) -> DegreeStatistics:
+    """Degree statistics of an undirected topology.
+
+    Accepts either a snapshot (its undirected adjacency is used) or a raw
+    adjacency mapping ``peer id -> iterable of neighbour ids``.
+    """
+    if isinstance(topology, TopologySnapshot):
+        degrees = sorted(topology.degrees().values())
+    else:
+        degrees = sorted(len(set(neighbours)) for neighbours in topology.values())
+
+    if not degrees:
+        return DegreeStatistics(peer_count=0, minimum=0, maximum=0, average=0.0, median=0.0)
+
+    count = len(degrees)
+    middle = count // 2
+    if count % 2 == 1:
+        median = float(degrees[middle])
+    else:
+        median = (degrees[middle - 1] + degrees[middle]) / 2.0
+    return DegreeStatistics(
+        peer_count=count,
+        minimum=degrees[0],
+        maximum=degrees[-1],
+        average=sum(degrees) / count,
+        median=median,
+    )

@@ -1,0 +1,68 @@
+"""Path-length metrics of multicast trees.
+
+Figure 1 (b) reports, over multicast sessions initiated from every peer, the
+maximum and the average of the longest root-to-leaf path; Figure 1 (d)
+reports the tree diameter.  The helpers here compute per-tree quantities and
+aggregate them over a collection of trees (one per root).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.multicast.tree import MulticastTree
+
+__all__ = [
+    "PathStatistics",
+    "longest_root_to_leaf_path",
+    "tree_diameter",
+    "path_statistics",
+]
+
+
+def longest_root_to_leaf_path(tree: MulticastTree) -> int:
+    """Longest root-to-leaf path of one tree, in hops (edges)."""
+    return tree.height()
+
+
+def tree_diameter(tree: MulticastTree) -> int:
+    """Longest path between any two nodes of the tree, in hops."""
+    return tree.diameter()
+
+
+@dataclass(frozen=True)
+class PathStatistics:
+    """Aggregate of the longest root-to-leaf path over many sessions.
+
+    ``maximum`` and ``average`` correspond to the two series of Figure 1 (b):
+    the worst longest path over all initiating peers, and the mean of the
+    longest path over all initiating peers.
+    """
+
+    session_count: int
+    maximum: int
+    average: float
+    minimum: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view (used by the reporting helpers)."""
+        return {
+            "sessions": self.session_count,
+            "max_longest_path": self.maximum,
+            "avg_longest_path": self.average,
+            "min_longest_path": self.minimum,
+        }
+
+
+def path_statistics(trees: Iterable[MulticastTree]) -> PathStatistics:
+    """Longest-root-to-leaf-path statistics over a collection of trees."""
+    heights: List[int] = [tree.height() for tree in trees]
+    if not heights:
+        return PathStatistics(session_count=0, maximum=0, average=0.0, minimum=0)
+    return PathStatistics(
+        session_count=len(heights),
+        maximum=max(heights),
+        average=sum(heights) / len(heights),
+        minimum=min(heights),
+    )

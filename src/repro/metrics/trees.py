@@ -1,0 +1,55 @@
+"""Per-tree metric bundles.
+
+:func:`tree_metrics` collects, for one multicast tree, every quantity any of
+the paper's figures or text claims mention: size, height, diameter, maximum
+and average degree, leaf count and the ``N - 1`` dissemination message count.
+Experiment drivers work with these bundles instead of poking the tree object
+so the figures all read from one audited place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.multicast.tree import MulticastTree
+
+__all__ = ["TreeMetrics", "tree_metrics"]
+
+
+@dataclass(frozen=True)
+class TreeMetrics:
+    """All per-tree quantities used by the experiments."""
+
+    size: int
+    height: int
+    diameter: int
+    maximum_degree: int
+    average_degree: float
+    leaf_count: int
+    dissemination_messages: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view (used by the reporting helpers)."""
+        return {
+            "size": self.size,
+            "height": self.height,
+            "diameter": self.diameter,
+            "max_degree": self.maximum_degree,
+            "avg_degree": self.average_degree,
+            "leaves": self.leaf_count,
+            "messages": self.dissemination_messages,
+        }
+
+
+def tree_metrics(tree: MulticastTree) -> TreeMetrics:
+    """Compute the full metric bundle of one multicast tree."""
+    return TreeMetrics(
+        size=tree.size,
+        height=tree.height(),
+        diameter=tree.diameter(),
+        maximum_degree=tree.maximum_degree(),
+        average_degree=tree.average_degree(),
+        leaf_count=len(tree.leaves()),
+        dissemination_messages=tree.message_count(),
+    )

@@ -1,0 +1,164 @@
+"""Baseline dissemination strategies the paper's constructions are compared to.
+
+The introduction motivates the work by noting that many existing multicast
+solutions either send many messages to construct the tree, are sensitive to
+node departures, or are not fully decentralized.  These baselines make that
+comparison concrete:
+
+* :func:`flood_multicast` -- construction by flooding the overlay: every peer
+  forwards the request to all of its neighbours.  Reaches everyone but sends
+  one message per overlay edge direction, i.e. far more than ``N - 1``.
+* :func:`bfs_tree` -- the shortest-path (BFS) tree of the overlay, a natural
+  "good depth" reference for the path-length figures.  Building it
+  decentralizedly would require the same flooding message cost.
+* :func:`random_spanning_tree` -- a random spanning tree of the overlay,
+  the "no geometric information" reference.
+* :func:`random_parent_tree` -- the lifetime-oblivious counterpart of the
+  Section 3 construction: every peer picks a random overlay neighbour as its
+  preferred neighbour, ignoring lifetimes.  Used by the churn ablation to
+  count how often departures disconnect the tree.
+* :func:`sequential_unicast_tree` -- the initiator contacts every peer
+  directly: ``N - 1`` messages but a root degree of ``N - 1``.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.multicast.tree import MulticastTree
+from repro.overlay.topology import TopologySnapshot
+
+__all__ = [
+    "FloodingResult",
+    "flood_multicast",
+    "bfs_tree",
+    "random_spanning_tree",
+    "random_parent_tree",
+    "sequential_unicast_tree",
+]
+
+
+@dataclass(frozen=True)
+class FloodingResult:
+    """Outcome of constructing a dissemination structure by flooding.
+
+    Attributes
+    ----------
+    tree:
+        The "first delivery" tree (each peer's parent is the neighbour whose
+        copy arrived first, in BFS order).
+    messages_sent:
+        Total messages sent: every reached peer forwards to every neighbour
+        except the one it heard from.
+    duplicate_deliveries:
+        Deliveries to peers that already had the message.
+    reached:
+        Set of peers reached by the flood.
+    """
+
+    tree: MulticastTree
+    messages_sent: int
+    duplicate_deliveries: int
+    reached: Set[int]
+
+
+def flood_multicast(topology: TopologySnapshot, root: int) -> FloodingResult:
+    """Flood a construction request from ``root`` over every overlay link."""
+    if root not in topology.peers:
+        raise KeyError(f"root {root} is not a peer of the topology")
+    parents: Dict[int, Optional[int]] = {root: None}
+    messages = 0
+    duplicates = 0
+    queue = deque([root])
+    while queue:
+        current = queue.popleft()
+        came_from = parents[current]
+        for neighbour in sorted(topology.adjacency[current]):
+            if neighbour == came_from:
+                continue
+            messages += 1
+            if neighbour in parents:
+                duplicates += 1
+                continue
+            parents[neighbour] = current
+            queue.append(neighbour)
+    tree = MulticastTree(root, parents)
+    return FloodingResult(
+        tree=tree,
+        messages_sent=messages,
+        duplicate_deliveries=duplicates,
+        reached=set(parents),
+    )
+
+
+def bfs_tree(topology: TopologySnapshot, root: int) -> MulticastTree:
+    """Breadth-first (shortest-path, in hops) spanning tree of the overlay."""
+    if root not in topology.peers:
+        raise KeyError(f"root {root} is not a peer of the topology")
+    parents: Dict[int, Optional[int]] = {root: None}
+    queue = deque([root])
+    while queue:
+        current = queue.popleft()
+        for neighbour in sorted(topology.adjacency[current]):
+            if neighbour not in parents:
+                parents[neighbour] = current
+                queue.append(neighbour)
+    return MulticastTree(root, parents)
+
+
+def random_spanning_tree(
+    topology: TopologySnapshot,
+    root: int,
+    *,
+    rng: Optional[random.Random] = None,
+) -> MulticastTree:
+    """Uniformly shuffled frontier expansion: a random spanning tree of the overlay."""
+    if root not in topology.peers:
+        raise KeyError(f"root {root} is not a peer of the topology")
+    generator = rng if rng is not None else random.Random(0)
+    parents: Dict[int, Optional[int]] = {root: None}
+    frontier: List[int] = [root]
+    while frontier:
+        index = generator.randrange(len(frontier))
+        frontier[index], frontier[-1] = frontier[-1], frontier[index]
+        current = frontier.pop()
+        neighbours = sorted(topology.adjacency[current])
+        generator.shuffle(neighbours)
+        for neighbour in neighbours:
+            if neighbour not in parents:
+                parents[neighbour] = current
+                frontier.append(neighbour)
+    return MulticastTree(root, parents)
+
+
+def random_parent_tree(
+    topology: TopologySnapshot,
+    *,
+    rng: Optional[random.Random] = None,
+) -> Dict[int, Optional[int]]:
+    """Lifetime-oblivious preferred-neighbour links: a random neighbour each.
+
+    Unlike the Section 3 rule this can create cycles and is generally *not* a
+    tree; the churn ablation uses it to count disconnections, the structural
+    contrast being the point.  Returns the raw link map rather than a
+    :class:`MulticastTree` for exactly that reason.
+    """
+    generator = rng if rng is not None else random.Random(0)
+    links: Dict[int, Optional[int]] = {}
+    for peer_id in sorted(topology.peers):
+        neighbours = sorted(topology.adjacency[peer_id])
+        links[peer_id] = generator.choice(neighbours) if neighbours else None
+    return links
+
+
+def sequential_unicast_tree(topology: TopologySnapshot, root: int) -> MulticastTree:
+    """The initiator contacts every other peer directly (a star rooted at it)."""
+    if root not in topology.peers:
+        raise KeyError(f"root {root} is not a peer of the topology")
+    parents: Dict[int, Optional[int]] = {
+        peer_id: (None if peer_id == root else root) for peer_id in topology.peers
+    }
+    return MulticastTree(root, parents)

@@ -1,0 +1,142 @@
+"""Data dissemination over a multicast tree and departure (churn) analysis.
+
+Once a tree is constructed, multicast data flows from the root towards the
+leaves: every peer forwards each datum to its children, so disseminating one
+datum costs exactly ``N - 1`` messages and the delivery latency of a peer is
+its depth.  :func:`disseminate` reports those quantities.
+
+Section 3's stability claim is about what happens when peers leave:
+if departures happen in lifetime order and the tree was built with the
+preferred-neighbour rule, every departing peer is a leaf of the remaining
+tree, so no remaining peer ever loses its path to the root.
+:func:`simulate_departures` replays an arbitrary departure schedule against
+an arbitrary tree and counts how often that guarantee is violated, which is
+how the churn ablation compares the stability tree with lifetime-oblivious
+trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.multicast.tree import MulticastTree
+
+__all__ = [
+    "DisseminationReport",
+    "DepartureReport",
+    "disseminate",
+    "simulate_departures",
+]
+
+
+@dataclass(frozen=True)
+class DisseminationReport:
+    """Cost of pushing one datum from the root to every peer of a tree."""
+
+    messages_sent: int
+    delivered_peers: int
+    tree_size: int
+    max_hops: int
+    average_hops: float
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered peers over tree size (1.0 for a well-formed tree)."""
+        if self.tree_size == 0:
+            return 1.0
+        return self.delivered_peers / self.tree_size
+
+
+def disseminate(tree: MulticastTree) -> DisseminationReport:
+    """Simulate pushing one datum down the tree and measure its cost."""
+    depths = tree.depths()
+    non_root = [depth for node, depth in depths.items() if node != tree.root]
+    return DisseminationReport(
+        messages_sent=len(non_root),
+        delivered_peers=len(depths),
+        tree_size=tree.size,
+        max_hops=max(depths.values()) if depths else 0,
+        average_hops=(sum(non_root) / len(non_root)) if non_root else 0.0,
+    )
+
+
+@dataclass(frozen=True)
+class DepartureReport:
+    """What happened when peers left the system one by one.
+
+    Attributes
+    ----------
+    departures:
+        Number of departures simulated.
+    non_leaf_departures:
+        Departures of peers that still had children in the tree -- each one
+        is a disconnection event (the children lose their path to the root).
+    orphaned_peer_events:
+        Total number of (still present) peers that were below a departing
+        non-leaf peer, summed over all disconnection events; the "blast
+        radius" of the instability.
+    disconnecting_peers:
+        The ids of the departing peers that caused disconnections.
+    """
+
+    departures: int
+    non_leaf_departures: int
+    orphaned_peer_events: int
+    disconnecting_peers: Tuple[int, ...]
+
+    @property
+    def is_stable(self) -> bool:
+        """``True`` when no departure ever disconnected the tree."""
+        return self.non_leaf_departures == 0
+
+
+def simulate_departures(
+    tree: MulticastTree,
+    departure_order: Sequence[int],
+    *,
+    stop_at_root: bool = True,
+) -> DepartureReport:
+    """Replay a departure schedule against a tree and count disconnections.
+
+    Parameters
+    ----------
+    tree:
+        The multicast tree being stressed.
+    departure_order:
+        Peer ids in the order they leave.  Peers not present in the tree are
+        ignored (they may have joined later or belong to another group).
+    stop_at_root:
+        When ``True`` (default) the simulation stops once the root departs:
+        after that the multicast session is over and counting further
+        disconnections would be meaningless.
+    """
+    present: Set[int] = set(tree.nodes())
+    non_leaf_departures = 0
+    orphaned = 0
+    departures = 0
+    disconnecting: List[int] = []
+
+    for peer_id in departure_order:
+        if peer_id not in present:
+            continue
+        departures += 1
+        children_present = [
+            child for child in tree.children(peer_id) if child in present
+        ]
+        if children_present:
+            non_leaf_departures += 1
+            disconnecting.append(peer_id)
+            orphaned += sum(
+                len(tree.subtree_nodes(child) & present) for child in children_present
+            )
+        present.discard(peer_id)
+        if stop_at_root and peer_id == tree.root:
+            break
+
+    return DepartureReport(
+        departures=departures,
+        non_leaf_departures=non_leaf_departures,
+        orphaned_peer_events=orphaned,
+        disconnecting_peers=tuple(disconnecting),
+    )

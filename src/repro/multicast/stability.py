@@ -1,0 +1,220 @@
+"""Stability-oriented multicast trees (Section 3 of the paper).
+
+Setting: every peer ``P`` knows the time ``T(P)`` at which it will leave the
+system (cloud lease expiry, sensor battery exhaustion).  The first virtual
+coordinate of every peer is set to ``T(P)``, the overlay is built with the
+Orthogonal Hyperplanes selection method, and every peer periodically selects
+a *preferred tree neighbour*: an overlay neighbour ``Q`` with
+``T(Q) > T(P)`` (the paper's experiments pick the one with the largest
+``T(Q)``).  Peers with no longer-lived neighbour select nobody.
+
+The preferred-neighbour links, read as child -> parent edges, form a tree
+rooted at the peer with the largest lifetime in which lifetimes strictly
+decrease towards the leaves.  Consequently a departing peer is always a leaf
+of the remaining tree and departures never disconnect the multicast tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.geometry.distance import DistanceFunction, get_distance
+from repro.multicast.tree import MulticastTree, TreeValidationError
+from repro.overlay.topology import TopologySnapshot
+
+__all__ = [
+    "PreferredNeighbourForest",
+    "StabilityTreeBuilder",
+    "build_stability_tree",
+    "peer_lifetime",
+]
+
+
+def peer_lifetime(topology: TopologySnapshot, peer_id: int) -> float:
+    """Departure time ``T(P)`` of a peer.
+
+    Uses the explicit ``lifetime`` attribute when present and falls back to
+    the first coordinate, which is where Section 3 embeds the lifetime.
+    """
+    info = topology.peers[peer_id]
+    if info.lifetime is not None:
+        return float(info.lifetime)
+    return float(info.coordinates[0])
+
+
+@dataclass(frozen=True)
+class PreferredNeighbourForest:
+    """The preferred-neighbour links of every peer, plus their lifetimes.
+
+    ``preferred[p]`` is the overlay neighbour ``p`` chose (its tree parent),
+    or ``None`` when ``p`` has no overlay neighbour outliving it.  The paper
+    checks -- and this class lets callers check -- that the links form a
+    single tree rooted at the longest-lived peer, with lifetimes decreasing
+    towards the leaves.
+    """
+
+    preferred: Mapping[int, Optional[int]]
+    lifetimes: Mapping[int, float]
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def peer_count(self) -> int:
+        """Number of peers covered by the forest."""
+        return len(self.preferred)
+
+    def roots(self) -> List[int]:
+        """Peers that selected no preferred neighbour, sorted."""
+        return sorted(peer for peer, parent in self.preferred.items() if parent is None)
+
+    def is_single_tree(self) -> bool:
+        """``True`` when the links form one tree covering every peer.
+
+        Because every link points from a peer to a strictly longer-lived
+        peer, the link graph can never contain a cycle; it is therefore a
+        forest, and it is a single tree exactly when only one peer has no
+        preferred neighbour.
+        """
+        if not self.preferred:
+            return True
+        return len(self.roots()) == 1
+
+    def to_multicast_tree(self) -> MulticastTree:
+        """The forest as a :class:`MulticastTree` (requires a single tree).
+
+        The root is the unique peer without a preferred neighbour -- by
+        construction the peer with the largest lifetime.
+        """
+        roots = self.roots()
+        if len(roots) != 1:
+            raise TreeValidationError(
+                f"the preferred-neighbour links form {len(roots)} trees, not one; "
+                "roots: " + ", ".join(str(r) for r in roots[:10])
+            )
+        return MulticastTree(roots[0], dict(self.preferred))
+
+    # ------------------------------------------------------------------
+    # Paper invariants
+    # ------------------------------------------------------------------
+    def root_has_largest_lifetime(self) -> bool:
+        """``True`` when the longest-lived peer selected no preferred neighbour.
+
+        For a single tree this says the root is the longest-lived peer of the
+        whole system, which is how the paper roots the tree (it cannot select
+        anyone because no neighbour outlives it).
+        """
+        if not self.preferred:
+            return True
+        longest_lived = max(self.preferred, key=lambda peer: self.lifetimes[peer])
+        return self.preferred[longest_lived] is None
+
+    def parents_outlive_children(self) -> bool:
+        """``True`` when ``T(parent) > T(child)`` for every link (the paper's check)."""
+        for child, parent in self.preferred.items():
+            if parent is None:
+                continue
+            if not self.lifetimes[parent] > self.lifetimes[child]:
+                return False
+        return True
+
+    def lifetime_violations(self) -> List[Tuple[int, int]]:
+        """Links ``(child, parent)`` whose parent does not outlive the child."""
+        return sorted(
+            (child, parent)
+            for child, parent in self.preferred.items()
+            if parent is not None and not self.lifetimes[parent] > self.lifetimes[child]
+        )
+
+
+class StabilityTreeBuilder:
+    """Builds the Section 3 preferred-neighbour forest over a topology snapshot.
+
+    Parameters
+    ----------
+    tie_break:
+        How a peer chooses among its longer-lived overlay neighbours:
+
+        * ``"largest-lifetime"`` (paper's experiments): the neighbour with the
+          largest ``T(Q)``.
+        * ``"smallest-above"``: the neighbour whose lifetime is the smallest
+          one still exceeding ``T(P)`` (keeps parents "just above" their
+          children, which shortens lifetime gaps but deepens the tree).
+        * ``"closest"``: the geometrically closest longer-lived neighbour.
+    distance:
+        Distance used by the ``"closest"`` tie-break.
+    """
+
+    LARGEST_LIFETIME = "largest-lifetime"
+    SMALLEST_ABOVE = "smallest-above"
+    CLOSEST = "closest"
+    TIE_BREAKS = (LARGEST_LIFETIME, SMALLEST_ABOVE, CLOSEST)
+
+    def __init__(
+        self,
+        *,
+        tie_break: str = LARGEST_LIFETIME,
+        distance: "DistanceFunction | str" = "l2",
+    ) -> None:
+        if tie_break not in self.TIE_BREAKS:
+            raise ValueError(
+                f"unknown tie_break {tie_break!r}; expected one of {self.TIE_BREAKS}"
+            )
+        self._tie_break = tie_break
+        self._distance = get_distance(distance) if isinstance(distance, str) else distance
+
+    def build(self, topology: TopologySnapshot) -> PreferredNeighbourForest:
+        """Select the preferred tree neighbour of every peer."""
+        lifetimes = {peer_id: peer_lifetime(topology, peer_id) for peer_id in topology.peers}
+        if len(set(lifetimes.values())) != len(lifetimes):
+            raise ValueError(
+                "peer lifetimes must be pairwise distinct (the paper breaks ties using "
+                "other peer-specific properties before running the algorithm)"
+            )
+        preferred: Dict[int, Optional[int]] = {}
+        for peer_id in topology.peers:
+            preferred[peer_id] = self._choose_parent(topology, lifetimes, peer_id)
+        return PreferredNeighbourForest(preferred=preferred, lifetimes=lifetimes)
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _choose_parent(
+        self,
+        topology: TopologySnapshot,
+        lifetimes: Mapping[int, float],
+        peer_id: int,
+    ) -> Optional[int]:
+        own_lifetime = lifetimes[peer_id]
+        candidates = [
+            neighbour
+            for neighbour in topology.adjacency[peer_id]
+            if lifetimes[neighbour] > own_lifetime
+        ]
+        if not candidates:
+            return None
+        if self._tie_break == self.LARGEST_LIFETIME:
+            return max(candidates, key=lambda n: (lifetimes[n], -n))
+        if self._tie_break == self.SMALLEST_ABOVE:
+            return min(candidates, key=lambda n: (lifetimes[n], n))
+        own_coordinates = topology.peers[peer_id].coordinates
+        return min(
+            candidates,
+            key=lambda n: (self._distance(own_coordinates, topology.peers[n].coordinates), n),
+        )
+
+
+def build_stability_tree(
+    topology: TopologySnapshot,
+    *,
+    tie_break: str = StabilityTreeBuilder.LARGEST_LIFETIME,
+) -> MulticastTree:
+    """Convenience wrapper: build the Section 3 tree and return it directly.
+
+    Raises :class:`~repro.multicast.tree.TreeValidationError` when the
+    preferred links do not form a single tree (e.g. the overlay is
+    disconnected in lifetime order).
+    """
+    forest = StabilityTreeBuilder(tie_break=tie_break).build(topology)
+    return forest.to_multicast_tree()

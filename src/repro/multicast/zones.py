@@ -1,0 +1,88 @@
+"""Responsibility zones for the space-partitioning multicast construction.
+
+The responsibility zone ``Z(P)`` of a peer ``P`` is the part of the virtual
+coordinate space ``P`` must (directly or indirectly) deliver the multicast
+data to.  The initiator's zone is the entire space; a child's zone is the
+intersection of its parent's zone with the open orthant rectangle of the
+region (relative to the parent) the child lies in.  This module provides the
+zone algebra plus the validation predicates the paper states as requirements:
+
+* child zones are pairwise disjoint,
+* their union covers every not-yet-reached peer of the parent zone,
+* the parent itself lies outside every child zone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.geometry.point import CoordinateLike, as_point
+from repro.geometry.rectangle import HyperRectangle
+from repro.geometry.regions import orthant_rectangle, orthant_signs
+
+__all__ = [
+    "initial_zone",
+    "child_zone",
+    "zones_are_disjoint",
+    "zone_excludes",
+    "uncovered_points",
+]
+
+
+def initial_zone(dimension: int) -> HyperRectangle:
+    """The initiator's responsibility zone ``Z(A)``: the whole coordinate space."""
+    return HyperRectangle.whole_space(dimension)
+
+
+def child_zone(
+    parent_zone: HyperRectangle,
+    parent_point: CoordinateLike,
+    child_point: CoordinateLike,
+    *,
+    zero_sign: int = 1,
+) -> HyperRectangle:
+    """Responsibility zone handed by a parent to one selected neighbour.
+
+    ``Z(Q) = Z(P) ∩ HR`` where ``HR`` is the open orthant rectangle, relative
+    to the parent's identifier, of the region the child lies in: its side in
+    dimension ``i`` is ``(-inf, x(P, i))`` when ``x(Q, i) < x(P, i)`` and
+    ``(x(P, i), +inf)`` otherwise.
+    """
+    parent = as_point(parent_point)
+    child = as_point(child_point)
+    signs = orthant_signs(parent, child, zero_sign=zero_sign)
+    return parent_zone.intersect(orthant_rectangle(parent, signs))
+
+
+def zones_are_disjoint(zones: Sequence[HyperRectangle]) -> bool:
+    """``True`` when no two zones share a point (the paper's disjointness requirement)."""
+    for index, zone in enumerate(zones):
+        for other in zones[index + 1 :]:
+            if zone.overlaps(other):
+                return False
+    return True
+
+
+def zone_excludes(zone: HyperRectangle, point: CoordinateLike) -> bool:
+    """``True`` when ``point`` lies outside ``zone`` (the "exclude P" requirement)."""
+    return not zone.contains(point)
+
+
+def uncovered_points(
+    zones: Iterable[HyperRectangle],
+    points: Dict[int, CoordinateLike],
+) -> List[int]:
+    """Ids of points not covered by any zone.
+
+    Used to check the coverage requirement: the union of the child zones must
+    contain every peer of the parent zone that has not received the request
+    yet.  Returns the sorted ids of uncovered points (empty when coverage
+    holds).
+    """
+    zone_list: List[HyperRectangle] = list(zones)
+    missing: List[int] = []
+    for point_id, coordinates in points.items():
+        point = as_point(coordinates)
+        if not any(zone.contains(point) for zone in zone_list):
+            missing.append(point_id)
+    return sorted(missing)

@@ -1,0 +1,51 @@
+"""P2P overlay substrate: peers, gossip, neighbour selection and topology.
+
+The overlay is the substrate both multicast constructions run on.  Peers are
+points of a virtual coordinate space (:mod:`repro.overlay.peer`), learn about
+each other through bounded-hop gossip (:mod:`repro.overlay.gossip`), choose
+their neighbours with a selection method (:mod:`repro.overlay.selection`) and
+the resulting topology is managed and measured by
+:mod:`repro.overlay.network` and :mod:`repro.overlay.topology`.
+"""
+
+from repro.overlay.peer import NetworkAddress, PeerInfo, make_peer
+from repro.overlay.gossip import (
+    AnnouncementStore,
+    ExistenceAnnouncement,
+    knowledge_sets,
+    peers_within_hops,
+)
+from repro.overlay.network import ConvergenceError, OverlayNetwork
+from repro.overlay.topology import TopologySnapshot, undirected_closure
+from repro.overlay.selection import (
+    EmptyRectangleSelection,
+    HyperplanesSelection,
+    KClosestSelection,
+    NeighbourSelectionMethod,
+    OrthogonalHyperplanesSelection,
+    SignCoefficientHyperplanesSelection,
+    available_methods,
+    make_selection_method,
+)
+
+__all__ = [
+    "NetworkAddress",
+    "PeerInfo",
+    "make_peer",
+    "ExistenceAnnouncement",
+    "AnnouncementStore",
+    "peers_within_hops",
+    "knowledge_sets",
+    "OverlayNetwork",
+    "ConvergenceError",
+    "TopologySnapshot",
+    "undirected_closure",
+    "NeighbourSelectionMethod",
+    "HyperplanesSelection",
+    "OrthogonalHyperplanesSelection",
+    "SignCoefficientHyperplanesSelection",
+    "KClosestSelection",
+    "EmptyRectangleSelection",
+    "available_methods",
+    "make_selection_method",
+]

@@ -1,0 +1,298 @@
+"""The P2P overlay network: membership, knowledge sets and convergence.
+
+:class:`OverlayNetwork` maintains the state the paper's protocol maintains --
+which peers exist, which neighbours each peer has selected -- and exposes the
+two ways of reaching the equilibrium topology:
+
+* :meth:`OverlayNetwork.converge` runs synchronous *reselection rounds*: in
+  every round each peer recomputes its candidate set ``I(P)`` (either every
+  other peer, or the peers within ``gossip_radius`` = ``BR`` overlay hops of
+  it) and applies the neighbour selection method.  This mirrors the paper's
+  procedure of letting the overlay converge after every membership change.
+* :meth:`OverlayNetwork.build_equilibrium` jumps straight to the
+  full-knowledge fixed point using the selection method's (possibly
+  vectorised) :meth:`~repro.overlay.selection.base.NeighbourSelectionMethod.compute_equilibrium`.
+  The paper states the gossip process should converge to (or close to) this
+  topology; tests verify the agreement on small instances.
+
+A message-level replay of the join/gossip protocol (individual announcements,
+latencies, ``Tmax`` expiry) lives in :mod:`repro.simulation.protocol` and
+produces the same equilibria.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set
+
+from repro.overlay.gossip import knowledge_sets
+from repro.overlay.peer import PeerInfo
+from repro.overlay.selection.base import NeighbourSelectionMethod
+from repro.overlay.topology import TopologySnapshot, undirected_closure
+
+__all__ = ["OverlayNetwork", "ConvergenceError"]
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when reselection rounds fail to reach a fixed point."""
+
+    def __init__(self, rounds: int) -> None:
+        super().__init__(
+            f"overlay did not converge within {rounds} reselection rounds; "
+            "increase max_rounds or check the selection method for oscillation"
+        )
+        self.rounds = rounds
+
+
+class OverlayNetwork:
+    """A P2P overlay whose neighbour sets are produced by a selection method.
+
+    Parameters
+    ----------
+    selection:
+        The neighbour selection method every peer applies to its candidate
+        set.
+    gossip_radius:
+        ``BR``, the number of overlay hops existence announcements travel.
+        ``None`` (the default) models the full-knowledge steady state in
+        which every peer eventually hears about every other peer.
+    """
+
+    def __init__(
+        self,
+        selection: NeighbourSelectionMethod,
+        *,
+        gossip_radius: Optional[int] = None,
+    ) -> None:
+        if gossip_radius is not None and gossip_radius < 1:
+            raise ValueError("gossip_radius must be at least 1 when given")
+        self._selection = selection
+        self._gossip_radius = gossip_radius
+        self._peers: Dict[int, PeerInfo] = {}
+        self._neighbours: Dict[int, Set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    @property
+    def selection(self) -> NeighbourSelectionMethod:
+        """The neighbour selection method in use."""
+        return self._selection
+
+    @property
+    def gossip_radius(self) -> Optional[int]:
+        """``BR`` when gossip-limited, ``None`` for full knowledge."""
+        return self._gossip_radius
+
+    @property
+    def peer_ids(self) -> List[int]:
+        """Ids of all current peers, sorted."""
+        return sorted(self._peers)
+
+    @property
+    def peer_count(self) -> int:
+        """Number of peers currently in the overlay."""
+        return len(self._peers)
+
+    def peer(self, peer_id: int) -> PeerInfo:
+        """Metadata of one peer."""
+        return self._peers[peer_id]
+
+    def peers(self) -> List[PeerInfo]:
+        """Metadata of all peers, sorted by id."""
+        return [self._peers[peer_id] for peer_id in sorted(self._peers)]
+
+    def __contains__(self, peer_id: int) -> bool:
+        return peer_id in self._peers
+
+    def add_peer(self, peer: PeerInfo, *, bootstrap: Optional[Iterable[int]] = None) -> None:
+        """Add a peer, optionally wiring it to bootstrap neighbours.
+
+        A joining peer in the paper must know one or more peers already in
+        the system; those become its initial neighbours.  When ``bootstrap``
+        is omitted and the overlay is non-empty, one existing peer is chosen
+        deterministically (the lowest id) so that the join is always
+        well-formed.
+        """
+        if peer.peer_id in self._peers:
+            raise ValueError(f"peer {peer.peer_id} is already in the overlay")
+        if self._peers:
+            dimension = next(iter(self._peers.values())).dimension
+            if peer.dimension != dimension:
+                raise ValueError(
+                    f"peer {peer.peer_id} has dimension {peer.dimension}, overlay uses {dimension}"
+                )
+        if bootstrap is None:
+            bootstrap_ids: Set[int] = {min(self._peers)} if self._peers else set()
+        else:
+            bootstrap_ids = set(bootstrap)
+            unknown = bootstrap_ids - set(self._peers)
+            if unknown:
+                raise KeyError(f"bootstrap peers {sorted(unknown)} are not in the overlay")
+        self._peers[peer.peer_id] = peer
+        self._neighbours[peer.peer_id] = set(bootstrap_ids)
+
+    def remove_peer(self, peer_id: int) -> PeerInfo:
+        """Remove a peer and every link that references it."""
+        try:
+            info = self._peers.pop(peer_id)
+        except KeyError:
+            raise KeyError(f"unknown peer {peer_id}") from None
+        self._neighbours.pop(peer_id, None)
+        for neighbours in self._neighbours.values():
+            neighbours.discard(peer_id)
+        return info
+
+    # ------------------------------------------------------------------
+    # Neighbour state
+    # ------------------------------------------------------------------
+    def selected_neighbours(self, peer_id: int) -> FrozenSet[int]:
+        """Peers that ``peer_id`` currently selects as neighbours (directed)."""
+        return frozenset(self._neighbours[peer_id])
+
+    def directed_neighbour_map(self) -> Dict[int, FrozenSet[int]]:
+        """The whole directed selection map."""
+        return {peer_id: frozenset(neighbours) for peer_id, neighbours in self._neighbours.items()}
+
+    def adjacency(self) -> Dict[int, Set[int]]:
+        """Undirected communication topology (closure of the selection map)."""
+        return undirected_closure(self._neighbours)
+
+    def snapshot(self) -> TopologySnapshot:
+        """Immutable snapshot of the current topology."""
+        return TopologySnapshot.from_directed(self._peers, self._neighbours)
+
+    # ------------------------------------------------------------------
+    # Knowledge sets and convergence
+    # ------------------------------------------------------------------
+    def knowledge_set(self, peer_id: int) -> List[PeerInfo]:
+        """The candidate set ``I(P)`` of one peer under the current topology."""
+        if peer_id not in self._peers:
+            raise KeyError(f"unknown peer {peer_id}")
+        if self._gossip_radius is None:
+            return [info for other, info in self._peers.items() if other != peer_id]
+        adjacency = self.adjacency()
+        reachable = knowledge_sets(adjacency, self._gossip_radius)[peer_id]
+        # A joining peer always knows its bootstrap contacts even before any
+        # gossip round has run over the new links.
+        reachable |= self._neighbours[peer_id]
+        reachable.discard(peer_id)
+        return [self._peers[other] for other in sorted(reachable)]
+
+    def reselect_round(self) -> bool:
+        """One synchronous reselection round; returns ``True`` if anything changed.
+
+        Every peer recomputes its candidate set against the *pre-round*
+        topology and applies the selection method; all updates are then
+        installed at once.  Synchronous rounds make convergence deterministic
+        and are the discrete-time counterpart of "periodically, every peer
+        broadcasts its existence ... then selects its new overlay neighbours".
+        """
+        if self._gossip_radius is None:
+            candidates_by_peer = {
+                peer_id: [info for other, info in self._peers.items() if other != peer_id]
+                for peer_id in self._peers
+            }
+        else:
+            adjacency = self.adjacency()
+            reachable = knowledge_sets(adjacency, self._gossip_radius)
+            candidates_by_peer = {}
+            for peer_id in self._peers:
+                known = set(reachable[peer_id]) | self._neighbours[peer_id]
+                known.discard(peer_id)
+                candidates_by_peer[peer_id] = [self._peers[other] for other in sorted(known)]
+
+        changed = False
+        new_neighbours: Dict[int, Set[int]] = {}
+        for peer_id, candidates in candidates_by_peer.items():
+            selected = set(self._selection.select(self._peers[peer_id], candidates))
+            new_neighbours[peer_id] = selected
+            if selected != self._neighbours[peer_id]:
+                changed = True
+        self._neighbours = new_neighbours
+        return changed
+
+    def converge(self, *, max_rounds: int = 50) -> int:
+        """Run reselection rounds until a fixed point; returns the round count.
+
+        Raises :class:`ConvergenceError` if the topology is still changing
+        after ``max_rounds`` rounds.
+        """
+        if max_rounds < 1:
+            raise ValueError("max_rounds must be at least 1")
+        for round_index in range(1, max_rounds + 1):
+            if not self.reselect_round():
+                return round_index
+        raise ConvergenceError(max_rounds)
+
+    def insert_and_converge(
+        self,
+        peer: PeerInfo,
+        *,
+        bootstrap: Optional[Iterable[int]] = None,
+        max_rounds: int = 50,
+    ) -> int:
+        """Insert one peer and let the overlay converge (the paper's procedure)."""
+        self.add_peer(peer, bootstrap=bootstrap)
+        return self.converge(max_rounds=max_rounds)
+
+    def remove_and_converge(self, peer_id: int, *, max_rounds: int = 50) -> int:
+        """Remove one peer and let the overlay converge."""
+        self.remove_peer(peer_id)
+        if not self._peers:
+            return 0
+        return self.converge(max_rounds=max_rounds)
+
+    # ------------------------------------------------------------------
+    # Bulk builders
+    # ------------------------------------------------------------------
+    @classmethod
+    def build_equilibrium(
+        cls,
+        peers: Sequence[PeerInfo],
+        selection: NeighbourSelectionMethod,
+    ) -> "OverlayNetwork":
+        """Full-knowledge equilibrium overlay for a fixed population.
+
+        This is the topology the paper's gossip process converges to when
+        every peer has heard about every other peer; it is also the fast path
+        used by the figure benchmarks.
+        """
+        overlay = cls(selection, gossip_radius=None)
+        for peer in peers:
+            if peer.peer_id in overlay._peers:
+                raise ValueError(f"duplicate peer id {peer.peer_id}")
+            overlay._peers[peer.peer_id] = peer
+        equilibrium = selection.compute_equilibrium(peers)
+        overlay._neighbours = {
+            peer_id: set(equilibrium.get(peer_id, set())) for peer_id in overlay._peers
+        }
+        return overlay
+
+    @classmethod
+    def build_incremental(
+        cls,
+        peers: Sequence[PeerInfo],
+        selection: NeighbourSelectionMethod,
+        *,
+        gossip_radius: Optional[int] = None,
+        max_rounds: int = 50,
+        rng: Optional[random.Random] = None,
+    ) -> "OverlayNetwork":
+        """Insert peers one at a time, converging after every insertion.
+
+        This follows the paper's experimental procedure literally ("the peers
+        were inserted one by one in the overlay (the overlay was allowed to
+        converge after every insertion)").  Bootstrap contacts are chosen
+        uniformly at random among the peers already present (deterministic
+        when ``rng`` is seeded).
+        """
+        generator = rng if rng is not None else random.Random(0)
+        overlay = cls(selection, gossip_radius=gossip_radius)
+        for peer in peers:
+            if overlay.peer_count == 0:
+                overlay.add_peer(peer, bootstrap=())
+                continue
+            bootstrap = {generator.choice(overlay.peer_ids)}
+            overlay.insert_and_converge(peer, bootstrap=bootstrap, max_rounds=max_rounds)
+        return overlay

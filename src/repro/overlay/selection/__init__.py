@@ -1,0 +1,46 @@
+"""Neighbour selection methods.
+
+A *neighbour selection method* turns a peer's current knowledge of the system
+-- the candidate set ``I(P)`` gathered from gossip announcements -- into the
+peer's overlay neighbour set.  The paper requires the method to drive the
+topology to an equilibrium when the membership stops changing; all methods
+here do (they are deterministic functions of ``I(P)``).
+
+Implemented methods (all from the paper):
+
+* :class:`HyperplanesSelection` -- the generic Hyperplanes method: ``H``
+  hyperplanes through the (translated) origin partition space into regions
+  and the ``K`` closest candidates of each region are kept.
+* :class:`OrthogonalHyperplanesSelection` -- instance 1: the ``D`` coordinate
+  hyperplanes (regions are the ``2^D`` orthants).
+* :class:`SignCoefficientHyperplanesSelection` -- instance 2: hyperplanes
+  with coefficients in ``{-1, 0, +1}``.
+* :class:`KClosestSelection` -- instance 3 (``H = 0``): the ``K`` closest
+  candidates overall.
+* :class:`EmptyRectangleSelection` -- the method used by the Section 2
+  experiments: keep every candidate ``Q`` such that the axis-aligned
+  bounding box of ``P`` and ``Q`` contains no other candidate.
+"""
+
+from repro.overlay.selection.base import NeighbourSelectionMethod
+from repro.overlay.selection.hyperplanes import HyperplanesSelection
+from repro.overlay.selection.orthogonal import OrthogonalHyperplanesSelection
+from repro.overlay.selection.sign_vectors import SignCoefficientHyperplanesSelection
+from repro.overlay.selection.k_closest import KClosestSelection
+from repro.overlay.selection.empty_rectangle import (
+    EmptyRectangleSelection,
+    brute_force_empty_rectangle_neighbours,
+)
+from repro.overlay.selection.registry import available_methods, make_selection_method
+
+__all__ = [
+    "NeighbourSelectionMethod",
+    "HyperplanesSelection",
+    "OrthogonalHyperplanesSelection",
+    "SignCoefficientHyperplanesSelection",
+    "KClosestSelection",
+    "EmptyRectangleSelection",
+    "brute_force_empty_rectangle_neighbours",
+    "available_methods",
+    "make_selection_method",
+]

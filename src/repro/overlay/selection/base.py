@@ -1,0 +1,76 @@
+"""Base protocol for neighbour selection methods."""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Sequence, Set
+
+from repro.overlay.peer import PeerInfo
+
+__all__ = ["NeighbourSelectionMethod"]
+
+
+class NeighbourSelectionMethod(abc.ABC):
+    """A rule mapping a peer's candidate set ``I(P)`` to its neighbour set.
+
+    Subclasses implement :meth:`select`.  The default
+    :meth:`compute_equilibrium` evaluates :meth:`select` for every peer with
+    the full population as candidates -- the fixed point the gossip process
+    converges to when every peer eventually learns about every other peer.
+    Methods with a faster vectorised path (the ones used at ``N = 1000``)
+    override it.
+    """
+
+    @abc.abstractmethod
+    def select(
+        self, reference: PeerInfo, candidates: Sequence[PeerInfo]
+    ) -> List[int]:
+        """Return the peer ids the reference peer keeps as overlay neighbours.
+
+        Parameters
+        ----------
+        reference:
+            The peer doing the selecting (``P``).
+        candidates:
+            The peers ``P`` currently knows about (``I(P)``).  The reference
+            peer itself may or may not appear in the sequence; it is never
+            selected either way.
+        """
+
+    def compute_equilibrium(self, peers: Sequence[PeerInfo]) -> Dict[int, Set[int]]:
+        """Neighbour sets when every peer knows every other peer.
+
+        Returns a mapping from peer id to the set of selected neighbour ids
+        (the *directed* selection; the overlay topology is its undirected
+        closure, built by :class:`repro.overlay.network.OverlayNetwork`).
+        """
+        result: Dict[int, Set[int]] = {}
+        for reference in peers:
+            others = [peer for peer in peers if peer.peer_id != reference.peer_id]
+            result[reference.peer_id] = set(self.select(reference, others))
+        return result
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _exclude_reference(
+        reference: PeerInfo, candidates: Sequence[PeerInfo]
+    ) -> List[PeerInfo]:
+        """Drop the reference peer (and id-duplicates) from the candidate set."""
+        seen: Set[int] = {reference.peer_id}
+        result: List[PeerInfo] = []
+        for candidate in candidates:
+            if candidate.peer_id in seen:
+                continue
+            if candidate.dimension != reference.dimension:
+                raise ValueError(
+                    f"candidate {candidate.peer_id} has dimension {candidate.dimension}, "
+                    f"expected {reference.dimension}"
+                )
+            seen.add(candidate.peer_id)
+            result.append(candidate)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

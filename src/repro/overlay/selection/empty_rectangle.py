@@ -1,0 +1,159 @@
+"""Empty-rectangle neighbour selection (the Section 2 experimental method).
+
+A peer ``P`` keeps as neighbour every candidate ``Q`` from ``I(P)`` such that
+the axis-aligned hyper-rectangle having ``P`` and ``Q`` as opposite corners
+contains no other candidate from ``I(P)``.
+
+Equivalence with per-orthant Pareto minima
+------------------------------------------
+
+Let ``delta(R) = x(R) - x(P)`` for every candidate ``R``.  A peer ``R`` lies
+inside the bounding box of ``P`` and ``Q`` exactly when, on every axis,
+``x(R, i)`` lies between ``x(P, i)`` and ``x(Q, i)``; with pairwise-distinct
+per-axis coordinates that forces ``sign(delta(R, i)) = sign(delta(Q, i))``
+for every axis (``R`` is in the same orthant as ``Q`` relative to ``P``) and
+``|delta(R, i)| <= |delta(Q, i)|`` (``R`` dominates ``Q`` component-wise in
+absolute value).  Hence:
+
+    ``Q`` is an empty-rectangle neighbour of ``P``
+    <=>  no other candidate in ``Q``'s orthant dominates ``Q``
+    <=>  ``Q`` is a Pareto-minimal point of its orthant (in ``|delta|``).
+
+This turns an ``O(m^2)`` emptiness test per candidate into one skyline
+computation per orthant, which is what makes the paper's ``N = 1000``
+experiments (and the ``N = 5000`` point of Figure 1(c)) tractable.  The
+brute-force definition is kept as
+:func:`brute_force_empty_rectangle_neighbours` and the two are cross-checked
+by tests and by property-based (hypothesis) tests.
+
+The equivalence, and therefore the fast path, relies on the paper's
+distinct-coordinate assumption; the workload generators enforce it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.geometry.rectangle import HyperRectangle
+from repro.overlay.peer import PeerInfo
+from repro.overlay.selection.base import NeighbourSelectionMethod
+
+__all__ = ["EmptyRectangleSelection", "brute_force_empty_rectangle_neighbours"]
+
+
+class EmptyRectangleSelection(NeighbourSelectionMethod):
+    """Keep every candidate whose bounding box with the reference peer is empty."""
+
+    def select(
+        self, reference: PeerInfo, candidates: Sequence[PeerInfo]
+    ) -> List[int]:
+        others = self._exclude_reference(reference, candidates)
+        if not others:
+            return []
+
+        by_region: Dict[Tuple[int, ...], List[Tuple[Tuple[float, ...], int]]] = {}
+        origin = reference.coordinates
+        for candidate in others:
+            signs = tuple(
+                1 if c > o else -1 for c, o in zip(candidate.coordinates, origin)
+            )
+            # Dominance is checked on sign-flipped *raw* coordinates rather
+            # than on |Q - P| differences: the comparisons are then exactly
+            # the ones the bounding-box definition performs, so the fast path
+            # agrees with brute_force_empty_rectangle_neighbours bit for bit
+            # (subtracting first can round away tiny coordinate differences).
+            keys = tuple(s * c for s, c in zip(signs, candidate.coordinates))
+            by_region.setdefault(signs, []).append((keys, candidate.peer_id))
+
+        selected: List[int] = []
+        for signs in sorted(by_region):
+            for _, peer_id in _pareto_minima(by_region[signs]):
+                selected.append(peer_id)
+        return sorted(selected)
+
+    def compute_equilibrium(self, peers: Sequence[PeerInfo]) -> Dict[int, Set[int]]:
+        """Vectorised full-knowledge equilibrium (per-orthant skylines in numpy)."""
+        if not peers:
+            return {}
+        peer_ids = [peer.peer_id for peer in peers]
+        coords = np.asarray([tuple(peer.coordinates) for peer in peers], dtype=float)
+        count, dimension = coords.shape
+        powers = 1 << np.arange(dimension)
+        result: Dict[int, Set[int]] = {}
+
+        for index in range(count):
+            greater = coords > coords[index]
+            # Sign-flipped raw coordinates (see select()): dominance checks on
+            # these are exactly the bounding-box comparisons of the paper.
+            keys = np.where(greater, coords, -coords)
+            codes = (greater @ powers).astype(np.int64)
+            mask = np.ones(count, dtype=bool)
+            mask[index] = False
+            other_indices = np.nonzero(mask)[0]
+            selected: Set[int] = set()
+            other_codes = codes[other_indices]
+            for code in np.unique(other_codes):
+                members = other_indices[other_codes == code]
+                member_keys = keys[members]
+                order = np.argsort(member_keys.sum(axis=1), kind="stable")
+                kept_rows: List[np.ndarray] = []
+                kept_members: List[int] = []
+                for position in order:
+                    row = member_keys[position]
+                    if kept_rows and bool(
+                        np.all(np.asarray(kept_rows) <= row, axis=1).any()
+                    ):
+                        continue
+                    kept_rows.append(row)
+                    kept_members.append(int(members[position]))
+                selected.update(peer_ids[m] for m in kept_members)
+            result[peer_ids[index]] = selected
+        return result
+
+
+def _pareto_minima(
+    entries: List[Tuple[Tuple[float, ...], int]]
+) -> List[Tuple[Tuple[float, ...], int]]:
+    """Pareto-minimal entries (component-wise) of ``(|delta|, peer_id)`` pairs.
+
+    Entries are processed in increasing order of the L1 magnitude; an entry
+    already kept can never be dominated by a later one, so a single pass with
+    dominance checks against the kept set is sufficient.
+    """
+    ordered = sorted(entries, key=lambda entry: (sum(entry[0]), entry[1]))
+    kept: List[Tuple[Tuple[float, ...], int]] = []
+    for deltas, peer_id in ordered:
+        dominated = any(
+            all(k <= d for k, d in zip(kept_deltas, deltas))
+            for kept_deltas, _ in kept
+        )
+        if not dominated:
+            kept.append((deltas, peer_id))
+    return kept
+
+
+def brute_force_empty_rectangle_neighbours(
+    reference: PeerInfo, candidates: Sequence[PeerInfo]
+) -> List[int]:
+    """Literal implementation of the paper's definition (quadratic).
+
+    ``Q`` is kept when the closed axis-aligned box spanned by the identifiers
+    of the reference peer and ``Q`` contains no other candidate.  Used by
+    tests as the ground truth for :class:`EmptyRectangleSelection`.
+    """
+    others = [c for c in candidates if c.peer_id != reference.peer_id]
+    selected: List[int] = []
+    for candidate in others:
+        box = HyperRectangle.bounding_box(reference.coordinates, candidate.coordinates)
+        blocked = False
+        for blocker in others:
+            if blocker.peer_id == candidate.peer_id:
+                continue
+            if box.contains(blocker.coordinates):
+                blocked = True
+                break
+        if not blocked:
+            selected.append(candidate.peer_id)
+    return sorted(selected)

@@ -1,0 +1,118 @@
+"""The generic Hyperplanes neighbour selection method.
+
+A peer ``P`` conceptually translates every candidate so that ``P`` becomes
+the origin of the coordinate system.  A fixed set of ``H`` hyperplanes
+through the origin splits space into regions; within every region, ``P``
+keeps the ``K`` candidates closest to the origin (i.e. closest to ``P``)
+according to a configurable distance function.
+
+The three named instances of the paper are provided as subclasses /
+specialisations:
+
+* :class:`~repro.overlay.selection.orthogonal.OrthogonalHyperplanesSelection`
+* :class:`~repro.overlay.selection.sign_vectors.SignCoefficientHyperplanesSelection`
+* :class:`~repro.overlay.selection.k_closest.KClosestSelection` (``H = 0``)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro.geometry.distance import DistanceFunction, get_distance
+from repro.geometry.hyperplane import HyperplaneSet
+from repro.overlay.peer import PeerInfo
+from repro.overlay.selection.base import NeighbourSelectionMethod
+
+__all__ = ["HyperplanesSelection"]
+
+HyperplaneSetFactory = Callable[[int], HyperplaneSet]
+
+
+class HyperplanesSelection(NeighbourSelectionMethod):
+    """Keep the ``K`` closest candidates of every hyperplane region.
+
+    Parameters
+    ----------
+    hyperplane_factory:
+        Builds the :class:`~repro.geometry.hyperplane.HyperplaneSet` for a
+        given dimension.  The factory is invoked lazily (the dimension is only
+        known once peers are seen) and its result cached per dimension.
+    k:
+        Number of neighbours kept per region (the paper's ``K``).
+    distance:
+        Distance function used for the "closest" ranking, either a callable
+        or a name understood by :func:`repro.geometry.distance.get_distance`.
+        Defaults to Euclidean distance.
+    """
+
+    def __init__(
+        self,
+        hyperplane_factory: HyperplaneSetFactory,
+        *,
+        k: int = 1,
+        distance: "DistanceFunction | str" = "l2",
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        self._hyperplane_factory = hyperplane_factory
+        self._k = k
+        self._distance = get_distance(distance) if isinstance(distance, str) else distance
+        self._sets_by_dimension: Dict[int, HyperplaneSet] = {}
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    @property
+    def k(self) -> int:
+        """Number of neighbours kept per region."""
+        return self._k
+
+    @property
+    def distance(self) -> DistanceFunction:
+        """Distance function used for ranking candidates."""
+        return self._distance
+
+    def hyperplane_set(self, dimension: int) -> HyperplaneSet:
+        """The hyperplane set used for ``dimension``-dimensional identifiers."""
+        if dimension not in self._sets_by_dimension:
+            hyperplane_set = self._hyperplane_factory(dimension)
+            if hyperplane_set.dimension != dimension:
+                raise ValueError(
+                    f"hyperplane factory returned a set of dimension "
+                    f"{hyperplane_set.dimension}, expected {dimension}"
+                )
+            self._sets_by_dimension[dimension] = hyperplane_set
+        return self._sets_by_dimension[dimension]
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    def select(
+        self, reference: PeerInfo, candidates: Sequence[PeerInfo]
+    ) -> List[int]:
+        others = self._exclude_reference(reference, candidates)
+        if not others:
+            return []
+        hyperplane_set = self.hyperplane_set(reference.dimension)
+
+        by_region: Dict[tuple, List[PeerInfo]] = {}
+        for candidate in others:
+            signature = hyperplane_set.signature(
+                candidate.coordinates, reference=reference.coordinates
+            )
+            by_region.setdefault(signature, []).append(candidate)
+
+        selected: List[int] = []
+        for signature in sorted(by_region):
+            region_candidates = by_region[signature]
+            region_candidates.sort(
+                key=lambda peer: (
+                    self._distance(reference.coordinates, peer.coordinates),
+                    peer.peer_id,
+                )
+            )
+            selected.extend(peer.peer_id for peer in region_candidates[: self._k])
+        return selected
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(k={self._k})"

@@ -1,0 +1,60 @@
+"""Name-based registry of neighbour selection methods.
+
+Experiments and examples are configured with plain strings ("orthogonal",
+"empty-rectangle", ...); this module maps those names to constructors so that
+configuration files never need to import concrete classes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.overlay.selection.base import NeighbourSelectionMethod
+from repro.overlay.selection.empty_rectangle import EmptyRectangleSelection
+from repro.overlay.selection.k_closest import KClosestSelection
+from repro.overlay.selection.orthogonal import OrthogonalHyperplanesSelection
+from repro.overlay.selection.sign_vectors import SignCoefficientHyperplanesSelection
+
+__all__ = ["available_methods", "make_selection_method"]
+
+_FACTORIES: Dict[str, Callable[..., NeighbourSelectionMethod]] = {
+    "empty-rectangle": lambda **kwargs: EmptyRectangleSelection(),
+    "orthogonal": OrthogonalHyperplanesSelection,
+    "sign-coefficients": SignCoefficientHyperplanesSelection,
+    "k-closest": KClosestSelection,
+}
+
+_ALIASES: Dict[str, str] = {
+    "empty_rectangle": "empty-rectangle",
+    "rectangle": "empty-rectangle",
+    "orthogonal-hyperplanes": "orthogonal",
+    "orthogonal_hyperplanes": "orthogonal",
+    "sign": "sign-coefficients",
+    "sign_coefficients": "sign-coefficients",
+    "h0": "k-closest",
+    "k_closest": "k-closest",
+    "closest": "k-closest",
+}
+
+
+def available_methods() -> List[str]:
+    """Canonical names of all registered neighbour selection methods."""
+    return sorted(_FACTORIES)
+
+
+def make_selection_method(name: str, **kwargs) -> NeighbourSelectionMethod:
+    """Instantiate a neighbour selection method by name.
+
+    ``kwargs`` (typically ``k`` and ``distance``) are forwarded to the
+    method's constructor.  The empty-rectangle method takes no parameters and
+    silently ignores any that are passed, because sweep drivers configure all
+    methods uniformly.
+    """
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    try:
+        factory = _FACTORIES[key]
+    except KeyError:
+        known = ", ".join(available_methods())
+        raise ValueError(f"unknown selection method {name!r}; known: {known}") from None
+    return factory(**kwargs)

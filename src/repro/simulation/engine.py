@@ -1,0 +1,127 @@
+"""A minimal deterministic discrete-event engine.
+
+Events are ``(time, sequence)``-ordered callbacks.  The sequence number makes
+the ordering of simultaneous events deterministic (FIFO in scheduling order),
+which is what makes whole simulations reproducible run over run -- the
+property the paper's multi-threaded framework lacks and the reason this
+substrate replaces it (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+__all__ = ["Event", "SimulationEngine"]
+
+
+@dataclass(order=True, frozen=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering uses ``(time, sequence)`` only; the callback and description are
+    excluded from comparisons.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    description: str = field(compare=False, default="")
+
+
+class SimulationEngine:
+    """Priority-queue driven simulation clock.
+
+    Typical usage::
+
+        engine = SimulationEngine()
+        engine.schedule(1.0, lambda: ...)          # absolute time
+        engine.schedule_after(0.5, lambda: ...)    # relative to "now"
+        engine.run()                               # until the queue drains
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still waiting in the queue."""
+        return len(self._queue)
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self, time: float, callback: Callable[[], None], *, description: str = ""
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulation time ``time``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule an event at {time} before the current time {self._now}"
+            )
+        event = Event(
+            time=time,
+            sequence=next(self._sequence),
+            callback=callback,
+            description=description,
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(
+        self, delay: float, callback: Callable[[], None], *, description: str = ""
+    ) -> Event:
+        """Schedule ``callback`` ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule(self._now + delay, callback, description=description)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> Optional[Event]:
+        """Execute the next event; returns it, or ``None`` if the queue is empty."""
+        if not self._queue:
+            return None
+        event = heapq.heappop(self._queue)
+        self._now = event.time
+        self._processed += 1
+        event.callback()
+        return event
+
+    def run(
+        self, *, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> int:
+        """Run events until the queue drains, ``until`` is reached, or the budget is spent.
+
+        Returns the number of events executed by this call.  ``until`` is an
+        inclusive horizon: events scheduled exactly at ``until`` still run.
+        """
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                break
+            if until is not None and self._queue[0].time > until:
+                self._now = until
+                break
+            self.step()
+            executed += 1
+        return executed

@@ -1,0 +1,397 @@
+"""Peer processes: the distributed protocol, message by message.
+
+A :class:`PeerProcess` is one peer of the paper's system running over the
+simulated network.  It implements, with actual messages:
+
+* **Join**: a joining peer knows the identifier and address of one or more
+  peers already in the system; they become its initial neighbours and seed
+  its knowledge.
+* **Gossip**: periodically, the peer broadcasts an existence announcement
+  that travels ``BR >= 2`` hops through the overlay; received announcements
+  are stored with a ``Tmax`` expiry window and make up the candidate set
+  ``I(P)``.
+* **Neighbour reselection**: periodically, the configured neighbour selection
+  method is applied to ``I(P)`` to refresh the peer's overlay neighbours.
+* **Multicast construction** (Section 2): on receiving a construction request
+  carrying a responsibility zone, the peer applies the space-partitioning
+  decision rule (shared with the offline builder through
+  :func:`repro.multicast.space_partition.select_zone_children`) and forwards
+  the request to the selected children.
+* **Preferred neighbour selection** (Section 3): periodically, the peer picks
+  the overlay neighbour with the largest lifetime exceeding its own.
+
+The offline builders in :mod:`repro.multicast` compute the same outcomes
+directly from topology snapshots; integration tests check that the two agree,
+which is the justification for using the fast offline path in the large
+figure benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.geometry.rectangle import HyperRectangle
+from repro.multicast.space_partition import PickStrategy, select_zone_children
+from repro.multicast.tree import MulticastTree
+from repro.multicast.zones import initial_zone
+from repro.overlay.gossip import AnnouncementStore, ExistenceAnnouncement
+from repro.overlay.peer import PeerInfo
+from repro.overlay.selection.base import NeighbourSelectionMethod
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.network import Message, SimulatedNetwork
+
+__all__ = ["GossipConfig", "TreeRecorder", "PeerProcess"]
+
+ANNOUNCE = "announce"
+CONSTRUCT = "construct"
+LINK_OPEN = "link-open"
+LINK_CLOSE = "link-close"
+
+
+@dataclass(frozen=True)
+class GossipConfig:
+    """Protocol timing parameters.
+
+    Attributes
+    ----------
+    broadcast_radius:
+        ``BR``, the number of overlay hops an existence announcement travels
+        (the paper requires ``BR >= 2``).
+    gossip_period:
+        Seconds between two existence announcements of the same peer.
+    tmax:
+        Retention window of received announcements; must exceed the gossip
+        period, as the paper requires.
+    reselect_period:
+        Seconds between two neighbour reselections of the same peer.
+    """
+
+    broadcast_radius: int = 2
+    gossip_period: float = 1.0
+    tmax: float = 5.0
+    reselect_period: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.broadcast_radius < 2:
+            raise ValueError("the paper requires a broadcast radius BR >= 2")
+        if self.gossip_period <= 0 or self.reselect_period <= 0:
+            raise ValueError("periods must be positive")
+        if self.tmax <= self.gossip_period:
+            raise ValueError("Tmax must be larger than the gossiping period")
+
+
+class TreeRecorder:
+    """Collects the multicast tree as construction messages are delivered.
+
+    The recorder is shared by all peer processes of one construction session;
+    it is bookkeeping for the experimenter (who received what, from whom),
+    not protocol state -- peers never read it.
+    """
+
+    def __init__(self, root: int) -> None:
+        self._root = root
+        self._parents: Dict[int, Optional[int]] = {root: None}
+        self._zones: Dict[int, HyperRectangle] = {}
+        self._duplicates = 0
+
+    @property
+    def root(self) -> int:
+        """The initiating peer."""
+        return self._root
+
+    @property
+    def duplicate_deliveries(self) -> int:
+        """Construction requests delivered to peers that already had one."""
+        return self._duplicates
+
+    def record_zone(self, peer_id: int, zone: HyperRectangle) -> None:
+        """Remember the responsibility zone a peer ended up with."""
+        self._zones.setdefault(peer_id, zone)
+
+    def record_delivery(self, child: int, parent: int) -> bool:
+        """Record a request delivery; returns ``False`` for duplicates."""
+        if child in self._parents:
+            self._duplicates += 1
+            return False
+        self._parents[child] = parent
+        return True
+
+    def reached_peers(self) -> Set[int]:
+        """Peers that have received the construction request so far."""
+        return set(self._parents)
+
+    def zones(self) -> Dict[int, HyperRectangle]:
+        """Responsibility zones recorded so far."""
+        return dict(self._zones)
+
+    def to_tree(self) -> MulticastTree:
+        """The tree formed by the recorded deliveries."""
+        return MulticastTree(self._root, self._parents)
+
+
+class PeerProcess:
+    """One peer of the distributed system, driven by simulation events."""
+
+    def __init__(
+        self,
+        info: PeerInfo,
+        *,
+        engine: SimulationEngine,
+        network: SimulatedNetwork,
+        selection: NeighbourSelectionMethod,
+        config: GossipConfig,
+        pick_strategy: str = PickStrategy.MEDIAN,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self._info = info
+        self._engine = engine
+        self._network = network
+        self._selection = selection
+        self._config = config
+        self._pick_strategy = pick_strategy
+        self._rng = rng if rng is not None else random.Random(info.peer_id)
+
+        self._alive = False
+        self._announcements = AnnouncementStore(window=config.tmax)
+        self._known_addresses: Dict[int, PeerInfo] = {}
+        self._neighbours: Set[int] = set()
+        self._inbound_links: Set[int] = set()
+        self._seen_announcements: Set[Tuple[int, float]] = set()
+        self._preferred_neighbour: Optional[int] = None
+        self._recorder: Optional[TreeRecorder] = None
+        self._received_construction = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def info(self) -> PeerInfo:
+        """Static metadata of this peer."""
+        return self._info
+
+    @property
+    def peer_id(self) -> int:
+        """Identifier handle of this peer."""
+        return self._info.peer_id
+
+    @property
+    def is_alive(self) -> bool:
+        """``True`` between :meth:`join` and :meth:`leave`."""
+        return self._alive
+
+    @property
+    def neighbours(self) -> Set[int]:
+        """Current overlay neighbour ids (directed selection of this peer)."""
+        return set(self._neighbours)
+
+    @property
+    def link_targets(self) -> Set[int]:
+        """Peers this peer exchanges traffic with: selected plus inbound links.
+
+        A peer that selects a neighbour opens a connection to it, so the link
+        is usable in both directions -- this is the undirected overlay
+        topology the paper's messages travel over.  Inbound links are learned
+        through explicit link-open notifications.
+        """
+        return set(self._neighbours) | set(self._inbound_links)
+
+    @property
+    def known_peer_count(self) -> int:
+        """Size of the candidate set ``I(P)`` currently held."""
+        return len(self._known_addresses)
+
+    @property
+    def preferred_neighbour(self) -> Optional[int]:
+        """The Section 3 preferred tree neighbour, if one has been selected."""
+        return self._preferred_neighbour
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def join(self, bootstrap: List[PeerInfo]) -> None:
+        """Enter the system knowing the given bootstrap peers.
+
+        Registers the peer with the network, seeds its knowledge with the
+        bootstrap identifiers/addresses (they become initial neighbours) and
+        schedules its periodic gossip and reselection ticks.  Tick phases are
+        staggered pseudo-randomly per peer so peers do not act in lockstep.
+        """
+        if self._alive:
+            raise RuntimeError(f"peer {self.peer_id} has already joined")
+        self._alive = True
+        self._network.register(self.peer_id, self._on_message)
+        for contact in bootstrap:
+            if contact.peer_id == self.peer_id:
+                continue
+            self._known_addresses[contact.peer_id] = contact
+            self._neighbours.add(contact.peer_id)
+            self._announcements.record(
+                ExistenceAnnouncement(
+                    origin=contact.peer_id,
+                    coordinates=contact.coordinates,
+                    address=contact.address,
+                    issued_at=self._engine.now,
+                    remaining_hops=0,
+                )
+            )
+            self._network.send(self.peer_id, contact.peer_id, LINK_OPEN, None)
+        gossip_offset = self._rng.uniform(0.0, self._config.gossip_period)
+        reselect_offset = self._rng.uniform(0.0, self._config.reselect_period)
+        self._engine.schedule_after(gossip_offset, self._gossip_tick)
+        self._engine.schedule_after(reselect_offset, self._reselect_tick)
+
+    def leave(self) -> None:
+        """Leave the system: stop receiving messages and stop all ticks."""
+        self._alive = False
+        self._network.unregister(self.peer_id)
+
+    # ------------------------------------------------------------------
+    # Multicast construction (Section 2)
+    # ------------------------------------------------------------------
+    def initiate_construction(self, recorder: TreeRecorder) -> None:
+        """Start a multicast tree construction with this peer as the root."""
+        if not self._alive:
+            raise RuntimeError(f"peer {self.peer_id} is not in the system")
+        if recorder.root != self.peer_id:
+            raise ValueError("the recorder must be rooted at the initiating peer")
+        self._recorder = recorder
+        self._received_construction = True
+        zone = initial_zone(self._info.dimension)
+        recorder.record_zone(self.peer_id, zone)
+        self._forward_construction(zone, recorder)
+
+    def attach_recorder(self, recorder: TreeRecorder) -> None:
+        """Attach the session recorder (called by the runner on every peer)."""
+        self._recorder = recorder
+        self._received_construction = False
+
+    # ------------------------------------------------------------------
+    # Periodic behaviour
+    # ------------------------------------------------------------------
+    def _gossip_tick(self) -> None:
+        if not self._alive:
+            return
+        announcement = ExistenceAnnouncement(
+            origin=self.peer_id,
+            coordinates=self._info.coordinates,
+            address=self._info.address,
+            issued_at=self._engine.now,
+            remaining_hops=self._config.broadcast_radius,
+        )
+        for neighbour in sorted(self.link_targets):
+            self._network.send(self.peer_id, neighbour, ANNOUNCE, announcement)
+        self._engine.schedule_after(self._config.gossip_period, self._gossip_tick)
+
+    def _reselect_tick(self) -> None:
+        if not self._alive:
+            return
+        self._reselect_now()
+        self._engine.schedule_after(self._config.reselect_period, self._reselect_tick)
+
+    def _reselect_now(self) -> None:
+        self._announcements.prune(self._engine.now)
+        candidates = []
+        for origin, announcement in self._announcements.known_peers(self._engine.now).items():
+            candidates.append(
+                PeerInfo(
+                    peer_id=origin,
+                    coordinates=announcement.coordinates,
+                    address=announcement.address,
+                )
+            )
+            self._known_addresses[origin] = candidates[-1]
+        previous = set(self._neighbours)
+        self._neighbours = set(self._selection.select(self._info, candidates))
+        for opened in sorted(self._neighbours - previous):
+            self._network.send(self.peer_id, opened, LINK_OPEN, None)
+        for closed in sorted(previous - self._neighbours):
+            self._network.send(self.peer_id, closed, LINK_CLOSE, None)
+        self._update_preferred_neighbour()
+
+    def _update_preferred_neighbour(self) -> None:
+        """Section 3 rule: the longest-lived neighbour that outlives this peer.
+
+        Lifetimes are read from the first coordinate, which is where the
+        Section 3 embedding stores them.
+        """
+        own_lifetime = self._info.coordinates[0]
+        best: Optional[int] = None
+        best_lifetime = own_lifetime
+        for neighbour in self._neighbours:
+            neighbour_info = self._known_addresses.get(neighbour)
+            if neighbour_info is None:
+                continue
+            lifetime = neighbour_info.coordinates[0]
+            if lifetime > best_lifetime:
+                best, best_lifetime = neighbour, lifetime
+        self._preferred_neighbour = best
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def _on_message(self, message: Message) -> None:
+        if not self._alive:
+            return
+        if message.kind == ANNOUNCE:
+            self._on_announce(message)
+        elif message.kind == CONSTRUCT:
+            self._on_construct(message)
+        elif message.kind == LINK_OPEN:
+            self._inbound_links.add(message.sender)
+        elif message.kind == LINK_CLOSE:
+            self._inbound_links.discard(message.sender)
+        else:
+            raise ValueError(f"peer {self.peer_id} received unknown message kind {message.kind!r}")
+
+    def _on_announce(self, message: Message) -> None:
+        announcement: ExistenceAnnouncement = message.payload
+        if announcement.origin == self.peer_id:
+            return
+        key = (announcement.origin, announcement.issued_at)
+        first_sighting = key not in self._seen_announcements
+        self._seen_announcements.add(key)
+        self._announcements.record(announcement)
+        self._known_addresses[announcement.origin] = PeerInfo(
+            peer_id=announcement.origin,
+            coordinates=announcement.coordinates,
+            address=announcement.address,
+        )
+        if first_sighting and announcement.remaining_hops > 1:
+            forwarded = announcement.forwarded()
+            for neighbour in sorted(self.link_targets):
+                if neighbour in (message.sender, announcement.origin):
+                    continue
+                self._network.send(self.peer_id, neighbour, ANNOUNCE, forwarded)
+
+    def _on_construct(self, message: Message) -> None:
+        zone: HyperRectangle = message.payload
+        recorder = self._recorder
+        if recorder is None:
+            raise RuntimeError(
+                f"peer {self.peer_id} received a construction request outside a session"
+            )
+        accepted = recorder.record_delivery(self.peer_id, message.sender)
+        if not accepted or self._received_construction:
+            return
+        self._received_construction = True
+        recorder.record_zone(self.peer_id, zone)
+        self._forward_construction(zone, recorder)
+
+    def _forward_construction(self, zone: HyperRectangle, recorder: TreeRecorder) -> None:
+        neighbours = [
+            self._known_addresses[n]
+            for n in sorted(self.link_targets)
+            if n in self._known_addresses
+        ]
+        children = select_zone_children(
+            self._info,
+            neighbours,
+            zone,
+            pick_strategy=self._pick_strategy,
+            distance="l1",
+            rng=self._rng,
+        )
+        for child_info, child_zone_value in children:
+            self._network.send(self.peer_id, child_info.peer_id, CONSTRUCT, child_zone_value)

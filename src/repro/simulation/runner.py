@@ -1,0 +1,188 @@
+"""High-level simulation runners.
+
+These functions assemble engines, networks and peer processes into the two
+experiment shapes of the paper:
+
+* :func:`run_gossip_overlay` -- peers join one at a time, gossip their
+  existence ``BR`` hops away, and keep reselecting neighbours until the
+  topology settles; the paper's overlay-construction procedure, with real
+  messages.
+* :func:`run_multicast_over_gossip_overlay` -- on top of a settled overlay,
+  one peer initiates a Section 2 multicast tree construction; the number of
+  ``construct`` messages observed on the network is the quantity behind the
+  paper's ``N - 1`` claim.
+
+These runners are deliberately small-scale tools (tests, examples, protocol
+validation).  The figure benchmarks use the offline equilibrium builders,
+which the integration tests show produce the same topologies and trees.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.multicast.space_partition import ConstructionResult, PickStrategy
+from repro.overlay.peer import PeerInfo
+from repro.overlay.selection.base import NeighbourSelectionMethod
+from repro.overlay.topology import TopologySnapshot
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.network import NetworkStats, SimulatedNetwork
+from repro.simulation.protocol import CONSTRUCT, GossipConfig, PeerProcess, TreeRecorder
+
+__all__ = [
+    "GossipSimulationResult",
+    "MulticastSimulationResult",
+    "run_gossip_overlay",
+    "run_multicast_over_gossip_overlay",
+]
+
+
+@dataclass
+class GossipSimulationResult:
+    """Everything produced by a message-level overlay construction run."""
+
+    engine: SimulationEngine
+    network: SimulatedNetwork
+    processes: Dict[int, PeerProcess]
+    overlay_stats: NetworkStats
+
+    def snapshot(self) -> TopologySnapshot:
+        """Topology snapshot of the current (post-settling) neighbour sets."""
+        peers = {peer_id: process.info for peer_id, process in self.processes.items()}
+        directed = {
+            peer_id: frozenset(process.neighbours)
+            for peer_id, process in self.processes.items()
+        }
+        return TopologySnapshot.from_directed(peers, directed)
+
+    def preferred_neighbours(self) -> Dict[int, Optional[int]]:
+        """The Section 3 preferred neighbour currently held by every peer."""
+        return {
+            peer_id: process.preferred_neighbour
+            for peer_id, process in self.processes.items()
+        }
+
+
+@dataclass
+class MulticastSimulationResult:
+    """Outcome of a message-level Section 2 construction session."""
+
+    result: ConstructionResult
+    construction_messages: int
+    network_stats: NetworkStats
+
+
+def run_gossip_overlay(
+    peers: Sequence[PeerInfo],
+    selection: NeighbourSelectionMethod,
+    *,
+    config: Optional[GossipConfig] = None,
+    join_interval: float = 2.0,
+    settle_time: float = 30.0,
+    latency: float = 0.01,
+    seed: int = 0,
+    pick_strategy: str = PickStrategy.MEDIAN,
+) -> GossipSimulationResult:
+    """Build an overlay by letting peers join one at a time and gossip.
+
+    Parameters
+    ----------
+    peers:
+        The population, in join order.
+    selection:
+        Neighbour selection method every peer applies.
+    config:
+        Gossip timing parameters (defaults to :class:`GossipConfig`'s).
+    join_interval:
+        Simulated seconds between consecutive joins; must be large enough for
+        a couple of gossip rounds so the overlay converges between
+        insertions, as in the paper.
+    settle_time:
+        Extra simulated time after the last join before the run stops.
+    latency:
+        One-way message latency.
+    seed:
+        Seed controlling bootstrap choices and per-peer tick phases.
+    """
+    if join_interval <= 0 or settle_time < 0:
+        raise ValueError("join_interval must be positive and settle_time non-negative")
+    gossip_config = config if config is not None else GossipConfig()
+    rng = random.Random(seed)
+    engine = SimulationEngine()
+    network = SimulatedNetwork(engine, latency=latency)
+    processes: Dict[int, PeerProcess] = {}
+
+    joined: List[PeerInfo] = []
+    for index, info in enumerate(peers):
+        process = PeerProcess(
+            info,
+            engine=engine,
+            network=network,
+            selection=selection,
+            config=gossip_config,
+            pick_strategy=pick_strategy,
+            rng=random.Random(rng.randrange(1 << 30)),
+        )
+        processes[info.peer_id] = process
+        bootstrap = [rng.choice(joined)] if joined else []
+        join_time = index * join_interval
+        engine.schedule(
+            join_time,
+            lambda p=process, b=bootstrap: p.join(b),
+            description=f"join {info.peer_id}",
+        )
+        joined.append(info)
+
+    horizon = (len(peers) - 1) * join_interval + settle_time if peers else 0.0
+    engine.run(until=horizon)
+    return GossipSimulationResult(
+        engine=engine,
+        network=network,
+        processes=processes,
+        overlay_stats=network.stats,
+    )
+
+
+def run_multicast_over_gossip_overlay(
+    overlay: GossipSimulationResult,
+    root: int,
+    *,
+    extra_time: float = 30.0,
+) -> MulticastSimulationResult:
+    """Run one Section 2 construction session over a settled gossip overlay.
+
+    The network counters are reset first, so the reported message count is
+    the construction traffic only (gossip keeps running underneath, exactly
+    as it would in the real system, but is counted separately by kind).
+    """
+    if root not in overlay.processes:
+        raise KeyError(f"root {root} is not a peer of the simulated overlay")
+    engine = overlay.engine
+    network = overlay.network
+    network.reset_stats()
+
+    recorder = TreeRecorder(root)
+    for process in overlay.processes.values():
+        process.attach_recorder(recorder)
+    overlay.processes[root].initiate_construction(recorder)
+    engine.run(until=engine.now + extra_time)
+
+    tree = recorder.to_tree()
+    alive_peers: Set[int] = {
+        peer_id for peer_id, process in overlay.processes.items() if process.is_alive
+    }
+    unreached = alive_peers - recorder.reached_peers()
+    construction_result = ConstructionResult(
+        tree=tree,
+        messages_sent=network.stats.count(CONSTRUCT),
+        duplicate_deliveries=recorder.duplicate_deliveries,
+        unreached_peers=unreached,
+        zones=recorder.zones(),
+    )
+    return MulticastSimulationResult(
+        result=construction_result,
+        construction_messages=network.stats.count(CONSTRUCT),
+        network_stats=network.stats,
+    )

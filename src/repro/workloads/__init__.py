@@ -1,0 +1,36 @@
+"""Workload generation: virtual coordinates, lifetimes and churn schedules.
+
+The paper's experiments draw peer coordinates uniformly at random, insert the
+peers one at a time, and (in Section 3) additionally assign every peer a
+departure time ``T(P)`` which becomes its first coordinate.  This package
+generates those workloads reproducibly (explicit seeds everywhere) and offers
+a few extra generators (clustered coordinates, grid coordinates, lease- and
+battery-style lifetimes, churn schedules) used by the examples and ablations.
+"""
+
+from repro.workloads.coordinates import (
+    clustered_coordinates,
+    distinct_uniform_coordinates,
+    grid_coordinates,
+)
+from repro.workloads.lifetimes import (
+    battery_lifetimes,
+    lease_lifetimes,
+    uniform_lifetimes,
+)
+from repro.workloads.churn import ChurnEvent, departure_schedule, poisson_churn_schedule
+from repro.workloads.peers import generate_peers, generate_peers_with_lifetimes
+
+__all__ = [
+    "distinct_uniform_coordinates",
+    "clustered_coordinates",
+    "grid_coordinates",
+    "uniform_lifetimes",
+    "lease_lifetimes",
+    "battery_lifetimes",
+    "ChurnEvent",
+    "departure_schedule",
+    "poisson_churn_schedule",
+    "generate_peers",
+    "generate_peers_with_lifetimes",
+]

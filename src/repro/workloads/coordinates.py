@@ -1,0 +1,177 @@
+"""Virtual coordinate generators.
+
+Every generator returns a list of :class:`~repro.geometry.point.Point` whose
+per-dimension coordinates are pairwise distinct, matching the paper's
+w.l.o.g. assumption.  Distinctness is what makes orthant classification
+unambiguous, so the generators enforce it rather than hoping that floating
+point draws never collide.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.geometry.point import Point
+
+__all__ = [
+    "distinct_uniform_coordinates",
+    "clustered_coordinates",
+    "grid_coordinates",
+    "DEFAULT_VMAX",
+]
+
+DEFAULT_VMAX = 1000.0
+
+
+def _distinct_values(count: int, vmax: float, rng: random.Random) -> List[float]:
+    """Draw ``count`` distinct values from ``(0, vmax)``.
+
+    Uniform draws over floats collide with negligible probability, but the
+    overlay algorithms genuinely require distinctness, so collisions are
+    re-drawn instead of ignored.
+    """
+    values: set = set()
+    while len(values) < count:
+        values.add(rng.uniform(0.0, vmax))
+    result = list(values)
+    rng.shuffle(result)
+    return result
+
+
+def distinct_uniform_coordinates(
+    count: int,
+    dimension: int,
+    *,
+    vmax: float = DEFAULT_VMAX,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> List[Point]:
+    """Uniform random identifiers with distinct per-dimension coordinates.
+
+    This is the workload of every experiment in the paper ("the coordinates
+    of each peer were randomly generated").
+
+    Parameters
+    ----------
+    count:
+        Number of peers ``N``.
+    dimension:
+        Dimension ``D`` of the coordinate space.
+    vmax:
+        Upper bound of every coordinate (the paper's ``VMAX``).
+    seed, rng:
+        Seed for a fresh :class:`random.Random`, or an existing generator.
+        Exactly one of the two may be given; with neither, a fixed default
+        seed of ``0`` is used so results are reproducible by default.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if dimension < 1:
+        raise ValueError("dimension must be at least 1")
+    if vmax <= 0:
+        raise ValueError("vmax must be positive")
+    generator = _resolve_rng(seed, rng)
+    per_dimension = [_distinct_values(count, vmax, generator) for _ in range(dimension)]
+    return [
+        Point(per_dimension[axis][index] for axis in range(dimension))
+        for index in range(count)
+    ]
+
+
+def clustered_coordinates(
+    count: int,
+    dimension: int,
+    *,
+    clusters: int = 4,
+    spread: float = 0.05,
+    vmax: float = DEFAULT_VMAX,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> List[Point]:
+    """Identifiers clustered around a few random centres.
+
+    Clustered identifiers stress the neighbour selection methods (regions
+    become unbalanced) and are used by the ablation benchmarks; the paper
+    itself only evaluates uniform identifiers.
+
+    ``spread`` is the cluster standard deviation as a fraction of ``vmax``.
+    Coordinates are clamped to ``[0, vmax]`` and then nudged to be distinct.
+    """
+    if clusters < 1:
+        raise ValueError("clusters must be at least 1")
+    if spread <= 0:
+        raise ValueError("spread must be positive")
+    generator = _resolve_rng(seed, rng)
+    centres = [
+        [generator.uniform(0.0, vmax) for _ in range(dimension)] for _ in range(clusters)
+    ]
+    raw: List[List[float]] = []
+    for _ in range(count):
+        centre = generator.choice(centres)
+        raw.append(
+            [
+                min(vmax, max(0.0, generator.gauss(c, spread * vmax)))
+                for c in centre
+            ]
+        )
+    return _deduplicate_axes(raw, vmax, generator)
+
+
+def grid_coordinates(
+    side: int,
+    dimension: int,
+    *,
+    vmax: float = DEFAULT_VMAX,
+    jitter: float = 1e-3,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> List[Point]:
+    """Identifiers on a jittered regular grid (``side ** dimension`` peers).
+
+    Exact grids violate the distinct-coordinate assumption (all peers in a
+    grid column share a coordinate), so a small jitter is applied and then
+    per-axis distinctness is enforced.
+    """
+    if side < 1:
+        raise ValueError("side must be at least 1")
+    generator = _resolve_rng(seed, rng)
+    step = vmax / (side + 1)
+    raw: List[List[float]] = []
+
+    def build(prefix: List[float]) -> None:
+        if len(prefix) == dimension:
+            raw.append(list(prefix))
+            return
+        for i in range(1, side + 1):
+            coordinate = i * step + generator.uniform(-jitter, jitter) * step
+            build(prefix + [coordinate])
+
+    build([])
+    return _deduplicate_axes(raw, vmax, generator)
+
+
+def _deduplicate_axes(
+    raw: List[List[float]], vmax: float, rng: random.Random
+) -> List[Point]:
+    """Nudge coordinates until every axis has pairwise-distinct values."""
+    if not raw:
+        return []
+    dimension = len(raw[0])
+    for axis in range(dimension):
+        seen: set = set()
+        for row in raw:
+            value = row[axis]
+            while value in seen:
+                value = min(vmax, max(0.0, value + rng.uniform(-1e-6, 1e-6) * vmax + 1e-12))
+            seen.add(value)
+            row[axis] = value
+    return [Point(row) for row in raw]
+
+
+def _resolve_rng(seed: Optional[int], rng: Optional[random.Random]) -> random.Random:
+    if rng is not None and seed is not None:
+        raise ValueError("pass either seed or rng, not both")
+    if rng is not None:
+        return rng
+    return random.Random(0 if seed is None else seed)

@@ -1,0 +1,105 @@
+"""Lifetime (departure time) generators for the stability experiments.
+
+Section 3 of the paper assumes every peer ``P`` knows the time ``T(P)`` at
+which it will leave the system, and motivates the assumption with two
+scenarios: cloud applications running on leased virtual machines, and sensor
+nodes that know the remaining battery lifetime.  The three generators below
+correspond to the paper's "randomly generated" lifetimes and to those two
+motivating scenarios.
+
+All generators return *distinct* lifetimes, because Section 3 assumes all
+``T(*)`` values are distinct (ties broken by peer-specific properties).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+__all__ = ["uniform_lifetimes", "lease_lifetimes", "battery_lifetimes"]
+
+
+def _resolve_rng(seed: Optional[int], rng: Optional[random.Random]) -> random.Random:
+    if rng is not None and seed is not None:
+        raise ValueError("pass either seed or rng, not both")
+    if rng is not None:
+        return rng
+    return random.Random(0 if seed is None else seed)
+
+
+def _make_distinct(values: List[float], rng: random.Random) -> List[float]:
+    seen: set = set()
+    result = []
+    for value in values:
+        while value in seen:
+            value += rng.uniform(1e-9, 1e-6)
+        seen.add(value)
+        result.append(value)
+    return result
+
+
+def uniform_lifetimes(
+    count: int,
+    *,
+    horizon: float = 1000.0,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> List[float]:
+    """Departure times drawn uniformly from ``(0, horizon)``.
+
+    This matches the paper's experiments ("the T(*) values of the peers ...
+    were randomly generated").
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    generator = _resolve_rng(seed, rng)
+    return _make_distinct([generator.uniform(0.0, horizon) for _ in range(count)], generator)
+
+
+def lease_lifetimes(
+    count: int,
+    *,
+    lease_durations: Optional[List[float]] = None,
+    start_horizon: float = 100.0,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> List[float]:
+    """Cloud-lease departure times: random start plus one of a few fixed lease lengths.
+
+    Models the paper's cloud-computing motivation where nodes are applications
+    on virtual machines leased for fixed periods (e.g. 1h / 6h / 24h leases).
+    """
+    generator = _resolve_rng(seed, rng)
+    durations = lease_durations if lease_durations is not None else [60.0, 360.0, 1440.0]
+    if not durations or any(d <= 0 for d in durations):
+        raise ValueError("lease durations must be positive and non-empty")
+    values = [
+        generator.uniform(0.0, start_horizon) + generator.choice(durations)
+        for _ in range(count)
+    ]
+    return _make_distinct(values, generator)
+
+
+def battery_lifetimes(
+    count: int,
+    *,
+    mean: float = 500.0,
+    spread: float = 0.5,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> List[float]:
+    """Sensor-battery departure times: log-normal-ish remaining lifetimes.
+
+    Models the wireless-sensor-network motivation: most sensors have similar
+    remaining battery, a few are nearly drained, a few last much longer.
+    ``spread`` is the relative standard deviation.
+    """
+    if mean <= 0:
+        raise ValueError("mean must be positive")
+    if spread <= 0:
+        raise ValueError("spread must be positive")
+    generator = _resolve_rng(seed, rng)
+    values = [max(1e-3, generator.lognormvariate(0.0, spread) * mean) for _ in range(count)]
+    return _make_distinct(values, generator)

@@ -1,0 +1,54 @@
+"""Shared fixtures: small, deterministic populations and topologies.
+
+Fixtures are deliberately small (tens of peers) so the full unit-test suite
+runs in seconds; the figure-scale workloads live in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.overlay.network import OverlayNetwork
+from repro.overlay.selection.empty_rectangle import EmptyRectangleSelection
+from repro.overlay.selection.orthogonal import OrthogonalHyperplanesSelection
+from repro.overlay.topology import TopologySnapshot
+from repro.workloads.peers import generate_peers, generate_peers_with_lifetimes
+
+
+@pytest.fixture(scope="session")
+def peers_2d():
+    """40 peers with random 2-D identifiers (Section 2 workload)."""
+    return generate_peers(40, 2, seed=101)
+
+
+@pytest.fixture(scope="session")
+def peers_3d():
+    """30 peers with random 3-D identifiers."""
+    return generate_peers(30, 3, seed=202)
+
+
+@pytest.fixture(scope="session")
+def lifetime_peers_3d():
+    """45 peers whose first coordinate is their lifetime (Section 3 workload)."""
+    return generate_peers_with_lifetimes(45, 3, seed=303)
+
+
+@pytest.fixture(scope="session")
+def topology_2d(peers_2d) -> TopologySnapshot:
+    """Equilibrium empty-rectangle overlay over the 2-D population."""
+    return OverlayNetwork.build_equilibrium(peers_2d, EmptyRectangleSelection()).snapshot()
+
+
+@pytest.fixture(scope="session")
+def topology_3d(peers_3d) -> TopologySnapshot:
+    """Equilibrium empty-rectangle overlay over the 3-D population."""
+    return OverlayNetwork.build_equilibrium(peers_3d, EmptyRectangleSelection()).snapshot()
+
+
+@pytest.fixture(scope="session")
+def lifetime_topology(lifetime_peers_3d) -> TopologySnapshot:
+    """Equilibrium Orthogonal-Hyperplanes overlay over the lifetime population."""
+    overlay = OverlayNetwork.build_equilibrium(
+        lifetime_peers_3d, OrthogonalHyperplanesSelection(k=2)
+    )
+    return overlay.snapshot()

@@ -1,0 +1,139 @@
+"""Tests for the experiment drivers (run at smoke scale)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_baseline_comparison,
+    run_churn_ablation,
+    run_pick_strategy_ablation,
+)
+from repro.experiments.config import SCALES, ExperimentScale, resolve_scale
+from repro.experiments.figure1a import run_figure1a
+from repro.experiments.figure1b import run_figure1b
+from repro.experiments.figure1c import run_figure1c
+from repro.experiments.figure1d_e import run_stability_sweep
+
+
+TINY = ExperimentScale(
+    name="tiny",
+    peer_count=40,
+    scaling_peer_counts=(20, 40),
+    section2_dimensions=(2, 3),
+    section3_dimensions=(2, 3),
+    k_values=(1, 3),
+    root_sample=5,
+)
+
+
+class TestConfig:
+    def test_known_scales(self):
+        assert set(SCALES) == {"smoke", "bench", "paper"}
+        assert SCALES["paper"].peer_count == 1000
+        assert SCALES["paper"].k_values == tuple(range(1, 51))
+        assert SCALES["paper"].root_sample is None
+
+    def test_resolve_scale_by_name_and_env(self, monkeypatch):
+        assert resolve_scale("smoke").name == "smoke"
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert resolve_scale().name == "paper"
+        monkeypatch.delenv("REPRO_SCALE")
+        assert resolve_scale().name == "bench"
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError):
+            resolve_scale("galactic")
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentScale(
+                name="bad",
+                peer_count=1,
+                scaling_peer_counts=(10,),
+                section2_dimensions=(2,),
+                section3_dimensions=(2,),
+                k_values=(1,),
+                root_sample=None,
+            )
+
+
+class TestFigure1a:
+    def test_rows_and_comparison(self):
+        result = run_figure1a(TINY)
+        assert [row.dimension for row in result.rows] == [2, 3]
+        for row in result.rows:
+            assert 0 < row.average_degree <= row.maximum_degree
+            assert row.peer_count == TINY.peer_count
+        comparisons = result.compare_with_paper()
+        assert set(comparisons) == {"maximum_degree", "average_degree"}
+        # Degrees grow with the dimension, as in the paper.
+        assert result.rows[1].average_degree > result.rows[0].average_degree
+        assert "max degree" in result.to_table()
+
+
+class TestFigure1b:
+    def test_invariants_and_series(self):
+        result = run_figure1b(TINY)
+        assert [row.dimension for row in result.rows] == [2, 3]
+        for row in result.rows:
+            assert row.all_sessions_sent_n_minus_1_messages
+            assert row.all_sessions_respected_degree_bound
+            assert 0 < row.average_longest_path <= row.maximum_longest_path
+            assert row.sessions == TINY.root_sample
+        assert "avg longest path" in result.to_table()
+        assert set(result.compare_with_paper()) == {
+            "maximum_longest_path",
+            "average_longest_path",
+        }
+
+
+class TestFigure1c:
+    def test_degree_growth_with_peer_count(self):
+        result = run_figure1c(TINY)
+        assert [row.peer_count for row in result.rows] == [20, 40]
+        assert result.rows[1].maximum_degree >= result.rows[0].maximum_degree
+        comparison = result.compare_with_log_growth()
+        assert comparison.same_direction
+        assert "10*log10(N)" in result.to_table()
+
+
+class TestStabilitySweep:
+    def test_invariants_hold_at_every_point(self):
+        result = run_stability_sweep(TINY)
+        assert len(result.rows) == len(TINY.section3_dimensions) * len(TINY.k_values)
+        assert result.all_invariants_hold()
+        diameters = result.diameter_series()
+        degrees = result.degree_series()
+        assert set(diameters) == set(TINY.section3_dimensions)
+        assert set(degrees) == set(TINY.section3_dimensions)
+        # Larger K never shrinks the overlay, so the tree degree envelope grows.
+        for dimension, series in degrees.items():
+            assert series[-1][1] >= series[0][1]
+        assert "max tree degree" in result.to_table()
+
+
+class TestAblations:
+    def test_baseline_comparison(self):
+        rows, table = run_baseline_comparison(TINY, dimension=2)
+        by_name = {row.strategy: row for row in rows}
+        assert by_name["space-partition"].construction_messages == TINY.peer_count - 1
+        assert by_name["space-partition"].duplicate_deliveries == 0
+        assert by_name["flooding"].construction_messages > TINY.peer_count - 1
+        assert by_name["sequential-unicast"].maximum_tree_degree == TINY.peer_count - 1
+        assert "flooding" in table.to_table()
+
+    def test_pick_strategy_ablation(self):
+        rows, table = run_pick_strategy_ablation(TINY, dimension=2)
+        strategies = {row.strategy for row in rows}
+        assert strategies == {"median", "nearest", "farthest", "random"}
+        assert all(row.maximum_longest_path >= row.average_longest_path for row in rows)
+        assert "median" in table.to_table()
+
+    def test_churn_ablation(self):
+        rows, table = run_churn_ablation(TINY, dimension=2, k=2)
+        by_name = {row.strategy: row for row in rows}
+        assert by_name["stability"].disconnection_events == 0
+        assert by_name["stability"].orphaned_peer_events == 0
+        # Lifetime-oblivious trees disconnect at least once on this workload.
+        others = [row for row in rows if row.strategy != "stability"]
+        assert any(row.disconnection_events > 0 for row in others)
+        assert "stability" in table.to_table()

@@ -1,0 +1,73 @@
+"""Unit tests for repro.geometry.distance."""
+
+import math
+
+import pytest
+
+from repro.geometry.distance import (
+    chebyshev_distance,
+    euclidean_distance,
+    get_distance,
+    manhattan_distance,
+    minkowski_distance,
+)
+
+A = (1.0, 2.0, 3.0)
+B = (4.0, 0.0, 3.0)
+
+
+class TestDistanceValues:
+    def test_manhattan(self):
+        assert manhattan_distance(A, B) == pytest.approx(5.0)
+
+    def test_euclidean(self):
+        assert euclidean_distance(A, B) == pytest.approx(math.sqrt(13.0))
+
+    def test_chebyshev(self):
+        assert chebyshev_distance(A, B) == pytest.approx(3.0)
+
+    def test_minkowski_generalises_the_others(self):
+        assert minkowski_distance(A, B, p=1.0) == pytest.approx(manhattan_distance(A, B))
+        assert minkowski_distance(A, B, p=2.0) == pytest.approx(euclidean_distance(A, B))
+        assert minkowski_distance(A, B, p=float("inf")) == pytest.approx(
+            chebyshev_distance(A, B)
+        )
+
+    def test_distance_to_self_is_zero(self):
+        for fn in (manhattan_distance, euclidean_distance, chebyshev_distance):
+            assert fn(A, A) == 0.0
+
+    def test_symmetry(self):
+        for fn in (manhattan_distance, euclidean_distance, chebyshev_distance):
+            assert fn(A, B) == pytest.approx(fn(B, A))
+
+
+class TestDistanceErrors:
+    def test_dimension_mismatch_raises(self):
+        for fn in (manhattan_distance, euclidean_distance, chebyshev_distance):
+            with pytest.raises(ValueError):
+                fn((1.0, 2.0), (1.0, 2.0, 3.0))
+
+    def test_minkowski_rejects_order_below_one(self):
+        with pytest.raises(ValueError):
+            minkowski_distance(A, B, p=0.5)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("l1", manhattan_distance),
+            ("manhattan", manhattan_distance),
+            ("L2", euclidean_distance),
+            ("Euclidean", euclidean_distance),
+            ("linf", chebyshev_distance),
+            ("chebyshev", chebyshev_distance),
+        ],
+    )
+    def test_lookup_by_name(self, name, expected):
+        assert get_distance(name) is expected
+
+    def test_unknown_name_raises_with_known_names(self):
+        with pytest.raises(ValueError, match="unknown distance"):
+            get_distance("hamming")

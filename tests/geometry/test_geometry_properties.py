@@ -1,0 +1,98 @@
+"""Property-based tests (hypothesis) for the geometric substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.distance import (
+    chebyshev_distance,
+    euclidean_distance,
+    manhattan_distance,
+)
+from repro.geometry.rectangle import HyperRectangle, Interval
+from repro.geometry.regions import all_sign_vectors, orthant_rectangle, orthant_signs
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+def points(dimension: int):
+    return st.tuples(*([finite] * dimension))
+
+
+# ---------------------------------------------------------------------------
+# Distance functions
+# ---------------------------------------------------------------------------
+@given(points(3), points(3))
+def test_distance_symmetry_and_nonnegativity(a, b):
+    for fn in (manhattan_distance, euclidean_distance, chebyshev_distance):
+        assert fn(a, b) >= 0.0
+        assert abs(fn(a, b) - fn(b, a)) <= 1e-9 * max(1.0, abs(fn(a, b)))
+
+
+@given(points(3), points(3), points(3))
+def test_triangle_inequality(a, b, c):
+    for fn in (manhattan_distance, euclidean_distance, chebyshev_distance):
+        assert fn(a, c) <= fn(a, b) + fn(b, c) + 1e-6
+
+
+@given(points(4), points(4))
+def test_norm_ordering(a, b):
+    """L-infinity <= L2 <= L1 for any pair of points."""
+    linf = chebyshev_distance(a, b)
+    l2 = euclidean_distance(a, b)
+    l1 = manhattan_distance(a, b)
+    assert linf <= l2 + 1e-9
+    assert l2 <= l1 + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Intervals and rectangles
+# ---------------------------------------------------------------------------
+@given(finite, finite, finite, finite, finite)
+def test_interval_intersection_membership(lo1, hi1, lo2, hi2, probe):
+    a = Interval.closed(min(lo1, hi1), max(lo1, hi1))
+    b = Interval.closed(min(lo2, hi2), max(lo2, hi2))
+    intersection = a.intersect(b)
+    assert intersection.contains(probe) == (a.contains(probe) and b.contains(probe))
+
+
+@given(points(2), points(2), points(2))
+def test_bounding_box_contains_both_corners_and_box_membership_is_componentwise(a, b, probe):
+    box = HyperRectangle.bounding_box(a, b)
+    assert box.contains(a)
+    assert box.contains(b)
+    expected = all(
+        min(x, y) <= z <= max(x, y) for x, y, z in zip(a, b, probe)
+    )
+    assert box.contains(probe) == expected
+
+
+@given(points(3), points(3))
+def test_rectangle_intersection_membership(a, b):
+    box_a = HyperRectangle.bounding_box((0.0, 0.0, 0.0), a)
+    box_b = HyperRectangle.bounding_box((1.0, 1.0, 1.0), b)
+    intersection = box_a.intersect(box_b)
+    probe = tuple((x + y) / 2.0 for x, y in zip(a, b))
+    assert intersection.contains(probe) == (
+        box_a.contains(probe) and box_b.contains(probe)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Orthant regions
+# ---------------------------------------------------------------------------
+@given(points(3), points(3))
+def test_orthant_rectangle_contains_the_point_that_defined_it(reference, point)  :
+    signs = orthant_signs(reference, point)
+    rect = orthant_rectangle(reference, signs)
+    if all(p != r for p, r in zip(point, reference)):
+        assert rect.contains(point)
+    assert not rect.contains(reference)
+
+
+@given(points(2))
+@settings(max_examples=50)
+def test_orthant_rectangles_partition_space_around_reference(reference):
+    rects = [orthant_rectangle(reference, signs) for signs in all_sign_vectors(2)]
+    for i, a in enumerate(rects):
+        for b in rects[i + 1 :]:
+            assert a.is_disjoint_from(b)

@@ -1,0 +1,108 @@
+"""Unit tests for repro.geometry.hyperplane."""
+
+import pytest
+
+from repro.geometry.hyperplane import Hyperplane, HyperplaneSet
+
+
+class TestHyperplane:
+    def test_evaluate_and_side(self):
+        plane = Hyperplane((1.0, -1.0))
+        assert plane.evaluate((3.0, 1.0)) == pytest.approx(2.0)
+        assert plane.side((3.0, 1.0)) == 1
+        assert plane.side((1.0, 3.0)) == -1
+        assert plane.side((2.0, 2.0)) == 0
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(ValueError):
+            Hyperplane((0.0, 0.0))
+
+    def test_empty_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            Hyperplane(())
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            Hyperplane((1.0, 2.0)).evaluate((1.0, 2.0, 3.0))
+
+    def test_equality_and_hash(self):
+        assert Hyperplane((1.0, 0.0)) == Hyperplane((1, 0))
+        assert hash(Hyperplane((1.0, 0.0))) == hash(Hyperplane((1, 0)))
+
+
+class TestOrthogonalSet:
+    def test_has_one_plane_per_axis(self):
+        planes = HyperplaneSet.orthogonal(3)
+        assert len(planes) == 3
+        assert planes.dimension == 3
+        coefficients = {plane.coefficients for plane in planes.hyperplanes}
+        assert coefficients == {(1.0, 0.0, 0.0), (0.0, 1.0, 0.0), (0.0, 0.0, 1.0)}
+
+    def test_signature_is_the_orthant_sign_vector(self):
+        planes = HyperplaneSet.orthogonal(2)
+        assert planes.signature((3.0, -4.0)) == (1, -1)
+        assert planes.signature((-1.0, 5.0)) == (-1, 1)
+
+    def test_signature_relative_to_reference(self):
+        planes = HyperplaneSet.orthogonal(2)
+        assert planes.signature((5.0, 5.0), reference=(10.0, 0.0)) == (-1, 1)
+
+    def test_orthogonal_yields_two_power_d_regions_for_generic_points(self):
+        planes = HyperplaneSet.orthogonal(2)
+        points = [(1.0, 1.0), (-1.0, 1.0), (1.0, -1.0), (-1.0, -1.0)]
+        signatures = {planes.signature(p) for p in points}
+        assert len(signatures) == 4
+
+
+class TestSignCoefficientSet:
+    def test_number_of_planes_is_half_of_nonzero_sign_vectors(self):
+        for dimension in (1, 2, 3):
+            planes = HyperplaneSet.sign_coefficients(dimension)
+            assert len(planes) == (3**dimension - 1) // 2
+
+    def test_no_two_planes_are_negations(self):
+        planes = HyperplaneSet.sign_coefficients(3)
+        seen = set()
+        for plane in planes.hyperplanes:
+            negated = tuple(-c for c in plane.coefficients)
+            assert negated not in seen
+            seen.add(plane.coefficients)
+
+    def test_refines_orthogonal_regions(self):
+        orthogonal = HyperplaneSet.orthogonal(2)
+        sign = HyperplaneSet.sign_coefficients(2)
+        # Two points in the same orthant but separated by the diagonal plane.
+        a, b = (3.0, 1.0), (1.0, 3.0)
+        assert orthogonal.signature(a) == orthogonal.signature(b)
+        assert sign.signature(a) != sign.signature(b)
+
+
+class TestEmptySet:
+    def test_single_region(self):
+        planes = HyperplaneSet.empty(4)
+        assert len(planes) == 0
+        assert planes.signature((1.0, -2.0, 3.0, -4.0)) == ()
+
+    def test_group_by_region_collapses_everything(self):
+        planes = HyperplaneSet.empty(2)
+        groups = planes.group_by_region([(1.0, 2.0), (-3.0, 4.0), (5.0, -6.0)])
+        assert list(groups.keys()) == [()]
+        assert groups[()] == [0, 1, 2]
+
+
+class TestHyperplaneSetValidation:
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            HyperplaneSet([Hyperplane((1.0, 0.0))], dimension=3)
+
+    def test_group_by_region(self):
+        planes = HyperplaneSet.orthogonal(2)
+        points = [(1.0, 1.0), (2.0, 3.0), (-1.0, 1.0)]
+        groups = planes.group_by_region(points)
+        assert groups[(1, 1)] == [0, 1]
+        assert groups[(-1, 1)] == [2]
+
+    def test_signature_dimension_check(self):
+        planes = HyperplaneSet.orthogonal(2)
+        with pytest.raises(ValueError):
+            planes.signature((1.0, 2.0, 3.0))

@@ -1,0 +1,93 @@
+"""Unit tests for repro.geometry.point."""
+
+import math
+
+import pytest
+
+from repro.geometry.point import Point, as_point, validate_coordinates
+
+
+class TestPointConstruction:
+    def test_coordinates_are_stored_as_floats(self):
+        point = Point((1, 2, 3))
+        assert tuple(point) == (1.0, 2.0, 3.0)
+        assert all(isinstance(value, float) for value in point)
+
+    def test_dimension(self):
+        assert Point((1.0,)).dimension == 1
+        assert Point(range(5)).dimension == 5
+
+    def test_empty_point_rejected(self):
+        with pytest.raises(ValueError):
+            Point(())
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            Point((1.0, float("nan")))
+
+    def test_points_are_hashable_and_comparable_like_tuples(self):
+        a = Point((1.0, 2.0))
+        b = Point((1.0, 2.0))
+        c = Point((2.0, 1.0))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert a < c  # tuple ordering
+
+    def test_point_accepts_generator(self):
+        point = Point(x * 2 for x in range(3))
+        assert tuple(point) == (0.0, 2.0, 4.0)
+
+
+class TestPointOperations:
+    def test_translate(self):
+        point = Point((1.0, 2.0)).translate((3.0, -1.0))
+        assert tuple(point) == (4.0, 1.0)
+
+    def test_translate_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            Point((1.0, 2.0)).translate((1.0,))
+
+    def test_relative_to(self):
+        point = Point((5.0, 7.0)).relative_to((2.0, 10.0))
+        assert tuple(point) == (3.0, -3.0)
+
+    def test_relative_to_self_is_origin(self):
+        point = Point((4.0, 4.0))
+        assert tuple(point.relative_to(point)) == (0.0, 0.0)
+
+    def test_relative_to_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            Point((1.0, 2.0)).relative_to((1.0, 2.0, 3.0))
+
+
+class TestAsPoint:
+    def test_existing_point_returned_unchanged(self):
+        point = Point((1.0, 2.0))
+        assert as_point(point) is point
+
+    def test_sequences_are_converted(self):
+        assert as_point([1, 2]) == Point((1.0, 2.0))
+        assert as_point((3.5, 4.5)) == Point((3.5, 4.5))
+
+
+class TestValidateCoordinates:
+    def test_accepts_in_range_identifier(self):
+        point = validate_coordinates((10.0, 20.0), dimension=2, minimum=0.0, maximum=100.0)
+        assert point == Point((10.0, 20.0))
+
+    def test_rejects_wrong_dimension(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            validate_coordinates((1.0, 2.0, 3.0), dimension=2)
+
+    def test_rejects_out_of_range_coordinate(self):
+        with pytest.raises(ValueError, match="outside"):
+            validate_coordinates((1.0, 200.0), dimension=2, maximum=100.0)
+
+    def test_boundary_values_are_accepted(self):
+        point = validate_coordinates((0.0, 100.0), dimension=2, maximum=100.0)
+        assert tuple(point) == (0.0, 100.0)
+
+    def test_default_upper_bound_is_infinite(self):
+        point = validate_coordinates((math.pi * 1e9, 2.0), dimension=2)
+        assert point.dimension == 2

@@ -1,0 +1,149 @@
+"""Unit tests for repro.geometry.rectangle."""
+
+import math
+
+import pytest
+
+from repro.geometry.rectangle import HyperRectangle, Interval
+
+
+class TestIntervalConstruction:
+    def test_closed_contains_endpoints(self):
+        interval = Interval.closed(1.0, 2.0)
+        assert interval.contains(1.0)
+        assert interval.contains(2.0)
+        assert interval.contains(1.5)
+
+    def test_open_excludes_endpoints(self):
+        interval = Interval.open(1.0, 2.0)
+        assert not interval.contains(1.0)
+        assert not interval.contains(2.0)
+        assert interval.contains(1.5)
+
+    def test_unbounded_contains_everything_finite(self):
+        interval = Interval.unbounded()
+        assert interval.contains(-1e18)
+        assert interval.contains(0.0)
+        assert interval.contains(1e18)
+        assert not interval.contains(math.inf)
+
+    def test_less_than_and_greater_than(self):
+        below = Interval.less_than(5.0)
+        above = Interval.greater_than(5.0)
+        assert below.contains(4.999) and not below.contains(5.0)
+        assert above.contains(5.001) and not above.contains(5.0)
+
+    def test_nan_endpoint_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(float("nan"), 1.0)
+
+
+class TestIntervalPredicates:
+    def test_emptiness(self):
+        assert Interval(2.0, 1.0).is_empty()
+        assert Interval.open(1.0, 1.0).is_empty()
+        assert not Interval.closed(1.0, 1.0).is_empty()
+        assert not Interval.closed(1.0, 2.0).is_empty()
+
+    def test_degenerate_closed_interval_contains_its_point(self):
+        interval = Interval.closed(3.0, 3.0)
+        assert interval.contains(3.0)
+        assert interval.length() == 0.0
+
+    def test_length(self):
+        assert Interval.closed(1.0, 4.0).length() == 3.0
+        assert Interval(2.0, 1.0).length() == 0.0
+        assert Interval.unbounded().length() == math.inf
+
+    def test_is_bounded(self):
+        assert Interval.closed(0.0, 1.0).is_bounded()
+        assert not Interval.less_than(1.0).is_bounded()
+
+
+class TestIntervalIntersection:
+    def test_overlapping_intervals(self):
+        result = Interval.closed(0.0, 5.0).intersect(Interval.closed(3.0, 8.0))
+        assert (result.lower, result.upper) == (3.0, 5.0)
+        assert not result.is_empty()
+
+    def test_disjoint_intervals_give_empty_result(self):
+        result = Interval.closed(0.0, 1.0).intersect(Interval.closed(2.0, 3.0))
+        assert result.is_empty()
+
+    def test_openness_is_preserved_at_shared_endpoint(self):
+        closed = Interval.closed(0.0, 5.0)
+        open_at_five = Interval.open(5.0, 10.0)
+        assert closed.intersect(open_at_five).is_empty()
+
+    def test_open_flag_wins_on_equal_endpoints(self):
+        a = Interval(0.0, 5.0, upper_open=True)
+        b = Interval(0.0, 5.0, upper_open=False)
+        result = a.intersect(b)
+        assert result.upper_open is True
+
+    def test_overlaps(self):
+        assert Interval.closed(0.0, 2.0).overlaps(Interval.closed(1.0, 3.0))
+        assert not Interval.open(0.0, 1.0).overlaps(Interval.open(1.0, 2.0))
+
+
+class TestHyperRectangle:
+    def test_whole_space_contains_any_point(self):
+        space = HyperRectangle.whole_space(3)
+        assert space.contains((0.0, 0.0, 0.0))
+        assert space.contains((1e12, -1e12, 42.0))
+        assert not space.is_bounded()
+
+    def test_bounding_box_orders_corners(self):
+        box = HyperRectangle.bounding_box((5.0, 1.0), (2.0, 4.0))
+        assert box.contains((3.0, 2.0))
+        assert box.contains((5.0, 1.0))
+        assert box.contains((2.0, 4.0))
+        assert not box.contains((6.0, 2.0))
+
+    def test_from_bounds(self):
+        rect = HyperRectangle.from_bounds((0.0, 0.0), (1.0, 2.0))
+        assert rect.contains((0.5, 1.0))
+        assert rect.volume() == pytest.approx(2.0)
+
+    def test_from_bounds_length_mismatch(self):
+        with pytest.raises(ValueError):
+            HyperRectangle.from_bounds((0.0,), (1.0, 2.0))
+
+    def test_dimension_checks(self):
+        rect = HyperRectangle.whole_space(2)
+        with pytest.raises(ValueError):
+            rect.contains((1.0, 2.0, 3.0))
+        with pytest.raises(ValueError):
+            rect.intersect(HyperRectangle.whole_space(3))
+
+    def test_intersection_and_disjointness(self):
+        left = HyperRectangle.from_bounds((0.0, 0.0), (2.0, 2.0))
+        right = HyperRectangle.from_bounds((1.0, 1.0), (3.0, 3.0))
+        far = HyperRectangle.from_bounds((5.0, 5.0), (6.0, 6.0))
+        assert left.overlaps(right)
+        assert left.intersect(right).contains((1.5, 1.5))
+        assert left.is_disjoint_from(far)
+        assert left.intersect(far).is_empty()
+
+    def test_empty_rectangle_contains_nothing(self):
+        empty = HyperRectangle([Interval(2.0, 1.0), Interval.closed(0.0, 1.0)])
+        assert empty.is_empty()
+        assert not empty.contains((1.5, 0.5))
+        assert empty.volume() == 0.0
+
+    def test_equality_and_hash(self):
+        a = HyperRectangle.from_bounds((0.0,), (1.0,))
+        b = HyperRectangle.from_bounds((0.0,), (1.0,))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_requires_at_least_one_dimension(self):
+        with pytest.raises(ValueError):
+            HyperRectangle(())
+        with pytest.raises(ValueError):
+            HyperRectangle.whole_space(0)
+
+    def test_strictly_contains_any(self):
+        rect = HyperRectangle.from_bounds((0.0, 0.0), (1.0, 1.0))
+        assert rect.strictly_contains_any([(2.0, 2.0), (0.5, 0.5)])
+        assert not rect.strictly_contains_any([(2.0, 2.0), (3.0, 3.0)])

@@ -1,0 +1,91 @@
+"""Unit tests for repro.geometry.regions."""
+
+import pytest
+
+from repro.geometry.regions import (
+    all_sign_vectors,
+    group_by_orthant,
+    orthant_rectangle,
+    orthant_signs,
+)
+
+
+class TestOrthantSigns:
+    def test_basic_classification(self):
+        assert orthant_signs((0.0, 0.0), (1.0, -1.0)) == (1, -1)
+        assert orthant_signs((5.0, 5.0), (1.0, 9.0)) == (-1, 1)
+
+    def test_tie_break_default_is_positive(self):
+        assert orthant_signs((1.0, 1.0), (1.0, 2.0)) == (1, 1)
+
+    def test_tie_break_can_be_negative(self):
+        assert orthant_signs((1.0, 1.0), (1.0, 2.0), zero_sign=-1) == (-1, 1)
+
+    def test_invalid_tie_break_rejected(self):
+        with pytest.raises(ValueError):
+            orthant_signs((0.0,), (1.0,), zero_sign=0)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            orthant_signs((0.0, 0.0), (1.0,))
+
+
+class TestOrthantRectangle:
+    def test_rectangle_matches_signs(self):
+        rect = orthant_rectangle((2.0, 3.0), (1, -1))
+        assert rect.contains((5.0, 1.0))
+        assert not rect.contains((1.0, 1.0))  # wrong side on axis 0
+        assert not rect.contains((5.0, 4.0))  # wrong side on axis 1
+
+    def test_reference_point_is_excluded(self):
+        reference = (2.0, 3.0)
+        for signs in all_sign_vectors(2):
+            assert not orthant_rectangle(reference, signs).contains(reference)
+
+    def test_distinct_orthants_are_disjoint(self):
+        reference = (0.0, 0.0)
+        rects = [orthant_rectangle(reference, signs) for signs in all_sign_vectors(2)]
+        for i, a in enumerate(rects):
+            for b in rects[i + 1 :]:
+                assert a.is_disjoint_from(b)
+
+    def test_zero_sign_rejected(self):
+        with pytest.raises(ValueError):
+            orthant_rectangle((0.0, 0.0), (1, 0))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            orthant_rectangle((0.0, 0.0), (1,))
+
+
+class TestAllSignVectors:
+    def test_counts(self):
+        assert len(all_sign_vectors(1)) == 2
+        assert len(all_sign_vectors(3)) == 8
+        assert len(set(all_sign_vectors(4))) == 16
+
+    def test_entries_are_signs(self):
+        for vector in all_sign_vectors(3):
+            assert set(vector) <= {-1, 1}
+
+    def test_dimension_must_be_positive(self):
+        with pytest.raises(ValueError):
+            all_sign_vectors(0)
+
+
+class TestGroupByOrthant:
+    def test_groups_cover_all_points(self):
+        reference = (0.0, 0.0)
+        points = [(1.0, 1.0), (-2.0, 3.0), (4.0, -4.0), (2.0, 2.0)]
+        groups = group_by_orthant(reference, points)
+        assert sorted(index for members in groups.values() for index in members) == [0, 1, 2, 3]
+        assert groups[(1, 1)] == [0, 3]
+
+    def test_every_point_lies_in_its_group_rectangle(self):
+        reference = (10.0, 20.0, 30.0)
+        points = [(11.0, 19.0, 35.0), (5.0, 25.0, 29.0), (12.0, 22.0, 31.0)]
+        groups = group_by_orthant(reference, points)
+        for signs, members in groups.items():
+            rect = orthant_rectangle(reference, signs)
+            for index in members:
+                assert rect.contains(points[index])

@@ -1,0 +1,136 @@
+"""Unit tests for the metrics and reporting helpers."""
+
+import math
+
+import pytest
+
+from repro.metrics.degree import degree_statistics
+from repro.metrics.paths import longest_root_to_leaf_path, path_statistics, tree_diameter
+from repro.metrics.reporting import compare_series, format_table, summarize_distribution
+from repro.metrics.trees import tree_metrics
+from repro.multicast.tree import MulticastTree
+
+
+@pytest.fixture()
+def small_tree():
+    return MulticastTree(0, {0: None, 1: 0, 2: 0, 3: 1, 4: 3})
+
+
+class TestDegreeStatistics:
+    def test_from_adjacency_mapping(self):
+        stats = degree_statistics({0: [1, 2], 1: [0], 2: [0], 3: []})
+        assert stats.peer_count == 4
+        assert stats.maximum == 2
+        assert stats.minimum == 0
+        assert stats.average == pytest.approx(1.0)
+        assert stats.median == pytest.approx(1.0)
+
+    def test_from_snapshot(self, topology_2d):
+        stats = degree_statistics(topology_2d)
+        assert stats.peer_count == topology_2d.peer_count
+        assert stats.maximum == topology_2d.maximum_degree()
+        assert stats.average == pytest.approx(topology_2d.average_degree())
+
+    def test_empty(self):
+        stats = degree_statistics({})
+        assert stats.peer_count == 0
+        assert stats.maximum == 0
+
+    def test_even_count_median(self):
+        stats = degree_statistics({0: [], 1: [0], 2: [0, 1], 3: [0, 1, 2]})
+        assert stats.median == pytest.approx(1.5)
+
+    def test_as_dict(self):
+        stats = degree_statistics({0: [1], 1: [0]})
+        assert stats.as_dict()["max_degree"] == 1
+
+
+class TestPathStatistics:
+    def test_per_tree_metrics(self, small_tree):
+        assert longest_root_to_leaf_path(small_tree) == 3
+        assert tree_diameter(small_tree) == 4
+
+    def test_aggregate_over_sessions(self, small_tree):
+        chain = MulticastTree(0, {0: None, 1: 0, 2: 1})
+        stats = path_statistics([small_tree, chain])
+        assert stats.session_count == 2
+        assert stats.maximum == 3
+        assert stats.minimum == 2
+        assert stats.average == pytest.approx(2.5)
+
+    def test_empty_aggregate(self):
+        stats = path_statistics([])
+        assert stats.session_count == 0
+        assert stats.maximum == 0
+        assert stats.as_dict()["sessions"] == 0
+
+
+class TestTreeMetrics:
+    def test_bundle(self, small_tree):
+        metrics = tree_metrics(small_tree)
+        assert metrics.size == 5
+        assert metrics.height == 3
+        assert metrics.diameter == 4
+        assert metrics.maximum_degree == 2
+        assert metrics.leaf_count == 2
+        assert metrics.dissemination_messages == 4
+        assert metrics.as_dict()["size"] == 5
+
+
+class TestFormatTable:
+    def test_alignment_and_float_formatting(self):
+        table = format_table(["name", "value"], [["a", 1.23456], ["bb", 7]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.23" in table
+        assert "7" in table
+        assert len(lines) == 4  # header, rule, two rows
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestSummarizeDistribution:
+    def test_summary_values(self):
+        summary = summarize_distribution([4.0, 1.0, 3.0, 2.0])
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["median"] == pytest.approx(2.5)
+
+    def test_empty(self):
+        assert summarize_distribution([])["count"] == 0
+
+
+class TestCompareSeries:
+    def test_identical_series(self):
+        comparison = compare_series([2, 3, 4], [1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        assert comparison.rank_correlation == pytest.approx(1.0)
+        assert comparison.same_direction
+        assert comparison.ratios == (1.0, 1.0, 1.0)
+
+    def test_scaled_series_keep_perfect_rank_correlation(self):
+        comparison = compare_series([2, 3, 4, 5], [1.0, 2.0, 4.0, 8.0], [10.0, 20.0, 40.0, 80.0])
+        assert comparison.rank_correlation == pytest.approx(1.0)
+        assert all(r == pytest.approx(0.1) for r in comparison.ratios)
+
+    def test_opposite_trends_are_detected(self):
+        comparison = compare_series([1, 2, 3], [1.0, 2.0, 3.0], [3.0, 2.0, 1.0])
+        assert comparison.rank_correlation == pytest.approx(-1.0)
+        assert not comparison.same_direction
+
+    def test_zero_reference_gives_nan_ratio(self):
+        comparison = compare_series([1], [2.0], [0.0])
+        assert math.isnan(comparison.ratios[0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            compare_series([1, 2], [1.0], [1.0, 2.0])
+
+    def test_as_rows(self):
+        comparison = compare_series([1, 2], [1.0, 2.0], [2.0, 4.0])
+        rows = comparison.as_rows()
+        assert rows[0][0] == 1
+        assert rows[0][1] == 1.0
+        assert rows[0][2] == 2.0

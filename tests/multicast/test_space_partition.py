@@ -1,0 +1,215 @@
+"""Unit and integration tests for the Section 2 construction."""
+
+import random
+
+import pytest
+
+from repro.geometry.rectangle import HyperRectangle
+from repro.multicast.space_partition import (
+    PickStrategy,
+    SpacePartitionTreeBuilder,
+    build_space_partition_tree,
+    select_zone_children,
+)
+from repro.multicast.zones import initial_zone, zones_are_disjoint
+from repro.overlay.network import OverlayNetwork
+from repro.overlay.peer import make_peer
+from repro.overlay.selection.empty_rectangle import EmptyRectangleSelection
+from repro.workloads.peers import generate_peers
+
+
+class TestSelectZoneChildren:
+    def test_one_child_per_occupied_region(self):
+        reference = make_peer(0, (0.0, 0.0))
+        neighbours = [
+            make_peer(1, (1.0, 1.0)),
+            make_peer(2, (2.0, 3.0)),
+            make_peer(3, (-1.0, -2.0)),
+        ]
+        children = select_zone_children(reference, neighbours, initial_zone(2))
+        assert len(children) == 2  # (+,+) region and (-,-) region
+        chosen_ids = {info.peer_id for info, _ in children}
+        assert 3 in chosen_ids
+        assert chosen_ids & {1, 2}
+
+    def test_median_pick_matches_paper_rule(self):
+        reference = make_peer(0, (0.0, 0.0))
+        # All in the same quadrant with L1 distances 2, 4, 6.
+        neighbours = [
+            make_peer(1, (1.0, 1.0)),
+            make_peer(2, (2.0, 2.0)),
+            make_peer(3, (3.0, 3.0)),
+        ]
+        children = select_zone_children(reference, neighbours, initial_zone(2))
+        assert [info.peer_id for info, _ in children] == [2]
+
+    def test_nearest_and_farthest_strategies(self):
+        reference = make_peer(0, (0.0, 0.0))
+        neighbours = [make_peer(i, (float(i), float(i))) for i in range(1, 4)]
+        nearest = select_zone_children(
+            reference, neighbours, initial_zone(2), pick_strategy=PickStrategy.NEAREST
+        )
+        farthest = select_zone_children(
+            reference, neighbours, initial_zone(2), pick_strategy=PickStrategy.FARTHEST
+        )
+        assert [info.peer_id for info, _ in nearest] == [1]
+        assert [info.peer_id for info, _ in farthest] == [3]
+
+    def test_random_strategy_is_seed_deterministic(self):
+        reference = make_peer(0, (0.0, 0.0))
+        neighbours = [make_peer(i, (float(i), float(i))) for i in range(1, 6)]
+        first = select_zone_children(
+            reference,
+            neighbours,
+            initial_zone(2),
+            pick_strategy=PickStrategy.RANDOM,
+            rng=random.Random(3),
+        )
+        second = select_zone_children(
+            reference,
+            neighbours,
+            initial_zone(2),
+            pick_strategy=PickStrategy.RANDOM,
+            rng=random.Random(3),
+        )
+        assert [i.peer_id for i, _ in first] == [i.peer_id for i, _ in second]
+
+    def test_neighbours_outside_the_zone_are_ignored(self):
+        reference = make_peer(0, (5.0, 5.0))
+        inside = make_peer(1, (6.0, 6.0))
+        outside = make_peer(2, (100.0, 100.0))
+        zone = HyperRectangle.from_bounds((0.0, 0.0), (10.0, 10.0))
+        children = select_zone_children(reference, [inside, outside], zone)
+        assert [info.peer_id for info, _ in children] == [1]
+
+    def test_child_zones_are_disjoint_and_exclude_reference(self):
+        reference = make_peer(0, (0.0, 0.0))
+        neighbours = [
+            make_peer(1, (1.0, 1.0)),
+            make_peer(2, (-1.0, 2.0)),
+            make_peer(3, (2.0, -3.0)),
+            make_peer(4, (-2.0, -2.0)),
+        ]
+        children = select_zone_children(reference, neighbours, initial_zone(2))
+        zones = [zone for _, zone in children]
+        assert zones_are_disjoint(zones)
+        for _, zone in children:
+            assert not zone.contains(reference.coordinates)
+        for info, zone in children:
+            assert zone.contains(info.coordinates)
+
+    def test_unknown_strategy_rejected(self):
+        reference = make_peer(0, (0.0, 0.0))
+        with pytest.raises(ValueError):
+            select_zone_children(reference, [], initial_zone(2), pick_strategy="best")
+
+
+class TestBuilderOnEquilibriumOverlays:
+    @pytest.mark.parametrize("dimension", [2, 3, 4])
+    def test_paper_invariants_hold(self, dimension):
+        """N-1 messages, no duplicates, full coverage, 2^D children bound."""
+        peers = generate_peers(70, dimension, seed=dimension * 11)
+        topology = OverlayNetwork.build_equilibrium(peers, EmptyRectangleSelection()).snapshot()
+        builder = SpacePartitionTreeBuilder()
+        for root in [p.peer_id for p in peers[:8]]:
+            result = builder.build(topology, root)
+            assert result.messages_sent == len(peers) - 1
+            assert result.duplicate_deliveries == 0
+            assert result.delivered_everywhere
+            assert result.reached_count == len(peers)
+            assert result.tree.root == root
+            bound = 2**dimension
+            assert all(
+                len(result.tree.children(node)) <= bound for node in result.tree.nodes()
+            )
+            assert all(fanout <= bound for fanout in result.region_fanout.values())
+
+    def test_zone_bookkeeping(self, topology_2d):
+        result = SpacePartitionTreeBuilder().build(topology_2d, root=0)
+        assert set(result.zones) == set(result.tree.nodes())
+        for node in result.tree.nodes():
+            assert result.zones[node].contains(topology_2d.peers[node].coordinates)
+        # A child's zone is always contained in its parent's zone.
+        for node in result.tree.nodes():
+            parent = result.tree.parent(node)
+            if parent is None:
+                continue
+            child_rect = result.zones[node]
+            parent_rect = result.zones[parent]
+            assert child_rect.intersect(parent_rect) == child_rect
+
+    def test_longest_path_metric_matches_tree_height(self, topology_2d):
+        result = SpacePartitionTreeBuilder().build(topology_2d, root=0)
+        assert result.longest_root_to_leaf_path == result.tree.height()
+
+    def test_scoped_multicast_reaches_only_the_zone(self, topology_2d):
+        root = 0
+        root_coords = topology_2d.peers[root].coordinates
+        scope = HyperRectangle.from_bounds(
+            (root_coords[0] - 400.0, root_coords[1] - 400.0),
+            (root_coords[0] + 400.0, root_coords[1] + 400.0),
+        )
+        result = SpacePartitionTreeBuilder().build(topology_2d, root, scope=scope)
+        in_scope = {
+            peer_id
+            for peer_id, info in topology_2d.peers.items()
+            if scope.contains(info.coordinates)
+        }
+        assert set(result.tree.nodes()) <= in_scope
+        for node in result.tree.nodes():
+            assert scope.contains(topology_2d.peers[node].coordinates)
+
+    def test_unknown_root_rejected(self, topology_2d):
+        with pytest.raises(KeyError):
+            SpacePartitionTreeBuilder().build(topology_2d, root=99_999)
+
+    def test_scope_must_contain_root(self, topology_2d):
+        scope = HyperRectangle.from_bounds((-10.0, -10.0), (-5.0, -5.0))
+        with pytest.raises(ValueError):
+            SpacePartitionTreeBuilder().build(topology_2d, root=0, scope=scope)
+
+    def test_build_from_every_root(self, topology_2d):
+        builder = SpacePartitionTreeBuilder()
+        results = builder.build_from_every_root(topology_2d, roots=[0, 1, 2])
+        assert set(results) == {0, 1, 2}
+        assert all(result.delivered_everywhere for result in results.values())
+
+    def test_convenience_wrapper(self, topology_2d):
+        result = build_space_partition_tree(topology_2d, root=3)
+        assert result.tree.root == 3
+        assert result.messages_sent == topology_2d.peer_count - 1
+
+    def test_invalid_strategy_in_builder(self):
+        with pytest.raises(ValueError):
+            SpacePartitionTreeBuilder(pick_strategy="unknown")
+
+
+class TestDegradedOverlays:
+    def test_unreached_peers_are_reported_when_the_overlay_is_too_sparse(self):
+        """A star overlay cannot cover orthants the hub has no neighbour in."""
+        peers = [
+            make_peer(0, (0.0, 0.0)),
+            make_peer(1, (1.0, 1.0)),
+            make_peer(2, (2.0, 2.0)),
+            make_peer(3, (-1.0, -1.0)),
+        ]
+        # Hand-built pathological topology: 2 is only connected to 1.
+        from repro.overlay.topology import TopologySnapshot
+
+        topology = TopologySnapshot.from_directed(
+            {p.peer_id: p for p in peers},
+            {0: {1, 3}, 1: set(), 2: {1}, 3: set()},
+        )
+        result = SpacePartitionTreeBuilder().build(topology, root=0)
+        # Peer 2 is in the same orthant as peer 1 (seen from 0), so it can
+        # only be reached through 1; the link exists, so everyone is reached.
+        assert result.delivered_everywhere
+
+        topology_missing_link = TopologySnapshot.from_directed(
+            {p.peer_id: p for p in peers},
+            {0: {1, 3}, 1: set(), 2: set(), 3: set()},
+        )
+        degraded = SpacePartitionTreeBuilder().build(topology_missing_link, root=0)
+        assert degraded.unreached_peers == {2}
+        assert not degraded.delivered_everywhere
+        assert degraded.messages_sent < len(peers) - 1 + 1

@@ -1,0 +1,149 @@
+"""Unit and integration tests for the Section 3 stability construction."""
+
+import pytest
+
+from repro.multicast.stability import (
+    PreferredNeighbourForest,
+    StabilityTreeBuilder,
+    build_stability_tree,
+    peer_lifetime,
+)
+from repro.multicast.tree import TreeValidationError
+from repro.overlay.network import OverlayNetwork
+from repro.overlay.peer import make_peer
+from repro.overlay.selection.orthogonal import OrthogonalHyperplanesSelection
+from repro.overlay.topology import TopologySnapshot
+from repro.workloads.peers import generate_peers_with_lifetimes
+
+
+def hand_topology():
+    """Four peers on a path, lifetimes 10 < 20 < 30 < 40."""
+    peers = {
+        0: make_peer(0, (10.0, 0.0), lifetime=10.0),
+        1: make_peer(1, (20.0, 1.0), lifetime=20.0),
+        2: make_peer(2, (30.0, 2.0), lifetime=30.0),
+        3: make_peer(3, (40.0, 3.0), lifetime=40.0),
+    }
+    directed = {0: {1}, 1: {2}, 2: {3}, 3: set()}
+    return TopologySnapshot.from_directed(peers, directed)
+
+
+class TestPeerLifetime:
+    def test_explicit_lifetime_wins(self):
+        topology = hand_topology()
+        assert peer_lifetime(topology, 0) == 10.0
+
+    def test_falls_back_to_first_coordinate(self):
+        peers = {0: make_peer(0, (55.0, 1.0))}
+        topology = TopologySnapshot.from_directed(peers, {0: set()})
+        assert peer_lifetime(topology, 0) == 55.0
+
+
+class TestHandBuiltTopology:
+    def test_chain_forms_a_tree_ordered_by_lifetime(self):
+        forest = StabilityTreeBuilder().build(hand_topology())
+        assert forest.preferred == {0: 1, 1: 2, 2: 3, 3: None}
+        assert forest.is_single_tree()
+        assert forest.root_has_largest_lifetime()
+        assert forest.parents_outlive_children()
+        assert forest.lifetime_violations() == []
+        tree = forest.to_multicast_tree()
+        assert tree.root == 3
+        assert tree.height() == 3
+
+    def test_smallest_above_tie_break(self):
+        peers = {
+            0: make_peer(0, (10.0, 0.0), lifetime=10.0),
+            1: make_peer(1, (20.0, 1.0), lifetime=20.0),
+            2: make_peer(2, (30.0, 2.0), lifetime=30.0),
+        }
+        # Peer 0 sees both 1 and 2.
+        topology = TopologySnapshot.from_directed(peers, {0: {1, 2}, 1: {2}, 2: set()})
+        largest = StabilityTreeBuilder(
+            tie_break=StabilityTreeBuilder.LARGEST_LIFETIME
+        ).build(topology)
+        smallest = StabilityTreeBuilder(
+            tie_break=StabilityTreeBuilder.SMALLEST_ABOVE
+        ).build(topology)
+        assert largest.preferred[0] == 2
+        assert smallest.preferred[0] == 1
+
+    def test_closest_tie_break(self):
+        peers = {
+            0: make_peer(0, (10.0, 0.0), lifetime=10.0),
+            1: make_peer(1, (20.0, 0.5), lifetime=20.0),
+            2: make_peer(2, (30.0, 50.0), lifetime=30.0),
+        }
+        topology = TopologySnapshot.from_directed(peers, {0: {1, 2}, 1: {2}, 2: set()})
+        closest = StabilityTreeBuilder(tie_break=StabilityTreeBuilder.CLOSEST).build(topology)
+        assert closest.preferred[0] == 1
+
+    def test_unknown_tie_break_rejected(self):
+        with pytest.raises(ValueError):
+            StabilityTreeBuilder(tie_break="oldest")
+
+    def test_duplicate_lifetimes_rejected(self):
+        peers = {
+            0: make_peer(0, (10.0, 0.0), lifetime=10.0),
+            1: make_peer(1, (10.0, 1.0), lifetime=10.0),
+        }
+        topology = TopologySnapshot.from_directed(peers, {0: {1}, 1: set()})
+        with pytest.raises(ValueError, match="distinct"):
+            StabilityTreeBuilder().build(topology)
+
+    def test_disconnected_lifetime_order_gives_a_forest(self):
+        """Two isolated components produce two roots, not a single tree."""
+        peers = {
+            0: make_peer(0, (10.0, 0.0), lifetime=10.0),
+            1: make_peer(1, (20.0, 1.0), lifetime=20.0),
+            2: make_peer(2, (30.0, 2.0), lifetime=30.0),
+            3: make_peer(3, (40.0, 3.0), lifetime=40.0),
+        }
+        directed = {0: {1}, 1: set(), 2: {3}, 3: set()}
+        topology = TopologySnapshot.from_directed(peers, directed)
+        forest = StabilityTreeBuilder().build(topology)
+        assert forest.roots() == [1, 3]
+        assert not forest.is_single_tree()
+        with pytest.raises(TreeValidationError):
+            forest.to_multicast_tree()
+        # The longest-lived peer is still a root.
+        assert forest.root_has_largest_lifetime()
+
+
+class TestOnOrthogonalOverlays:
+    @pytest.mark.parametrize("dimension", [2, 3, 5])
+    @pytest.mark.parametrize("k", [1, 2, 5])
+    def test_paper_invariants_hold(self, dimension, k):
+        peers = generate_peers_with_lifetimes(60, dimension, seed=dimension * 10 + k)
+        topology = OverlayNetwork.build_equilibrium(
+            peers, OrthogonalHyperplanesSelection(k=k)
+        ).snapshot()
+        forest = StabilityTreeBuilder().build(topology)
+        assert forest.is_single_tree()
+        assert forest.root_has_largest_lifetime()
+        assert forest.parents_outlive_children()
+        tree = forest.to_multicast_tree()
+        lifetimes = {pid: peer_lifetime(topology, pid) for pid in topology.peers}
+        root = max(lifetimes, key=lifetimes.get)
+        assert tree.root == root
+        for node in tree.nodes():
+            parent = tree.parent(node)
+            if parent is not None:
+                assert lifetimes[parent] > lifetimes[node]
+
+    def test_convenience_wrapper(self, lifetime_topology):
+        tree = build_stability_tree(lifetime_topology)
+        assert tree.size == lifetime_topology.peer_count
+
+    def test_forest_peer_count(self, lifetime_topology):
+        forest = StabilityTreeBuilder().build(lifetime_topology)
+        assert forest.peer_count == lifetime_topology.peer_count
+
+
+class TestEmptyForest:
+    def test_empty_forest_is_trivially_valid(self):
+        forest = PreferredNeighbourForest(preferred={}, lifetimes={})
+        assert forest.is_single_tree()
+        assert forest.root_has_largest_lifetime()
+        assert forest.parents_outlive_children()
+        assert forest.roots() == []

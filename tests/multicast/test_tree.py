@@ -1,0 +1,137 @@
+"""Unit tests for repro.multicast.tree."""
+
+import pytest
+
+from repro.multicast.tree import MulticastTree, TreeValidationError
+
+
+@pytest.fixture()
+def sample_tree():
+    #        0
+    #      / | \
+    #     1  2  3
+    #    /|     |
+    #   4 5     6
+    #   |
+    #   7
+    return MulticastTree(
+        0,
+        {0: None, 1: 0, 2: 0, 3: 0, 4: 1, 5: 1, 6: 3, 7: 4},
+    )
+
+
+class TestConstruction:
+    def test_single_node(self):
+        tree = MulticastTree.single_node(9)
+        assert tree.root == 9
+        assert tree.size == 1
+        assert tree.height() == 0
+        assert tree.leaves() == [9]
+        assert tree.message_count() == 0
+
+    def test_from_edges(self):
+        tree = MulticastTree.from_edges(0, [(0, 1), (1, 2), (0, 3)])
+        assert tree.parent(2) == 1
+        assert tree.children(0) == (1, 3)
+        assert tree.size == 4
+
+    def test_root_must_be_present_and_parentless(self):
+        with pytest.raises(TreeValidationError):
+            MulticastTree(0, {1: None})
+        with pytest.raises(TreeValidationError):
+            MulticastTree(0, {0: 1, 1: None})
+
+    def test_cycles_are_rejected(self):
+        with pytest.raises(TreeValidationError, match="not reachable"):
+            MulticastTree(0, {0: None, 1: 2, 2: 1})
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(TreeValidationError):
+            MulticastTree(0, {0: None, 1: 42})
+
+    def test_two_parents_rejected_in_from_edges(self):
+        with pytest.raises(TreeValidationError):
+            MulticastTree.from_edges(0, [(0, 1), (2, 1)])
+
+    def test_root_as_child_rejected(self):
+        with pytest.raises(TreeValidationError):
+            MulticastTree.from_edges(0, [(1, 0)])
+
+    def test_non_root_without_parent_rejected(self):
+        with pytest.raises(TreeValidationError):
+            MulticastTree(0, {0: None, 1: None})
+
+
+class TestStructure:
+    def test_parent_child_relations(self, sample_tree):
+        assert sample_tree.parent(0) is None
+        assert sample_tree.parent(7) == 4
+        assert sample_tree.children(1) == (4, 5)
+        assert sample_tree.children(7) == ()
+
+    def test_nodes_edges_and_membership(self, sample_tree):
+        assert sample_tree.nodes() == list(range(8))
+        assert (1, 4) in sample_tree.edges()
+        assert len(sample_tree.edges()) == 7
+        assert 5 in sample_tree
+        assert 99 not in sample_tree
+        assert len(sample_tree) == 8
+
+    def test_leaves(self, sample_tree):
+        assert sample_tree.leaves() == [2, 5, 6, 7]
+        assert sample_tree.is_leaf(2)
+        assert not sample_tree.is_leaf(1)
+
+    def test_subtree_nodes(self, sample_tree):
+        assert sample_tree.subtree_nodes(1) == {1, 4, 5, 7}
+        assert sample_tree.subtree_nodes(7) == {7}
+        assert sample_tree.subtree_nodes(0) == set(range(8))
+
+    def test_path_to_root(self, sample_tree):
+        assert sample_tree.path_to_root(7) == [7, 4, 1, 0]
+        assert sample_tree.path_to_root(0) == [0]
+
+    def test_parent_map_is_a_copy(self, sample_tree):
+        mapping = sample_tree.parent_map()
+        mapping[7] = 0
+        assert sample_tree.parent(7) == 4
+
+
+class TestMetrics:
+    def test_depths_and_height(self, sample_tree):
+        assert sample_tree.depth(0) == 0
+        assert sample_tree.depth(7) == 3
+        assert sample_tree.height() == 3
+        assert sample_tree.depths()[6] == 2
+
+    def test_degree(self, sample_tree):
+        assert sample_tree.degree(0) == 3  # root: children only
+        assert sample_tree.degree(1) == 3  # two children + parent
+        assert sample_tree.degree(7) == 1  # leaf: parent only
+        assert sample_tree.maximum_degree() == 3
+        assert sample_tree.average_degree() == pytest.approx(14 / 8)
+
+    def test_diameter(self, sample_tree):
+        # Longest path: 7 - 4 - 1 - 0 - 3 - 6 -> 5 edges.
+        assert sample_tree.diameter() == 5
+
+    def test_diameter_trivial_cases(self):
+        assert MulticastTree.single_node(0).diameter() == 0
+        two = MulticastTree(0, {0: None, 1: 0})
+        assert two.diameter() == 1
+
+    def test_message_count(self, sample_tree):
+        assert sample_tree.message_count() == 7
+
+    def test_star_and_chain_extremes(self):
+        star = MulticastTree(0, {0: None, **{i: 0 for i in range(1, 11)}})
+        chain = MulticastTree(0, {0: None, **{i: i - 1 for i in range(1, 11)}})
+        assert star.height() == 1 and star.diameter() == 2 and star.maximum_degree() == 10
+        assert chain.height() == 10 and chain.diameter() == 10 and chain.maximum_degree() == 2
+
+    def test_to_networkx(self, sample_tree):
+        graph = sample_tree.to_networkx()
+        assert graph.number_of_nodes() == 8
+        assert graph.number_of_edges() == 7
+        assert graph.has_edge(1, 4)
+        assert not graph.has_edge(4, 1)  # directed parent -> child

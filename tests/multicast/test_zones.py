@@ -1,0 +1,83 @@
+"""Unit tests for repro.multicast.zones."""
+
+import pytest
+
+from repro.geometry.rectangle import HyperRectangle
+from repro.multicast.zones import (
+    child_zone,
+    initial_zone,
+    uncovered_points,
+    zone_excludes,
+    zones_are_disjoint,
+)
+
+
+class TestInitialZone:
+    def test_is_the_whole_space(self):
+        zone = initial_zone(3)
+        assert zone.dimension == 3
+        assert zone.contains((1e9, -1e9, 0.0))
+
+
+class TestChildZone:
+    def test_child_zone_contains_child_and_excludes_parent(self):
+        parent_zone = initial_zone(2)
+        parent = (5.0, 5.0)
+        child = (7.0, 3.0)
+        zone = child_zone(parent_zone, parent, child)
+        assert zone.contains(child)
+        assert zone_excludes(zone, parent)
+
+    def test_child_zone_is_inside_parent_zone(self):
+        parent_zone = HyperRectangle.from_bounds((0.0, 0.0), (10.0, 10.0))
+        zone = child_zone(parent_zone, (5.0, 5.0), (7.0, 7.0))
+        assert zone.contains((8.0, 8.0))
+        assert not zone.contains((11.0, 11.0))  # outside the parent zone
+        assert not zone.contains((4.0, 8.0))  # wrong orthant
+
+    def test_sibling_zones_are_disjoint(self):
+        parent_zone = initial_zone(2)
+        parent = (0.0, 0.0)
+        children = [(1.0, 1.0), (-2.0, 3.0), (4.0, -1.0), (-1.0, -1.0)]
+        zones = [child_zone(parent_zone, parent, c) for c in children]
+        assert zones_are_disjoint(zones)
+        for child, zone in zip(children, zones):
+            assert zone.contains(child)
+
+    def test_same_orthant_children_share_a_zone_region(self):
+        parent_zone = initial_zone(2)
+        parent = (0.0, 0.0)
+        a = child_zone(parent_zone, parent, (1.0, 1.0))
+        b = child_zone(parent_zone, parent, (3.0, 2.0))
+        assert a == b  # same region relative to the parent
+
+
+class TestDisjointness:
+    def test_overlapping_zones_detected(self):
+        a = HyperRectangle.from_bounds((0.0, 0.0), (2.0, 2.0))
+        b = HyperRectangle.from_bounds((1.0, 1.0), (3.0, 3.0))
+        c = HyperRectangle.from_bounds((5.0, 5.0), (6.0, 6.0))
+        assert not zones_are_disjoint([a, b])
+        assert zones_are_disjoint([a, c])
+        assert zones_are_disjoint([])
+        assert zones_are_disjoint([a])
+
+
+class TestCoverage:
+    def test_uncovered_points(self):
+        zones = [
+            HyperRectangle.from_bounds((0.0, 0.0), (1.0, 1.0)),
+            HyperRectangle.from_bounds((2.0, 2.0), (3.0, 3.0)),
+        ]
+        points = {
+            0: (0.5, 0.5),
+            1: (2.5, 2.5),
+            2: (1.5, 1.5),
+            3: (9.0, 9.0),
+        }
+        assert uncovered_points(zones, points) == [2, 3]
+
+    def test_everything_covered(self):
+        zones = [initial_zone(2)]
+        points = {0: (1.0, 1.0), 1: (-5.0, 3.0)}
+        assert uncovered_points(zones, points) == []

@@ -1,0 +1,161 @@
+"""Unit and integration tests for repro.overlay.network.OverlayNetwork."""
+
+import pytest
+
+from repro.overlay.network import ConvergenceError, OverlayNetwork
+from repro.overlay.peer import make_peer
+from repro.overlay.selection.empty_rectangle import EmptyRectangleSelection
+from repro.overlay.selection.orthogonal import OrthogonalHyperplanesSelection
+from repro.workloads.peers import generate_peers
+
+
+class TestMembership:
+    def test_add_and_remove_peers(self):
+        overlay = OverlayNetwork(EmptyRectangleSelection())
+        overlay.add_peer(make_peer(0, (0.0, 0.0)))
+        overlay.add_peer(make_peer(1, (1.0, 1.0)))
+        assert overlay.peer_count == 2
+        assert 0 in overlay and 1 in overlay
+        removed = overlay.remove_peer(0)
+        assert removed.peer_id == 0
+        assert overlay.peer_count == 1
+        assert 0 not in overlay
+
+    def test_duplicate_peer_rejected(self):
+        overlay = OverlayNetwork(EmptyRectangleSelection())
+        overlay.add_peer(make_peer(0, (0.0, 0.0)))
+        with pytest.raises(ValueError):
+            overlay.add_peer(make_peer(0, (1.0, 1.0)))
+
+    def test_dimension_mismatch_rejected(self):
+        overlay = OverlayNetwork(EmptyRectangleSelection())
+        overlay.add_peer(make_peer(0, (0.0, 0.0)))
+        with pytest.raises(ValueError):
+            overlay.add_peer(make_peer(1, (1.0, 1.0, 1.0)))
+
+    def test_unknown_bootstrap_rejected(self):
+        overlay = OverlayNetwork(EmptyRectangleSelection())
+        overlay.add_peer(make_peer(0, (0.0, 0.0)))
+        with pytest.raises(KeyError):
+            overlay.add_peer(make_peer(1, (1.0, 1.0)), bootstrap={42})
+
+    def test_remove_unknown_peer(self):
+        overlay = OverlayNetwork(EmptyRectangleSelection())
+        with pytest.raises(KeyError):
+            overlay.remove_peer(3)
+
+    def test_default_bootstrap_is_lowest_id(self):
+        overlay = OverlayNetwork(EmptyRectangleSelection())
+        overlay.add_peer(make_peer(5, (0.0, 0.0)))
+        overlay.add_peer(make_peer(7, (1.0, 1.0)))
+        assert overlay.selected_neighbours(7) == frozenset({5})
+
+    def test_removal_strips_links(self):
+        overlay = OverlayNetwork(EmptyRectangleSelection())
+        overlay.add_peer(make_peer(0, (0.0, 0.0)))
+        overlay.add_peer(make_peer(1, (1.0, 1.0)), bootstrap={0})
+        overlay.remove_peer(0)
+        assert overlay.selected_neighbours(1) == frozenset()
+
+    def test_gossip_radius_validation(self):
+        with pytest.raises(ValueError):
+            OverlayNetwork(EmptyRectangleSelection(), gossip_radius=0)
+
+
+class TestConvergence:
+    def test_full_knowledge_convergence_matches_equilibrium(self):
+        peers = generate_peers(20, 2, seed=5)
+        incremental = OverlayNetwork(EmptyRectangleSelection())
+        for peer in peers:
+            incremental.insert_and_converge(peer)
+        equilibrium = OverlayNetwork.build_equilibrium(peers, EmptyRectangleSelection())
+        assert incremental.directed_neighbour_map() == equilibrium.directed_neighbour_map()
+
+    def test_gossip_limited_convergence_matches_equilibrium_for_large_radius(self):
+        peers = generate_peers(15, 2, seed=9)
+        limited = OverlayNetwork.build_incremental(
+            peers, EmptyRectangleSelection(), gossip_radius=6
+        )
+        equilibrium = OverlayNetwork.build_equilibrium(peers, EmptyRectangleSelection())
+        assert limited.snapshot().edges() == equilibrium.snapshot().edges()
+
+    def test_converge_returns_round_count(self):
+        peers = generate_peers(10, 2, seed=1)
+        overlay = OverlayNetwork(EmptyRectangleSelection())
+        for peer in peers:
+            overlay.add_peer(peer)
+        rounds = overlay.converge()
+        assert rounds >= 1
+        # A second convergence call finds the fixed point immediately.
+        assert overlay.converge() == 1
+
+    def test_convergence_error_reports_the_round_budget(self):
+        error = ConvergenceError(7)
+        assert error.rounds == 7
+        assert "7" in str(error)
+
+    def test_fresh_bulk_population_needs_more_than_one_round(self):
+        """Dropping 12 unconnected peers in at once cannot settle in a single round."""
+        peers = generate_peers(12, 2, seed=2)
+        overlay = OverlayNetwork(EmptyRectangleSelection())
+        for peer in peers:
+            overlay.add_peer(peer, bootstrap=())
+        assert overlay.reselect_round() is True
+        overlay.converge()
+        assert overlay.reselect_round() is False
+
+    def test_max_rounds_validation(self):
+        overlay = OverlayNetwork(EmptyRectangleSelection())
+        overlay.add_peer(make_peer(0, (0.0, 0.0)))
+        with pytest.raises(ValueError):
+            overlay.converge(max_rounds=0)
+
+    def test_remove_and_converge(self):
+        peers = generate_peers(12, 2, seed=3)
+        overlay = OverlayNetwork.build_equilibrium(peers, EmptyRectangleSelection())
+        overlay.remove_and_converge(peers[0].peer_id)
+        remaining = generate_peers(12, 2, seed=3)[1:]
+        expected = OverlayNetwork.build_equilibrium(remaining, EmptyRectangleSelection())
+        assert overlay.directed_neighbour_map() == expected.directed_neighbour_map()
+
+
+class TestEquilibriumBuilder:
+    def test_duplicate_ids_rejected(self):
+        peers = [make_peer(0, (0.0, 0.0)), make_peer(0, (1.0, 1.0))]
+        with pytest.raises(ValueError):
+            OverlayNetwork.build_equilibrium(peers, EmptyRectangleSelection())
+
+    def test_snapshot_contains_all_peers(self, peers_2d):
+        overlay = OverlayNetwork.build_equilibrium(peers_2d, EmptyRectangleSelection())
+        snapshot = overlay.snapshot()
+        assert snapshot.peer_count == len(peers_2d)
+        assert set(snapshot.peers) == {p.peer_id for p in peers_2d}
+
+    def test_orthogonal_equilibrium_is_connected(self):
+        peers = generate_peers(40, 3, seed=17)
+        overlay = OverlayNetwork.build_equilibrium(peers, OrthogonalHyperplanesSelection(k=1))
+        assert overlay.snapshot().is_connected()
+
+    def test_knowledge_set_full_knowledge(self, peers_2d):
+        overlay = OverlayNetwork.build_equilibrium(peers_2d, EmptyRectangleSelection())
+        knowledge = overlay.knowledge_set(peers_2d[0].peer_id)
+        assert len(knowledge) == len(peers_2d) - 1
+
+    def test_knowledge_set_unknown_peer(self, peers_2d):
+        overlay = OverlayNetwork.build_equilibrium(peers_2d, EmptyRectangleSelection())
+        with pytest.raises(KeyError):
+            overlay.knowledge_set(10_000)
+
+
+class TestGossipLimitedKnowledge:
+    def test_knowledge_set_respects_radius(self):
+        peers = [make_peer(i, (float(i), float(i % 2))) for i in range(5)]
+        overlay = OverlayNetwork(EmptyRectangleSelection(), gossip_radius=1)
+        for peer in peers:
+            overlay.add_peer(peer)
+        # Build a line topology by hand through bootstrap-only neighbours.
+        for index in range(1, 5):
+            overlay._neighbours[index] = {index - 1}  # noqa: SLF001 - test shortcut
+        overlay._neighbours[0] = set()  # noqa: SLF001
+        knowledge_ids = {p.peer_id for p in overlay.knowledge_set(2)}
+        assert knowledge_ids == {1, 3}

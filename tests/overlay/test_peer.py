@@ -1,0 +1,74 @@
+"""Unit tests for repro.overlay.peer."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.overlay.peer import NetworkAddress, PeerInfo, make_peer
+
+
+class TestNetworkAddress:
+    def test_valid_address(self):
+        address = NetworkAddress("10.0.0.1", 7000)
+        assert str(address) == "10.0.0.1:7000"
+
+    def test_empty_host_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkAddress("", 7000)
+
+    @pytest.mark.parametrize("port", [0, -1, 65536, 100000])
+    def test_invalid_port_rejected(self, port):
+        with pytest.raises(ValueError):
+            NetworkAddress("10.0.0.1", port)
+
+    def test_addresses_are_ordered_and_hashable(self):
+        a = NetworkAddress("10.0.0.1", 7000)
+        b = NetworkAddress("10.0.0.1", 7001)
+        assert a < b
+        assert len({a, b, NetworkAddress("10.0.0.1", 7000)}) == 2
+
+
+class TestPeerInfo:
+    def test_coordinates_are_coerced_to_point(self):
+        peer = PeerInfo(0, (1.0, 2.0), NetworkAddress("h", 1000))
+        assert isinstance(peer.coordinates, Point)
+        assert peer.dimension == 2
+
+    def test_negative_peer_id_rejected(self):
+        with pytest.raises(ValueError):
+            PeerInfo(-1, (1.0,), NetworkAddress("h", 1000))
+
+    def test_negative_lifetime_rejected(self):
+        with pytest.raises(ValueError):
+            PeerInfo(0, (1.0,), NetworkAddress("h", 1000), lifetime=-5.0)
+
+    def test_with_lifetime_coordinate_replaces_first_axis(self):
+        peer = PeerInfo(3, (9.0, 2.0, 5.0), NetworkAddress("h", 1000), lifetime=77.0)
+        embedded = peer.with_lifetime_coordinate()
+        assert tuple(embedded.coordinates) == (77.0, 2.0, 5.0)
+        assert embedded.lifetime == 77.0
+        assert embedded.peer_id == 3
+
+    def test_with_lifetime_coordinate_requires_lifetime(self):
+        peer = PeerInfo(3, (9.0, 2.0), NetworkAddress("h", 1000))
+        with pytest.raises(ValueError):
+            peer.with_lifetime_coordinate()
+
+    def test_peer_info_is_frozen(self):
+        peer = PeerInfo(0, (1.0,), NetworkAddress("h", 1000))
+        with pytest.raises(AttributeError):
+            peer.peer_id = 7  # type: ignore[misc]
+
+
+class TestMakePeer:
+    def test_fabricates_unique_addresses(self):
+        peers = [make_peer(i, (float(i), float(i))) for i in range(50)]
+        addresses = {(p.address.host, p.address.port) for p in peers}
+        assert len(addresses) == 50
+
+    def test_respects_explicit_host_and_port(self):
+        peer = make_peer(1, (0.0,), host="192.168.0.1", port=9999)
+        assert peer.address == NetworkAddress("192.168.0.1", 9999)
+
+    def test_lifetime_is_carried_through(self):
+        peer = make_peer(1, (0.0,), lifetime=123.0)
+        assert peer.lifetime == 123.0

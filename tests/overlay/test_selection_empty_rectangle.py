@@ -1,0 +1,148 @@
+"""Unit and property tests for the empty-rectangle selection method."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.overlay.peer import make_peer
+from repro.overlay.selection.empty_rectangle import (
+    EmptyRectangleSelection,
+    brute_force_empty_rectangle_neighbours,
+)
+from repro.workloads.peers import generate_peers
+
+
+class TestSmallConfigurations:
+    def test_two_peers_always_neighbours(self):
+        a = make_peer(0, (0.0, 0.0))
+        b = make_peer(1, (1.0, 1.0))
+        assert EmptyRectangleSelection().select(a, [b]) == [1]
+
+    def test_blocking_peer_removes_the_far_neighbour(self):
+        reference = make_peer(0, (0.0, 0.0))
+        blocker = make_peer(1, (1.0, 1.0))
+        blocked = make_peer(2, (2.0, 2.0))
+        chosen = EmptyRectangleSelection().select(reference, [blocker, blocked])
+        assert chosen == [1]
+
+    def test_peers_in_different_quadrants_do_not_block_each_other(self):
+        reference = make_peer(0, (0.0, 0.0))
+        north_east = make_peer(1, (2.0, 2.0))
+        south_west = make_peer(2, (-1.0, -1.0))
+        chosen = EmptyRectangleSelection().select(reference, [north_east, south_west])
+        assert chosen == [1, 2]
+
+    def test_no_candidates(self):
+        reference = make_peer(0, (0.0, 0.0))
+        assert EmptyRectangleSelection().select(reference, []) == []
+        assert EmptyRectangleSelection().select(reference, [reference]) == []
+
+    def test_selection_is_symmetric_at_full_knowledge(self, peers_2d):
+        selection = EmptyRectangleSelection()
+        neighbours = selection.compute_equilibrium(peers_2d)
+        for peer_id, selected in neighbours.items():
+            for other in selected:
+                assert peer_id in neighbours[other]
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("dimension", [2, 3, 4])
+    @pytest.mark.parametrize("count", [5, 15, 30])
+    def test_select_matches_brute_force(self, dimension, count):
+        peers = generate_peers(count, dimension, seed=dimension * 100 + count)
+        selection = EmptyRectangleSelection()
+        for reference in peers[:10]:
+            candidates = [p for p in peers if p.peer_id != reference.peer_id]
+            fast = selection.select(reference, candidates)
+            slow = brute_force_empty_rectangle_neighbours(reference, candidates)
+            assert fast == slow
+
+    @pytest.mark.parametrize("dimension", [2, 3])
+    def test_equilibrium_matches_per_peer_selection(self, dimension):
+        peers = generate_peers(25, dimension, seed=dimension)
+        selection = EmptyRectangleSelection()
+        equilibrium = selection.compute_equilibrium(peers)
+        for reference in peers:
+            candidates = [p for p in peers if p.peer_id != reference.peer_id]
+            assert equilibrium[reference.peer_id] == set(selection.select(reference, candidates))
+
+
+coordinate = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False)
+
+
+@st.composite
+def distinct_point_sets(draw, dimension=2, min_size=2, max_size=12):
+    count = draw(st.integers(min_value=min_size, max_value=max_size))
+    axes = []
+    for _ in range(dimension):
+        values = draw(
+            st.lists(coordinate, min_size=count, max_size=count, unique=True)
+        )
+        axes.append(values)
+    return [tuple(axes[d][i] for d in range(dimension)) for i in range(count)]
+
+
+class TestEmptyRectangleProperties:
+    @given(distinct_point_sets(dimension=2))
+    @settings(max_examples=60, deadline=None)
+    def test_fast_path_equals_definition_2d(self, coordinates):
+        peers = [make_peer(i, c) for i, c in enumerate(coordinates)]
+        selection = EmptyRectangleSelection()
+        reference = peers[0]
+        candidates = peers[1:]
+        assert selection.select(reference, candidates) == (
+            brute_force_empty_rectangle_neighbours(reference, candidates)
+        )
+
+    @given(distinct_point_sets(dimension=3, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_fast_path_equals_definition_3d(self, coordinates):
+        peers = [make_peer(i, c) for i, c in enumerate(coordinates)]
+        selection = EmptyRectangleSelection()
+        reference = peers[0]
+        candidates = peers[1:]
+        assert selection.select(reference, candidates) == (
+            brute_force_empty_rectangle_neighbours(reference, candidates)
+        )
+
+    @given(distinct_point_sets(dimension=2, min_size=3))
+    @settings(max_examples=40, deadline=None)
+    def test_a_nearest_candidate_is_always_selected(self, coordinates):
+        """Some candidate at minimal L1 distance can never be blocked.
+
+        (Any peer inside the bounding box of the reference and a candidate is
+        at most as far away in L1, so a blocked minimal-distance candidate
+        would have to be blocked by another minimal-distance candidate.)
+        """
+        peers = [make_peer(i, c) for i, c in enumerate(coordinates)]
+        reference = peers[0]
+        candidates = peers[1:]
+        distances = {
+            p.peer_id: sum(
+                abs(a - b) for a, b in zip(p.coordinates, reference.coordinates)
+            )
+            for p in candidates
+        }
+        minimum = min(distances.values())
+        nearest_ids = {pid for pid, d in distances.items() if d == minimum}
+        chosen = EmptyRectangleSelection().select(reference, candidates)
+        assert nearest_ids & set(chosen)
+
+
+class TestConnectivity:
+    """The empty-rectangle overlay at full knowledge is always connected.
+
+    Every peer keeps its nearest peer in each non-empty orthant, and in
+    particular its globally nearest peer, which is a classical sufficient
+    condition for connectivity of proximity graphs on distinct points.
+    """
+
+    @pytest.mark.parametrize("dimension", [2, 3, 4, 5])
+    def test_connected_for_random_populations(self, dimension):
+        from repro.overlay.network import OverlayNetwork
+
+        peers = generate_peers(60, dimension, seed=dimension * 7)
+        overlay = OverlayNetwork.build_equilibrium(peers, EmptyRectangleSelection())
+        assert overlay.snapshot().is_connected()

@@ -1,0 +1,153 @@
+"""Unit tests for the Hyperplanes selection family and the registry."""
+
+import pytest
+
+from repro.geometry.hyperplane import HyperplaneSet
+from repro.overlay.peer import make_peer
+from repro.overlay.selection import (
+    HyperplanesSelection,
+    KClosestSelection,
+    OrthogonalHyperplanesSelection,
+    SignCoefficientHyperplanesSelection,
+    available_methods,
+    make_selection_method,
+)
+
+
+def peer_grid():
+    """Reference peer at the origin plus one candidate in every quadrant."""
+    reference = make_peer(0, (0.0, 0.0))
+    candidates = [
+        make_peer(1, (1.0, 1.0)),
+        make_peer(2, (5.0, 5.0)),
+        make_peer(3, (-1.0, 1.5)),
+        make_peer(4, (-4.0, 4.0)),
+        make_peer(5, (2.0, -1.0)),
+        make_peer(6, (-3.0, -3.0)),
+    ]
+    return reference, candidates
+
+
+class TestOrthogonalHyperplanesSelection:
+    def test_keeps_k_closest_per_quadrant(self):
+        reference, candidates = peer_grid()
+        selection = OrthogonalHyperplanesSelection(k=1)
+        chosen = selection.select(reference, candidates)
+        assert set(chosen) == {1, 3, 5, 6}
+
+    def test_larger_k_keeps_more_per_quadrant(self):
+        reference, candidates = peer_grid()
+        selection = OrthogonalHyperplanesSelection(k=2)
+        chosen = selection.select(reference, candidates)
+        assert set(chosen) == {1, 2, 3, 4, 5, 6}
+
+    def test_reference_is_never_selected(self):
+        reference, candidates = peer_grid()
+        selection = OrthogonalHyperplanesSelection(k=3)
+        chosen = selection.select(reference, candidates + [reference])
+        assert reference.peer_id not in chosen
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            OrthogonalHyperplanesSelection(k=0)
+
+    def test_distance_function_changes_ranking(self):
+        reference = make_peer(0, (0.0, 0.0))
+        # Same quadrant: L1 prefers (3, 0.5) (3.5 < 4); L-infinity prefers (2, 2) (2 < 3).
+        candidates = [make_peer(1, (2.0, 2.0)), make_peer(2, (3.0, 0.5))]
+        by_l1 = OrthogonalHyperplanesSelection(k=1, distance="l1").select(reference, candidates)
+        by_linf = OrthogonalHyperplanesSelection(k=1, distance="linf").select(
+            reference, candidates
+        )
+        assert by_l1 == [2]
+        assert by_linf == [1]
+
+    def test_equilibrium_matches_generic_path(self, peers_2d):
+        selection = OrthogonalHyperplanesSelection(k=2)
+        fast = selection.compute_equilibrium(peers_2d)
+        generic = HyperplanesSelection(HyperplaneSet.orthogonal, k=2).compute_equilibrium(
+            peers_2d
+        )
+        assert fast == generic
+
+    def test_equilibrium_empty_population(self):
+        assert OrthogonalHyperplanesSelection(k=1).compute_equilibrium([]) == {}
+
+
+class TestKClosestSelection:
+    def test_single_region_keeps_globally_closest(self):
+        reference, candidates = peer_grid()
+        chosen = KClosestSelection(k=2).select(reference, candidates)
+        assert set(chosen) == {1, 3}
+
+    def test_k_larger_than_population(self):
+        reference, candidates = peer_grid()
+        chosen = KClosestSelection(k=100).select(reference, candidates)
+        assert set(chosen) == {c.peer_id for c in candidates}
+
+
+class TestSignCoefficientSelection:
+    def test_keeps_at_least_the_orthogonal_neighbours(self):
+        reference, candidates = peer_grid()
+        orthogonal = set(OrthogonalHyperplanesSelection(k=1).select(reference, candidates))
+        sign = set(SignCoefficientHyperplanesSelection(k=1).select(reference, candidates))
+        # Finer regions can only keep more peers.
+        assert len(sign) >= len(orthogonal)
+
+    def test_selects_nothing_without_candidates(self):
+        reference, _ = peer_grid()
+        assert SignCoefficientHyperplanesSelection(k=1).select(reference, []) == []
+
+
+class TestGenericHyperplanesSelection:
+    def test_factory_dimension_mismatch_is_detected(self):
+        selection = HyperplanesSelection(lambda dim: HyperplaneSet.orthogonal(dim + 1), k=1)
+        reference, candidates = peer_grid()
+        with pytest.raises(ValueError):
+            selection.select(reference, candidates)
+
+    def test_candidate_dimension_mismatch_is_detected(self):
+        selection = OrthogonalHyperplanesSelection(k=1)
+        reference = make_peer(0, (0.0, 0.0))
+        with pytest.raises(ValueError):
+            selection.select(reference, [make_peer(1, (1.0, 2.0, 3.0))])
+
+    def test_duplicate_candidate_ids_are_ignored(self):
+        selection = OrthogonalHyperplanesSelection(k=1)
+        reference = make_peer(0, (0.0, 0.0))
+        duplicate = make_peer(1, (1.0, 1.0))
+        chosen = selection.select(reference, [duplicate, duplicate])
+        assert chosen == [1]
+
+
+class TestRegistry:
+    def test_available_methods(self):
+        assert set(available_methods()) == {
+            "empty-rectangle",
+            "orthogonal",
+            "sign-coefficients",
+            "k-closest",
+        }
+
+    @pytest.mark.parametrize(
+        "name,expected_type",
+        [
+            ("orthogonal", OrthogonalHyperplanesSelection),
+            ("Orthogonal_Hyperplanes", OrthogonalHyperplanesSelection),
+            ("sign", SignCoefficientHyperplanesSelection),
+            ("k-closest", KClosestSelection),
+            ("h0", KClosestSelection),
+        ],
+    )
+    def test_lookup_with_aliases(self, name, expected_type):
+        method = make_selection_method(name, k=3)
+        assert isinstance(method, expected_type)
+        assert method.k == 3
+
+    def test_empty_rectangle_ignores_parameters(self):
+        method = make_selection_method("empty-rectangle", k=5)
+        assert type(method).__name__ == "EmptyRectangleSelection"
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown selection method"):
+            make_selection_method("voronoi")

@@ -1,0 +1,100 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simulation.engine import SimulationEngine
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule(2.0, lambda: order.append("late"))
+        engine.schedule(1.0, lambda: order.append("early"))
+        engine.run()
+        assert order == ["early", "late"]
+        assert engine.now == 2.0
+
+    def test_simultaneous_events_run_in_scheduling_order(self):
+        engine = SimulationEngine()
+        order = []
+        for label in ("a", "b", "c"):
+            engine.schedule(1.0, lambda l=label: order.append(l))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_schedule_after_is_relative_to_now(self):
+        engine = SimulationEngine()
+        times = []
+        engine.schedule(1.0, lambda: engine.schedule_after(0.5, lambda: times.append(engine.now)))
+        engine.run()
+        assert times == [1.5]
+
+    def test_cannot_schedule_in_the_past(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.schedule(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(ValueError):
+            engine.schedule_after(-1.0, lambda: None)
+
+
+class TestExecution:
+    def test_run_until_horizon_leaves_later_events_pending(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1.0))
+        engine.schedule(5.0, lambda: fired.append(5.0))
+        executed = engine.run(until=2.0)
+        assert executed == 1
+        assert fired == [1.0]
+        assert engine.now == 2.0
+        assert engine.pending_events == 1
+        engine.run()
+        assert fired == [1.0, 5.0]
+
+    def test_horizon_is_inclusive(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(2.0, lambda: fired.append(2.0))
+        engine.run(until=2.0)
+        assert fired == [2.0]
+
+    def test_max_events_budget(self):
+        engine = SimulationEngine()
+        fired = []
+        for i in range(5):
+            engine.schedule(float(i), lambda i=i: fired.append(i))
+        executed = engine.run(max_events=3)
+        assert executed == 3
+        assert fired == [0, 1, 2]
+
+    def test_step_on_empty_queue_returns_none(self):
+        assert SimulationEngine().step() is None
+
+    def test_event_counters(self):
+        engine = SimulationEngine()
+        engine.schedule(0.0, lambda: None)
+        engine.schedule(1.0, lambda: None)
+        assert engine.pending_events == 2
+        engine.run()
+        assert engine.processed_events == 2
+        assert engine.pending_events == 0
+
+    def test_events_can_schedule_new_events(self):
+        engine = SimulationEngine()
+        results = []
+
+        def chain(depth):
+            results.append(depth)
+            if depth < 3:
+                engine.schedule_after(1.0, lambda: chain(depth + 1))
+
+        engine.schedule(0.0, lambda: chain(0))
+        engine.run()
+        assert results == [0, 1, 2, 3]
+        assert engine.now == 3.0

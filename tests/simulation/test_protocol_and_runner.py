@@ -1,0 +1,159 @@
+"""Integration tests: the message-level protocol against the offline builders.
+
+The figure benchmarks use the offline (full-knowledge equilibrium) builders;
+these tests are the evidence that the message-level protocol -- joins,
+gossip, reselection, construction requests -- produces the same topologies
+and trees on small instances, which is what justifies the substitution
+documented in DESIGN.md.
+"""
+
+import pytest
+
+from repro.multicast.space_partition import SpacePartitionTreeBuilder
+from repro.overlay.network import OverlayNetwork
+from repro.overlay.selection.empty_rectangle import EmptyRectangleSelection
+from repro.overlay.selection.orthogonal import OrthogonalHyperplanesSelection
+from repro.simulation.protocol import CONSTRUCT, GossipConfig, PeerProcess, TreeRecorder
+from repro.simulation.runner import run_gossip_overlay, run_multicast_over_gossip_overlay
+from repro.workloads.peers import generate_peers, generate_peers_with_lifetimes
+
+
+class TestGossipConfig:
+    def test_defaults_are_valid(self):
+        config = GossipConfig()
+        assert config.broadcast_radius >= 2
+        assert config.tmax > config.gossip_period
+
+    def test_broadcast_radius_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            GossipConfig(broadcast_radius=1)
+
+    def test_tmax_must_exceed_gossip_period(self):
+        with pytest.raises(ValueError):
+            GossipConfig(gossip_period=5.0, tmax=5.0)
+
+    def test_periods_must_be_positive(self):
+        with pytest.raises(ValueError):
+            GossipConfig(gossip_period=0.0)
+
+
+class TestTreeRecorder:
+    def test_duplicate_deliveries_are_counted_not_recorded(self):
+        recorder = TreeRecorder(root=0)
+        assert recorder.record_delivery(1, 0) is True
+        assert recorder.record_delivery(1, 2) is False
+        assert recorder.duplicate_deliveries == 1
+        assert recorder.to_tree().parent(1) == 0
+        assert recorder.reached_peers() == {0, 1}
+
+
+class TestGossipOverlayConvergence:
+    def test_converges_to_the_full_knowledge_equilibrium(self):
+        peers = generate_peers(22, 2, seed=11)
+        simulated = run_gossip_overlay(
+            peers, EmptyRectangleSelection(), settle_time=40.0, seed=1
+        )
+        equilibrium = OverlayNetwork.build_equilibrium(peers, EmptyRectangleSelection())
+        assert simulated.snapshot().edges() == equilibrium.snapshot().edges()
+
+    def test_orthogonal_selection_also_converges(self):
+        peers = generate_peers_with_lifetimes(18, 2, seed=5)
+        simulated = run_gossip_overlay(
+            peers, OrthogonalHyperplanesSelection(k=1), settle_time=40.0, seed=2
+        )
+        snapshot = simulated.snapshot()
+        assert snapshot.is_connected()
+        assert snapshot.peer_count == 18
+
+    def test_gossip_traffic_is_accounted(self):
+        peers = generate_peers(10, 2, seed=3)
+        simulated = run_gossip_overlay(peers, EmptyRectangleSelection(), settle_time=10.0)
+        assert simulated.overlay_stats.count("announce") > 0
+        assert simulated.overlay_stats.messages_sent >= simulated.overlay_stats.count("announce")
+
+    def test_preferred_neighbours_follow_the_lifetime_rule(self):
+        peers = generate_peers_with_lifetimes(15, 2, seed=9)
+        simulated = run_gossip_overlay(
+            peers, OrthogonalHyperplanesSelection(k=2), settle_time=40.0, seed=4
+        )
+        lifetimes = {p.peer_id: p.coordinates[0] for p in peers}
+        preferred = simulated.preferred_neighbours()
+        longest_lived = max(lifetimes, key=lifetimes.get)
+        assert preferred[longest_lived] is None
+        for peer_id, parent in preferred.items():
+            if parent is not None:
+                assert lifetimes[parent] > lifetimes[peer_id]
+
+    def test_invalid_runner_parameters(self):
+        peers = generate_peers(4, 2, seed=0)
+        with pytest.raises(ValueError):
+            run_gossip_overlay(peers, EmptyRectangleSelection(), join_interval=0.0)
+
+
+class TestMessageLevelConstruction:
+    def test_matches_the_offline_builder_and_sends_n_minus_1_messages(self):
+        peers = generate_peers(20, 2, seed=21)
+        simulated = run_gossip_overlay(
+            peers, EmptyRectangleSelection(), settle_time=40.0, seed=3
+        )
+        root = peers[0].peer_id
+        outcome = run_multicast_over_gossip_overlay(simulated, root)
+
+        assert outcome.construction_messages == len(peers) - 1
+        assert outcome.result.duplicate_deliveries == 0
+        assert outcome.result.delivered_everywhere
+        assert outcome.network_stats.count(CONSTRUCT) == len(peers) - 1
+
+        offline = SpacePartitionTreeBuilder().build(simulated.snapshot(), root)
+        assert outcome.result.tree.parent_map() == offline.tree.parent_map()
+
+    def test_unknown_root_rejected(self):
+        peers = generate_peers(6, 2, seed=2)
+        simulated = run_gossip_overlay(peers, EmptyRectangleSelection(), settle_time=10.0)
+        with pytest.raises(KeyError):
+            run_multicast_over_gossip_overlay(simulated, root=404)
+
+
+class TestPeerProcessLifecycle:
+    def test_join_twice_rejected(self):
+        from repro.simulation.engine import SimulationEngine
+        from repro.simulation.network import SimulatedNetwork
+
+        engine = SimulationEngine()
+        network = SimulatedNetwork(engine)
+        peers = generate_peers(2, 2, seed=1)
+        process = PeerProcess(
+            peers[0],
+            engine=engine,
+            network=network,
+            selection=EmptyRectangleSelection(),
+            config=GossipConfig(),
+        )
+        process.join([peers[1]])
+        with pytest.raises(RuntimeError):
+            process.join([])
+
+    def test_departed_peer_stops_participating(self):
+        peers = generate_peers(8, 2, seed=7)
+        simulated = run_gossip_overlay(peers, EmptyRectangleSelection(), settle_time=20.0)
+        victim = peers[3].peer_id
+        simulated.processes[victim].leave()
+        assert not simulated.processes[victim].is_alive
+        assert not simulated.network.is_registered(victim)
+
+    def test_construction_before_joining_rejected(self):
+        from repro.simulation.engine import SimulationEngine
+        from repro.simulation.network import SimulatedNetwork
+
+        engine = SimulationEngine()
+        network = SimulatedNetwork(engine)
+        peers = generate_peers(1, 2, seed=1)
+        process = PeerProcess(
+            peers[0],
+            engine=engine,
+            network=network,
+            selection=EmptyRectangleSelection(),
+            config=GossipConfig(),
+        )
+        with pytest.raises(RuntimeError):
+            process.initiate_construction(TreeRecorder(peers[0].peer_id))

@@ -1,0 +1,32 @@
+"""Smoke tests for the top-level public API (the README quickstart)."""
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} is exported but missing"
+
+    def test_readme_quickstart(self):
+        peers = repro.generate_peers(count=60, dimension=2, seed=7)
+        overlay = repro.OverlayNetwork.build_equilibrium(
+            peers, repro.EmptyRectangleSelection()
+        )
+        result = repro.SpacePartitionTreeBuilder().build(overlay.snapshot(), root=0)
+        assert result.messages_sent == len(peers) - 1
+        assert result.delivered_everywhere
+
+    def test_stability_quickstart(self):
+        peers = repro.generate_peers_with_lifetimes(count=60, dimension=3, seed=7)
+        overlay = repro.OverlayNetwork.build_equilibrium(
+            peers, repro.OrthogonalHyperplanesSelection(k=2)
+        )
+        tree = repro.build_stability_tree(overlay.snapshot())
+        report = repro.simulate_departures(
+            tree, sorted(tree.nodes(), key=lambda p: peers[p].lifetime)
+        )
+        assert report.is_stable
