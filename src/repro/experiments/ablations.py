@@ -15,6 +15,12 @@ DESIGN.md):
   this ablation replays lifetime-ordered departures against the stability
   tree and against lifetime-oblivious alternatives and counts disconnection
   events.
+* **Overlay churn (A4)** -- the paper's churn experiments replay departures
+  only against the multicast *tree*; this ablation replays joins and
+  lifetime-ordered departures against the *overlay* itself, converging after
+  every membership event on the incremental reselection engine (the fast
+  path that makes per-event convergence affordable), and reports the
+  reconvergence effort and whether the overlay ever disconnects.
 """
 
 from __future__ import annotations
@@ -42,15 +48,20 @@ from repro.multicast.dissemination import simulate_departures
 from repro.multicast.space_partition import PickStrategy, SpacePartitionTreeBuilder
 from repro.multicast.stability import StabilityTreeBuilder
 from repro.multicast.tree import MulticastTree
+from repro.overlay.network import OverlayNetwork
+from repro.overlay.selection.orthogonal import OrthogonalHyperplanesSelection
+from repro.workloads.peers import generate_peers_with_lifetimes
 
 __all__ = [
     "BaselineComparisonRow",
     "PickStrategyRow",
     "ChurnRow",
+    "OverlayChurnRow",
     "AblationResult",
     "run_baseline_comparison",
     "run_pick_strategy_ablation",
     "run_churn_ablation",
+    "run_overlay_churn_ablation",
 ]
 
 
@@ -89,6 +100,19 @@ class ChurnRow:
     departures: int
     disconnection_events: int
     orphaned_peer_events: int
+
+
+@dataclass(frozen=True)
+class OverlayChurnRow:
+    """Overlay-level reconvergence effort during one churn phase."""
+
+    phase: str
+    dimension: int
+    k: int
+    events: int
+    total_rounds: int
+    maximum_rounds_per_event: int
+    disconnected_events: int
 
 
 @dataclass(frozen=True)
@@ -231,16 +255,111 @@ def run_pick_strategy_ablation(
     return rows, table
 
 
+def run_overlay_churn_ablation(
+    scale: Optional[ExperimentScale] = None,
+    *,
+    dimension: int = 3,
+    k: int = 2,
+) -> Tuple[List[OverlayChurnRow], AblationResult]:
+    """A4: per-event overlay reconvergence under joins and departures.
+
+    Every peer joins one at a time and the overlay converges after every
+    join (the paper's insertion procedure); then peers depart in lifetime
+    order with the overlay reconverging after every departure.  All
+    convergence runs on the incremental reselection engine -- the churn loop
+    this ablation exists to exercise -- and the row records how many
+    reselection rounds the engine needed and whether the overlay was ever
+    observed disconnected after settling.
+    """
+    resolved = scale if scale is not None else resolve_scale()
+    seed = derive_seed(resolved.seed, 14, dimension, k)
+    peers = generate_peers_with_lifetimes(resolved.peer_count, dimension, seed=seed)
+    rng = random.Random(seed)
+    overlay = OverlayNetwork(OrthogonalHyperplanesSelection(k=k))
+
+    rows: List[OverlayChurnRow] = []
+    join_rounds: List[int] = []
+    join_disconnected = 0
+    for peer in peers:
+        if overlay.peer_count == 0:
+            overlay.add_peer(peer, bootstrap=())
+            continue
+        bootstrap = {rng.choice(overlay.peer_ids)}
+        join_rounds.append(
+            overlay.insert_and_converge(peer, bootstrap=bootstrap, incremental=True)
+        )
+        if not overlay.snapshot().is_connected():
+            join_disconnected += 1
+    rows.append(
+        OverlayChurnRow(
+            phase="join",
+            dimension=dimension,
+            k=k,
+            events=len(join_rounds),
+            total_rounds=sum(join_rounds),
+            maximum_rounds_per_event=max(join_rounds, default=0),
+            disconnected_events=join_disconnected,
+        )
+    )
+
+    departure_order = sorted(
+        peers, key=lambda peer: (peer.lifetime, peer.peer_id)
+    )
+    leave_rounds: List[int] = []
+    leave_disconnected = 0
+    for peer in departure_order:
+        leave_rounds.append(overlay.remove_and_converge(peer.peer_id, incremental=True))
+        if overlay.peer_count > 1 and not overlay.snapshot().is_connected():
+            leave_disconnected += 1
+    rows.append(
+        OverlayChurnRow(
+            phase="leave",
+            dimension=dimension,
+            k=k,
+            events=len(leave_rounds),
+            total_rounds=sum(leave_rounds),
+            maximum_rounds_per_event=max(leave_rounds, default=0),
+            disconnected_events=leave_disconnected,
+        )
+    )
+
+    table = AblationResult(
+        name="overlay-churn",
+        headers=("phase", "D", "K", "events", "rounds", "max rounds", "disconnected"),
+        rows=tuple(
+            (
+                row.phase,
+                row.dimension,
+                row.k,
+                row.events,
+                row.total_rounds,
+                row.maximum_rounds_per_event,
+                row.disconnected_events,
+            )
+            for row in rows
+        ),
+    )
+    return rows, table
+
+
 def run_churn_ablation(
     scale: Optional[ExperimentScale] = None,
     *,
     dimension: int = 3,
     k: int = 2,
+    procedure: str = "equilibrium",
 ) -> Tuple[List[ChurnRow], AblationResult]:
-    """A3: lifetime-ordered departures against stability and oblivious trees."""
+    """A3: lifetime-ordered departures against stability and oblivious trees.
+
+    ``procedure="insertion"`` builds the underlying overlay with the
+    paper-literal insert-one-converge loop (on the incremental engine)
+    instead of the direct equilibrium jump.
+    """
     resolved = scale if scale is not None else resolve_scale()
     seed = derive_seed(resolved.seed, 13, dimension, k)
-    topology = build_section3_topology(resolved.peer_count, dimension, k, seed=seed)
+    topology = build_section3_topology(
+        resolved.peer_count, dimension, k, seed=seed, procedure=procedure
+    )
     peer_count = topology.peer_count
 
     lifetimes = {

@@ -19,6 +19,7 @@ from repro.overlay.topology import TopologySnapshot
 from repro.workloads.peers import generate_peers, generate_peers_with_lifetimes
 
 __all__ = [
+    "PROCEDURES",
     "build_section2_topology",
     "build_section3_topology",
     "sample_roots",
@@ -39,21 +40,50 @@ def derive_seed(base_seed: int, *components: int) -> int:
     return seed
 
 
+PROCEDURES = ("equilibrium", "insertion")
+
+
+def _build_overlay(peers, selection, *, procedure: str, seed: int) -> OverlayNetwork:
+    """Build an overlay by the requested procedure.
+
+    ``"equilibrium"`` jumps straight to the full-knowledge fixed point (the
+    historical fast path of the figure benchmarks); ``"insertion"`` follows
+    the paper's procedure literally -- peers inserted one by one, the overlay
+    converging after every insertion -- on the incremental reselection
+    engine, which is what makes that literal replay tractable at figure
+    scale.  Both produce the same full-knowledge topology.
+    """
+    if procedure == "equilibrium":
+        return OverlayNetwork.build_equilibrium(peers, selection)
+    if procedure == "insertion":
+        return OverlayNetwork.build_incremental(
+            peers, selection, rng=random.Random(seed), incremental=True
+        )
+    raise ValueError(
+        f"unknown build procedure {procedure!r}; known: {', '.join(PROCEDURES)}"
+    )
+
+
 def build_section2_topology(
     peer_count: int,
     dimension: int,
     *,
     seed: int,
+    procedure: str = "equilibrium",
 ) -> TopologySnapshot:
-    """Equilibrium empty-rectangle overlay over a random population.
+    """Empty-rectangle overlay over a random population (Section 2 setup).
 
     This is the Section 2 experimental setup: random identifiers, peers
     inserted until the topology reaches the equilibrium in which every peer
     knows every other peer (the fixed point the paper's per-insertion
-    convergence approaches).
+    convergence approaches).  ``procedure="insertion"`` replays the paper's
+    insert-one-converge loop on the incremental engine instead of jumping to
+    the fixed point directly.
     """
     peers = generate_peers(peer_count, dimension, seed=seed)
-    overlay = OverlayNetwork.build_equilibrium(peers, EmptyRectangleSelection())
+    overlay = _build_overlay(
+        peers, EmptyRectangleSelection(), procedure=procedure, seed=seed
+    )
     return overlay.snapshot()
 
 
@@ -63,16 +93,19 @@ def build_section3_topology(
     k: int,
     *,
     seed: int,
+    procedure: str = "equilibrium",
 ) -> TopologySnapshot:
-    """Equilibrium Orthogonal-Hyperplanes overlay with lifetime-first coordinates.
+    """Orthogonal-Hyperplanes overlay with lifetime-first coordinates.
 
     This is the Section 3 experimental setup: every peer's first coordinate
     is its departure time ``T(P)``, the remaining coordinates are random, and
-    the overlay keeps the ``K`` closest peers per orthant.
+    the overlay keeps the ``K`` closest peers per orthant.  As with the
+    Section 2 builder, ``procedure="insertion"`` runs the paper-literal
+    churn loop on the incremental engine.
     """
     peers = generate_peers_with_lifetimes(peer_count, dimension, seed=seed)
-    overlay = OverlayNetwork.build_equilibrium(
-        peers, OrthogonalHyperplanesSelection(k=k)
+    overlay = _build_overlay(
+        peers, OrthogonalHyperplanesSelection(k=k), procedure=procedure, seed=seed
     )
     return overlay.snapshot()
 

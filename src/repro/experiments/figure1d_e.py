@@ -56,6 +56,7 @@ class StabilitySweepResult:
 
     scale_name: str
     rows: Tuple[StabilitySweepRow, ...]
+    procedure: str = "equilibrium"
 
     # ------------------------------------------------------------------
     # Panel views
@@ -133,8 +134,20 @@ class StabilitySweepResult:
         return comparisons
 
 
-def run_stability_sweep(scale: Optional[ExperimentScale] = None) -> StabilitySweepResult:
-    """Run the full Section 3 sweep (feeds both Figure 1 (d) and (e))."""
+def run_stability_sweep(
+    scale: Optional[ExperimentScale] = None,
+    *,
+    procedure: str = "equilibrium",
+) -> StabilitySweepResult:
+    """Run the full Section 3 sweep (feeds both Figure 1 (d) and (e)).
+
+    ``procedure="insertion"`` rebuilds every ``(D, K)`` overlay with the
+    paper-literal churn loop -- peers inserted one at a time, converging
+    after every insertion -- on the incremental reselection engine instead
+    of the direct equilibrium jump.  Both procedures reach the same
+    full-knowledge topology; the insertion replay exists to validate that
+    equivalence at figure scale, which the engine makes affordable.
+    """
     resolved = scale if scale is not None else resolve_scale()
     builder = StabilityTreeBuilder()
     rows: List[StabilitySweepRow] = []
@@ -142,7 +155,7 @@ def run_stability_sweep(scale: Optional[ExperimentScale] = None) -> StabilitySwe
         for k in resolved.k_values:
             seed = derive_seed(resolved.seed, 4, dimension, k)
             topology = build_section3_topology(
-                resolved.peer_count, dimension, k, seed=seed
+                resolved.peer_count, dimension, k, seed=seed, procedure=procedure
             )
             forest = builder.build(topology)
             is_tree = forest.is_single_tree()
@@ -165,14 +178,20 @@ def run_stability_sweep(scale: Optional[ExperimentScale] = None) -> StabilitySwe
                     parents_outlive_children=forest.parents_outlive_children(),
                 )
             )
-    return StabilitySweepResult(scale_name=resolved.name, rows=tuple(rows))
+    return StabilitySweepResult(
+        scale_name=resolved.name, rows=tuple(rows), procedure=procedure
+    )
 
 
-def run_figure1d(scale: Optional[ExperimentScale] = None) -> StabilitySweepResult:
+def run_figure1d(
+    scale: Optional[ExperimentScale] = None, *, procedure: str = "equilibrium"
+) -> StabilitySweepResult:
     """Figure 1 (d) driver (the diameter view of the stability sweep)."""
-    return run_stability_sweep(scale)
+    return run_stability_sweep(scale, procedure=procedure)
 
 
-def run_figure1e(scale: Optional[ExperimentScale] = None) -> StabilitySweepResult:
+def run_figure1e(
+    scale: Optional[ExperimentScale] = None, *, procedure: str = "equilibrium"
+) -> StabilitySweepResult:
     """Figure 1 (e) driver (the degree view of the stability sweep)."""
-    return run_stability_sweep(scale)
+    return run_stability_sweep(scale, procedure=procedure)

@@ -29,7 +29,10 @@ __all__ = [
     "ExistenceAnnouncement",
     "AnnouncementStore",
     "peers_within_hops",
+    "peers_within_hops_of_any",
+    "changed_edge_endpoints",
     "knowledge_sets",
+    "knowledge_set_deltas",
 ]
 
 
@@ -139,6 +142,56 @@ def peers_within_hops(
     return visited
 
 
+def peers_within_hops_of_any(
+    adjacency: Mapping[int, Iterable[int]], sources: Iterable[int], radius: int
+) -> Set[int]:
+    """Peers within ``radius`` hops of *any* source (multi-source BFS).
+
+    Unlike :func:`peers_within_hops` the sources themselves are included --
+    a source's own knowledge set is affected by whatever made it a source.
+    Sources absent from ``adjacency`` are ignored (e.g. a peer that has
+    already departed).
+    """
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    visited: Set[int] = {source for source in sources if source in adjacency}
+    frontier = deque((source, 0) for source in sorted(visited))
+    while frontier:
+        node, depth = frontier.popleft()
+        if depth == radius:
+            continue
+        for neighbour in adjacency.get(node, ()):
+            if neighbour not in visited:
+                visited.add(neighbour)
+                frontier.append((neighbour, depth + 1))
+    return visited
+
+
+def changed_edge_endpoints(
+    old_adjacency: Mapping[int, Iterable[int]],
+    new_adjacency: Mapping[int, Iterable[int]],
+) -> Set[int]:
+    """Endpoints of every edge present in one adjacency but not the other.
+
+    Peers that appear or disappear entirely count as changed endpoints too
+    (their incident edges, possibly none, changed by definition).  This is
+    the seed set for incremental knowledge-set maintenance: a bounded-radius
+    reachability set can only change if an edge changed within ``radius``
+    hops of it.
+    """
+    endpoints: Set[int] = set()
+    for peer_id in set(old_adjacency) | set(new_adjacency):
+        old_neighbours = set(old_adjacency.get(peer_id, ()))
+        new_neighbours = set(new_adjacency.get(peer_id, ()))
+        if peer_id not in old_adjacency or peer_id not in new_adjacency:
+            endpoints.add(peer_id)
+            endpoints |= old_neighbours | new_neighbours
+        elif old_neighbours != new_neighbours:
+            endpoints.add(peer_id)
+            endpoints |= old_neighbours ^ new_neighbours
+    return endpoints
+
+
 def knowledge_sets(
     adjacency: Mapping[int, Iterable[int]], radius: int
 ) -> Dict[int, Set[int]]:
@@ -153,3 +206,37 @@ def knowledge_sets(
         peer_id: peers_within_hops(adjacency, peer_id, radius)
         for peer_id in adjacency
     }
+
+
+def knowledge_set_deltas(
+    old_adjacency: Mapping[int, Iterable[int]],
+    new_adjacency: Mapping[int, Iterable[int]],
+    radius: int,
+    known: Mapping[int, Set[int]],
+) -> Dict[int, Set[int]]:
+    """Recomputed ``I(P)`` for every peer whose reachability may have changed.
+
+    ``known`` holds the cached steady-state reachability sets under
+    ``old_adjacency``.  Only peers within ``radius`` hops of a changed edge
+    (in the union of the two graphs, so both vanished and appeared edges are
+    covered) are re-explored; the returned mapping contains exactly the peers
+    of ``new_adjacency`` whose recomputed set differs from the cached one --
+    the *reachability delta* the incremental reselection engine consumes.
+    Departed peers simply stop appearing; the caller drops their cache entry.
+    """
+    seeds = changed_edge_endpoints(old_adjacency, new_adjacency)
+    if not seeds:
+        return {}
+    union_adjacency: Dict[int, Set[int]] = {}
+    for source in (old_adjacency, new_adjacency):
+        for peer_id, neighbours in source.items():
+            union_adjacency.setdefault(peer_id, set()).update(neighbours)
+    affected = peers_within_hops_of_any(union_adjacency, seeds, radius)
+    deltas: Dict[int, Set[int]] = {}
+    for peer_id in affected:
+        if peer_id not in new_adjacency:
+            continue
+        recomputed = peers_within_hops(new_adjacency, peer_id, radius)
+        if recomputed != known.get(peer_id):
+            deltas[peer_id] = recomputed
+    return deltas

@@ -1,0 +1,302 @@
+"""Incremental reselection: converge by reacting to deltas, not global sweeps.
+
+The paper's experimental procedure inserts peers one at a time and lets the
+overlay converge after every insertion.  Running that with full synchronous
+sweeps (:meth:`repro.overlay.network.OverlayNetwork.reselect_round`) costs a
+full ``select()`` for every peer in every round, which makes the procedure
+roughly cubic in the population size.  This module maintains the information
+needed to re-run selection *only where something could have changed* -- the
+reaction-to-deltas pattern gossip aggregation protocols use to reach large
+populations.
+
+Dirty-set invariants
+--------------------
+
+The engine tracks, for every peer ``P``:
+
+* ``last_candidates[P]`` -- the candidate id set ``I(P)`` at the moment of
+  ``P``'s last installed selection, or ``None`` when no selection consistent
+  with the engine's bookkeeping exists (freshly joined peers, peers whose
+  neighbour set was mutated behind the engine's back by a departure).
+* membership of the *dirty set* -- ``P`` is dirty exactly when its current
+  ``I(P)`` may differ from ``last_candidates[P]``.
+
+Clean peers therefore provably reproduce their current selection, so a
+partial round that re-selects only dirty peers installs the same topology a
+full synchronous sweep would; by induction the incremental path follows the
+full-sweep trajectory round for round and terminates in the identical fixed
+point (the cross-check property tests exercise exactly this).
+
+Dirtiness is seeded by membership events (the joined peer, departed peers'
+selectors) and propagated each round through candidate-set deltas: under
+full knowledge via per-peer pending gain/loss accumulators (cheap, ids
+only), and under a bounded gossip radius via
+:func:`repro.overlay.gossip.knowledge_set_deltas`, which re-explores only
+peers within ``BR`` hops of a changed overlay edge.
+
+When the selection method declares itself *path independent*
+(:attr:`~repro.overlay.selection.base.NeighbourSelectionMethod.path_independent`),
+two cheaper re-selection paths apply:
+
+* a peer that only *lost* candidates it had not selected keeps its selection
+  with no recomputation at all;
+* a peer that only *gained* candidates re-selects from ``selection + gained``
+  instead of its full candidate set.
+
+Methods without the property fall back to full-candidate recomputation,
+which is always correct.  Selections are batched through
+:meth:`~repro.overlay.selection.base.NeighbourSelectionMethod.select_many`
+so vectorised methods amortise the per-call overhead.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Set
+
+from repro.overlay.gossip import knowledge_set_deltas, knowledge_sets
+from repro.overlay.peer import PeerInfo
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.overlay.network import OverlayNetwork
+
+__all__ = ["IncrementalReselectionEngine"]
+
+
+class IncrementalReselectionEngine:
+    """Delta-driven convergence state for one :class:`OverlayNetwork`.
+
+    The engine is created lazily by the first ``converge(incremental=True)``
+    call and kept in sync through the overlay's membership methods; a
+    full-sweep round invalidates it (the sweep rewrites every neighbour set
+    outside the engine's bookkeeping), after which the next incremental
+    convergence starts from an all-dirty state -- one batched full round --
+    and is incremental from there on.
+    """
+
+    def __init__(self, overlay: "OverlayNetwork") -> None:
+        self._overlay = overlay
+        self._radius = overlay.gossip_radius
+        # I(P) at each peer's last installed selection; None forces a full
+        # recomputation for that peer.
+        self._last_candidates: Dict[int, Optional[FrozenSet[int]]] = {}
+        # Full-knowledge mode: membership deltas accumulated since each
+        # peer's last selection (ids only, so a join costs O(N) set adds).
+        self._pending_gain: Dict[int, Set[int]] = {}
+        self._pending_loss: Dict[int, Set[int]] = {}
+        self._dirty: Set[int] = set()
+        # Gossip-limited mode: cached bounded-hop reachability and the
+        # adjacency it was computed under.
+        self._known: Dict[int, Set[int]] = {}
+        self._prev_adjacency: Dict[int, Set[int]] = {}
+        self._bootstrap()
+
+    def _bootstrap(self) -> None:
+        """Adopt the overlay's current state: everything dirty, no history."""
+        overlay = self._overlay
+        for peer_id in overlay.peer_ids:
+            self._last_candidates[peer_id] = None
+            self._dirty.add(peer_id)
+        if self._radius is not None:
+            self._prev_adjacency = {
+                peer_id: set(neighbours)
+                for peer_id, neighbours in overlay.adjacency().items()
+            }
+            self._known = knowledge_sets(self._prev_adjacency, self._radius)
+
+    # ------------------------------------------------------------------
+    # Introspection (used by tests)
+    # ------------------------------------------------------------------
+    @property
+    def dirty_peers(self) -> FrozenSet[int]:
+        """Peers whose candidate sets may have changed since last selection."""
+        return frozenset(self._dirty)
+
+    # ------------------------------------------------------------------
+    # Membership notifications
+    # ------------------------------------------------------------------
+    def note_join(self, peer_id: int) -> None:
+        """A peer was added (already present in the overlay's peer map)."""
+        members = self._overlay._peers  # noqa: SLF001 - engine is a friend class
+        self._last_candidates[peer_id] = None
+        self._dirty.add(peer_id)
+        if self._radius is not None:
+            # Reachability deltas at the next round pick up the new edges;
+            # seed an empty cache entry so candidate building never KeyErrors.
+            self._known.setdefault(peer_id, set())
+            return
+        for other in members:
+            if other == peer_id:
+                continue
+            self._dirty.add(other)
+            if self._last_candidates.get(other) is None:
+                continue
+            # A re-join of a previously departed id supersedes its loss.
+            self._pending_loss.setdefault(other, set()).discard(peer_id)
+            self._pending_gain.setdefault(other, set()).add(peer_id)
+
+    def note_leave(self, peer_id: int, selectors: Iterable[int]) -> None:
+        """A peer was removed; ``selectors`` had it in their neighbour sets.
+
+        Selectors' installed neighbour sets were just mutated (the departed
+        id was stripped), so no selection consistent with any candidate set
+        exists for them any more: they are forced onto the full-recompute
+        path.  Everyone else merely lost a candidate it had not selected.
+        """
+        self._forget(peer_id)
+        for selector in selectors:
+            self._last_candidates[selector] = None
+            self._dirty.add(selector)
+        if self._radius is not None:
+            # The vanished edges are picked up by the adjacency diff at the
+            # next round; _prev_adjacency still holds them on purpose.
+            return
+        for other in self._overlay._peers:  # noqa: SLF001
+            if self._last_candidates.get(other) is None:
+                self._dirty.add(other)
+                continue
+            self._pending_gain.setdefault(other, set()).discard(peer_id)
+            if peer_id in self._last_candidates[other]:
+                self._pending_loss.setdefault(other, set()).add(peer_id)
+                self._dirty.add(other)
+
+    def _forget(self, peer_id: int) -> None:
+        self._last_candidates.pop(peer_id, None)
+        self._pending_gain.pop(peer_id, None)
+        self._pending_loss.pop(peer_id, None)
+        self._dirty.discard(peer_id)
+        self._known.pop(peer_id, None)
+
+    # ------------------------------------------------------------------
+    # Rounds
+    # ------------------------------------------------------------------
+    def run_round(self) -> bool:
+        """One partial synchronous round; ``True`` if any selection changed.
+
+        Candidate sets are derived from the pre-round topology (reachability
+        is refreshed before any selection is installed), and all updates are
+        installed at once -- the same synchronous semantics as the full
+        sweep, restricted to dirty peers.
+        """
+        overlay = self._overlay
+        peers = overlay._peers  # noqa: SLF001
+        neighbours = overlay._neighbours  # noqa: SLF001
+        if self._radius is not None:
+            self._refresh_reachability()
+        if not self._dirty:
+            return False
+
+        selection = overlay.selection
+        references: List[PeerInfo] = []
+        candidates_by_peer: Dict[int, List[PeerInfo]] = {}
+        additive_updates: List = []
+        new_last: Dict[int, FrozenSet[int]] = {}
+
+        for peer_id in sorted(self._dirty):
+            if peer_id not in peers:
+                self._forget(peer_id)
+                continue
+            last = self._last_candidates.get(peer_id)
+            current_selection = neighbours[peer_id]
+            current_ids: Optional[Set[int]] = None
+            if last is None:
+                gained: Set[int] = set()
+                lost: Set[int] = set()
+            elif self._radius is None:
+                gained = {
+                    g for g in self._pending_gain.get(peer_id, ()) if g in peers
+                }
+                lost = set(self._pending_loss.get(peer_id, ()))
+            else:
+                current_ids = overlay._candidate_ids(  # noqa: SLF001
+                    peer_id, self._known.get(peer_id, ())
+                )
+                gained = current_ids - last
+                lost = last - current_ids
+
+            if last is None or not selection.path_independent or (lost & current_selection):
+                # Full recomputation against the complete candidate set.
+                if current_ids is None:
+                    if self._radius is None:
+                        current_ids = set(peers)
+                        current_ids.discard(peer_id)
+                    else:
+                        current_ids = overlay._candidate_ids(  # noqa: SLF001
+                            peer_id, self._known.get(peer_id, ())
+                        )
+                candidates_by_peer[peer_id] = [
+                    peers[other] for other in sorted(current_ids)
+                ]
+                references.append(peers[peer_id])
+                new_last[peer_id] = frozenset(current_ids)
+            elif not gained:
+                # Only never-selected candidates were lost: path independence
+                # guarantees the selection is unchanged, skip the recompute.
+                new_last[peer_id] = frozenset(last - lost)
+            else:
+                # Gains only: path independence lets the previous selection
+                # stand in for the full previous candidate set.
+                additive_updates.append(
+                    (
+                        peers[peer_id],
+                        [peers[other] for other in sorted(current_selection)],
+                        [peers[other] for other in sorted(gained)],
+                    )
+                )
+                new_last[peer_id] = frozenset((last | gained) - lost)
+
+        additive_results: Optional[Dict[int, List[int]]] = None
+        if additive_updates:
+            additive_results = selection.select_many_additive(additive_updates)
+            if additive_results is None:
+                # No specialised delta rule: rebuild the reduced candidate
+                # sets (selection + gained) and go through the batched API.
+                for reference, selected, gained_infos in additive_updates:
+                    merged = {peer.peer_id: peer for peer in selected}
+                    merged.update({peer.peer_id: peer for peer in gained_infos})
+                    candidates_by_peer[reference.peer_id] = [
+                        merged[other] for other in sorted(merged)
+                    ]
+                    references.append(reference)
+
+        results = (
+            selection.select_many(references, candidates_by_peer)
+            if references
+            else {}
+        )
+        changed = False
+        for reference in references:
+            selected = set(results[reference.peer_id])
+            if selected != neighbours[reference.peer_id]:
+                neighbours[reference.peer_id] = selected
+                changed = True
+        if additive_results:
+            for peer_id, selected_ids in additive_results.items():
+                selected = set(selected_ids)
+                if selected != neighbours[peer_id]:
+                    neighbours[peer_id] = selected
+                    changed = True
+        for peer_id, ids in new_last.items():
+            self._last_candidates[peer_id] = ids
+            self._pending_gain.pop(peer_id, None)
+            self._pending_loss.pop(peer_id, None)
+        self._dirty.clear()
+        return changed
+
+    def _refresh_reachability(self) -> None:
+        """Diff adjacency against the cached graph; dirty changed knowledge."""
+        current = {
+            peer_id: set(neighbour_ids)
+            for peer_id, neighbour_ids in self._overlay.adjacency().items()
+        }
+        if current == self._prev_adjacency:
+            return
+        deltas = knowledge_set_deltas(
+            self._prev_adjacency, current, self._radius, self._known
+        )
+        for peer_id, reachable in deltas.items():
+            self._known[peer_id] = reachable
+            self._dirty.add(peer_id)
+        for peer_id in list(self._known):
+            if peer_id not in current:
+                del self._known[peer_id]
+        self._prev_adjacency = current

@@ -4,11 +4,26 @@
 which peers exist, which neighbours each peer has selected -- and exposes the
 two ways of reaching the equilibrium topology:
 
-* :meth:`OverlayNetwork.converge` runs synchronous *reselection rounds*: in
-  every round each peer recomputes its candidate set ``I(P)`` (either every
-  other peer, or the peers within ``gossip_radius`` = ``BR`` overlay hops of
-  it) and applies the neighbour selection method.  This mirrors the paper's
-  procedure of letting the overlay converge after every membership change.
+* :meth:`OverlayNetwork.converge` runs synchronous *reselection rounds*.
+  Two equivalent convergence paths implement them:
+
+  - the **full sweep** (``incremental=False``, the reference path): in every
+    round each peer recomputes its candidate set ``I(P)`` (either every
+    other peer, or the peers within ``gossip_radius`` = ``BR`` overlay hops
+    of it) and applies the neighbour selection method.  This mirrors the
+    paper's procedure of letting the overlay converge after every membership
+    change, at ``O(N)`` selections per round.
+  - the **incremental engine** (``incremental=True``, backed by
+    :class:`repro.overlay.incremental.IncrementalReselectionEngine`): only
+    *dirty* peers -- those whose candidate set may have changed since their
+    last selection -- are re-selected each round, with dirtiness seeded by
+    membership events and propagated through candidate-set deltas.  Partial
+    rounds install exactly what a full sweep would (clean peers provably
+    reproduce their selection), so both paths follow the same trajectory and
+    reach the identical fixed point; property tests cross-check this.  The
+    engine is what makes the paper's insert-one-converge procedure tractable
+    at churn scale (``N = 1000`` and beyond).
+
 * :meth:`OverlayNetwork.build_equilibrium` jumps straight to the
   full-knowledge fixed point using the selection method's (possibly
   vectorised) :meth:`~repro.overlay.selection.base.NeighbourSelectionMethod.compute_equilibrium`.
@@ -26,11 +41,25 @@ import random
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set
 
 from repro.overlay.gossip import knowledge_sets
+from repro.overlay.incremental import IncrementalReselectionEngine
 from repro.overlay.peer import PeerInfo
 from repro.overlay.selection.base import NeighbourSelectionMethod
 from repro.overlay.topology import TopologySnapshot, undirected_closure
 
 __all__ = ["OverlayNetwork", "ConvergenceError"]
+
+
+def _validate_dimension(peer: PeerInfo, dimension: int) -> None:
+    """Reject a peer whose identifier dimension differs from the overlay's.
+
+    Shared by :meth:`OverlayNetwork.add_peer` and the bulk builders so a bad
+    population always fails with the same clear message instead of crashing
+    deep inside the numpy selection code.
+    """
+    if peer.dimension != dimension:
+        raise ValueError(
+            f"peer {peer.peer_id} has dimension {peer.dimension}, overlay uses {dimension}"
+        )
 
 
 class ConvergenceError(RuntimeError):
@@ -70,6 +99,10 @@ class OverlayNetwork:
         self._gossip_radius = gossip_radius
         self._peers: Dict[int, PeerInfo] = {}
         self._neighbours: Dict[int, Set[int]] = {}
+        # Created lazily by the first converge(incremental=True); kept in
+        # sync by the membership methods and dropped whenever a full sweep
+        # rewrites the topology behind its back.
+        self._engine: Optional[IncrementalReselectionEngine] = None
 
     # ------------------------------------------------------------------
     # Membership
@@ -117,11 +150,7 @@ class OverlayNetwork:
         if peer.peer_id in self._peers:
             raise ValueError(f"peer {peer.peer_id} is already in the overlay")
         if self._peers:
-            dimension = next(iter(self._peers.values())).dimension
-            if peer.dimension != dimension:
-                raise ValueError(
-                    f"peer {peer.peer_id} has dimension {peer.dimension}, overlay uses {dimension}"
-                )
+            _validate_dimension(peer, next(iter(self._peers.values())).dimension)
         if bootstrap is None:
             bootstrap_ids: Set[int] = {min(self._peers)} if self._peers else set()
         else:
@@ -131,6 +160,8 @@ class OverlayNetwork:
                 raise KeyError(f"bootstrap peers {sorted(unknown)} are not in the overlay")
         self._peers[peer.peer_id] = peer
         self._neighbours[peer.peer_id] = set(bootstrap_ids)
+        if self._engine is not None:
+            self._engine.note_join(peer.peer_id)
 
     def remove_peer(self, peer_id: int) -> PeerInfo:
         """Remove a peer and every link that references it."""
@@ -139,8 +170,15 @@ class OverlayNetwork:
         except KeyError:
             raise KeyError(f"unknown peer {peer_id}") from None
         self._neighbours.pop(peer_id, None)
-        for neighbours in self._neighbours.values():
-            neighbours.discard(peer_id)
+        selectors = [
+            other
+            for other, neighbours in self._neighbours.items()
+            if peer_id in neighbours
+        ]
+        for selector in selectors:
+            self._neighbours[selector].discard(peer_id)
+        if self._engine is not None:
+            self._engine.note_leave(peer_id, selectors)
         return info
 
     # ------------------------------------------------------------------
@@ -165,28 +203,46 @@ class OverlayNetwork:
     # ------------------------------------------------------------------
     # Knowledge sets and convergence
     # ------------------------------------------------------------------
+    def _candidate_ids(self, peer_id: int, reachable: Iterable[int]) -> Set[int]:
+        """Candidate ids of one peer given its bounded-hop reachability.
+
+        The single place encoding the gossip-radius candidate semantics: a
+        peer knows everything its announcements footprint covers, *plus* its
+        bootstrap contacts (a joining peer always knows them even before any
+        gossip round has run over the new links), and never itself.  Both the
+        public :meth:`knowledge_set`, the full-sweep round and the
+        incremental engine build candidate sets through here, so the
+        semantics cannot drift between the paths.
+        """
+        known = set(reachable)
+        known |= self._neighbours[peer_id]
+        known.discard(peer_id)
+        return known
+
     def knowledge_set(self, peer_id: int) -> List[PeerInfo]:
         """The candidate set ``I(P)`` of one peer under the current topology."""
         if peer_id not in self._peers:
             raise KeyError(f"unknown peer {peer_id}")
         if self._gossip_radius is None:
             return [info for other, info in self._peers.items() if other != peer_id]
-        adjacency = self.adjacency()
-        reachable = knowledge_sets(adjacency, self._gossip_radius)[peer_id]
-        # A joining peer always knows its bootstrap contacts even before any
-        # gossip round has run over the new links.
-        reachable |= self._neighbours[peer_id]
-        reachable.discard(peer_id)
-        return [self._peers[other] for other in sorted(reachable)]
+        reachable = knowledge_sets(self.adjacency(), self._gossip_radius)[peer_id]
+        return [
+            self._peers[other]
+            for other in sorted(self._candidate_ids(peer_id, reachable))
+        ]
 
     def reselect_round(self) -> bool:
-        """One synchronous reselection round; returns ``True`` if anything changed.
+        """One synchronous full-sweep round; returns ``True`` if anything changed.
 
         Every peer recomputes its candidate set against the *pre-round*
         topology and applies the selection method; all updates are then
         installed at once.  Synchronous rounds make convergence deterministic
         and are the discrete-time counterpart of "periodically, every peer
         broadcasts its existence ... then selects its new overlay neighbours".
+
+        This is the reference path the incremental engine is cross-checked
+        against; running it rewrites every neighbour set, so any live engine
+        state is discarded.
         """
         if self._gossip_radius is None:
             candidates_by_peer = {
@@ -194,13 +250,14 @@ class OverlayNetwork:
                 for peer_id in self._peers
             }
         else:
-            adjacency = self.adjacency()
-            reachable = knowledge_sets(adjacency, self._gossip_radius)
-            candidates_by_peer = {}
-            for peer_id in self._peers:
-                known = set(reachable[peer_id]) | self._neighbours[peer_id]
-                known.discard(peer_id)
-                candidates_by_peer[peer_id] = [self._peers[other] for other in sorted(known)]
+            reachable = knowledge_sets(self.adjacency(), self._gossip_radius)
+            candidates_by_peer = {
+                peer_id: [
+                    self._peers[other]
+                    for other in sorted(self._candidate_ids(peer_id, reachable[peer_id]))
+                ]
+                for peer_id in self._peers
+            }
 
         changed = False
         new_neighbours: Dict[int, Set[int]] = {}
@@ -210,16 +267,31 @@ class OverlayNetwork:
             if selected != self._neighbours[peer_id]:
                 changed = True
         self._neighbours = new_neighbours
+        self._engine = None
         return changed
 
-    def converge(self, *, max_rounds: int = 50) -> int:
+    def converge(self, *, max_rounds: int = 50, incremental: bool = False) -> int:
         """Run reselection rounds until a fixed point; returns the round count.
+
+        With ``incremental=True`` the rounds are driven by the dirty-set
+        engine (only peers whose candidate sets may have changed are
+        re-selected); otherwise every round is a full sweep.  Both paths
+        reach the identical fixed point -- the incremental one merely skips
+        provably unchanged work, so it may report fewer rounds.
 
         Raises :class:`ConvergenceError` if the topology is still changing
         after ``max_rounds`` rounds.
         """
         if max_rounds < 1:
             raise ValueError("max_rounds must be at least 1")
+        if incremental:
+            if self._engine is None:
+                self._engine = IncrementalReselectionEngine(self)
+            engine = self._engine
+            for round_index in range(1, max_rounds + 1):
+                if not engine.run_round():
+                    return round_index
+            raise ConvergenceError(max_rounds)
         for round_index in range(1, max_rounds + 1):
             if not self.reselect_round():
                 return round_index
@@ -231,17 +303,20 @@ class OverlayNetwork:
         *,
         bootstrap: Optional[Iterable[int]] = None,
         max_rounds: int = 50,
+        incremental: bool = False,
     ) -> int:
         """Insert one peer and let the overlay converge (the paper's procedure)."""
         self.add_peer(peer, bootstrap=bootstrap)
-        return self.converge(max_rounds=max_rounds)
+        return self.converge(max_rounds=max_rounds, incremental=incremental)
 
-    def remove_and_converge(self, peer_id: int, *, max_rounds: int = 50) -> int:
+    def remove_and_converge(
+        self, peer_id: int, *, max_rounds: int = 50, incremental: bool = False
+    ) -> int:
         """Remove one peer and let the overlay converge."""
         self.remove_peer(peer_id)
         if not self._peers:
             return 0
-        return self.converge(max_rounds=max_rounds)
+        return self.converge(max_rounds=max_rounds, incremental=incremental)
 
     # ------------------------------------------------------------------
     # Bulk builders
@@ -257,11 +332,21 @@ class OverlayNetwork:
         This is the topology the paper's gossip process converges to when
         every peer has heard about every other peer; it is also the fast path
         used by the figure benchmarks.
+
+        The population is validated the same way :meth:`add_peer` validates a
+        joining peer: duplicate ids and mixed identifier dimensions raise
+        :class:`ValueError` up front instead of crashing deep inside the
+        vectorised equilibrium code.
         """
         overlay = cls(selection, gossip_radius=None)
+        dimension: Optional[int] = None
         for peer in peers:
             if peer.peer_id in overlay._peers:
                 raise ValueError(f"duplicate peer id {peer.peer_id}")
+            if dimension is None:
+                dimension = peer.dimension
+            else:
+                _validate_dimension(peer, dimension)
             overlay._peers[peer.peer_id] = peer
         equilibrium = selection.compute_equilibrium(peers)
         overlay._neighbours = {
@@ -278,6 +363,7 @@ class OverlayNetwork:
         gossip_radius: Optional[int] = None,
         max_rounds: int = 50,
         rng: Optional[random.Random] = None,
+        incremental: bool = True,
     ) -> "OverlayNetwork":
         """Insert peers one at a time, converging after every insertion.
 
@@ -286,6 +372,11 @@ class OverlayNetwork:
         converge after every insertion)").  Bootstrap contacts are chosen
         uniformly at random among the peers already present (deterministic
         when ``rng`` is seeded).
+
+        Per-insertion convergence uses the incremental engine by default --
+        the two paths produce identical topologies and the dirty-set path is
+        what keeps churn-scale runs (``N = 1000``) tractable; pass
+        ``incremental=False`` to cross-check against full sweeps.
         """
         generator = rng if rng is not None else random.Random(0)
         overlay = cls(selection, gossip_radius=gossip_radius)
@@ -294,5 +385,10 @@ class OverlayNetwork:
                 overlay.add_peer(peer, bootstrap=())
                 continue
             bootstrap = {generator.choice(overlay.peer_ids)}
-            overlay.insert_and_converge(peer, bootstrap=bootstrap, max_rounds=max_rounds)
+            overlay.insert_and_converge(
+                peer,
+                bootstrap=bootstrap,
+                max_rounds=max_rounds,
+                incremental=incremental,
+            )
         return overlay

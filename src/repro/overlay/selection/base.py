@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Sequence, Set
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.overlay.peer import PeerInfo
 
@@ -18,8 +18,29 @@ class NeighbourSelectionMethod(abc.ABC):
     the full population as candidates -- the fixed point the gossip process
     converges to when every peer eventually learns about every other peer.
     Methods with a faster vectorised path (the ones used at ``N = 1000``)
-    override it.
+    override it.  Batched reselection (the incremental convergence engine)
+    goes through :meth:`select_many`, which methods may also vectorise.
     """
+
+    #: ``True`` when :meth:`select` is a *path-independent* choice function,
+    #: i.e. for every reference peer ``P``, candidate set ``C`` and extra
+    #: candidates ``G``:
+    #:
+    #: 1. ``select(P, C + G) == select(P, select(P, C) + G)`` -- discarding
+    #:    candidates that were not selected does not change what a later,
+    #:    larger selection picks; and
+    #: 2. removing a candidate that was *not* selected never changes the
+    #:    selection.
+    #:
+    #: Per-region skylines and per-region top-``K`` rankings under a strict
+    #: total order both have this property.  The incremental reselection
+    #: engine exploits it to re-run a peer's selection against ``selected +
+    #: gained`` instead of the full candidate set when the candidate set only
+    #: gained members (and to skip the peer entirely when it only lost
+    #: non-selected members).  Methods that cannot guarantee the property
+    #: must leave it ``False``; the engine then falls back to full-candidate
+    #: recomputation, which is always correct.
+    path_independent: bool = False
 
     @abc.abstractmethod
     def select(
@@ -49,6 +70,72 @@ class NeighbourSelectionMethod(abc.ABC):
             others = [peer for peer in peers if peer.peer_id != reference.peer_id]
             result[reference.peer_id] = set(self.select(reference, others))
         return result
+
+    def select_many(
+        self,
+        references: Sequence[PeerInfo],
+        candidates_by_peer: Mapping[int, Sequence[PeerInfo]],
+    ) -> Dict[int, List[int]]:
+        """Batched :meth:`select`: one selection per reference peer.
+
+        ``candidates_by_peer`` maps each reference's ``peer_id`` to its
+        candidate set ``I(P)``.  The default implementation simply loops over
+        :meth:`select`; methods with a vectorised path override it so the
+        incremental reselection engine can amortise per-call overhead across
+        a whole batch of dirty peers.  Overrides must return exactly what the
+        per-peer loop would (same ids per reference, order irrelevant to
+        callers that treat the result as a set).
+        """
+        return {
+            reference.peer_id: self.select(
+                reference, candidates_by_peer[reference.peer_id]
+            )
+            for reference in references
+        }
+
+    def _select_many_dispatch(
+        self,
+        references: Sequence[PeerInfo],
+        candidates_by_peer: Mapping[int, Sequence[PeerInfo]],
+        threshold: int,
+        vectorised,
+    ) -> Dict[int, List[int]]:
+        """Shared :meth:`select_many` body for methods with a numpy path.
+
+        Per reference: candidate sets below ``threshold`` go through the
+        plain-python :meth:`select` (array construction would dominate),
+        larger ones through ``vectorised(reference, candidates)``.
+        """
+        results: Dict[int, List[int]] = {}
+        for reference in references:
+            candidates = candidates_by_peer[reference.peer_id]
+            if len(candidates) < threshold:
+                results[reference.peer_id] = self.select(reference, candidates)
+            else:
+                results[reference.peer_id] = vectorised(reference, candidates)
+        return results
+
+    def select_many_additive(
+        self,
+        updates: Sequence[Tuple[PeerInfo, Sequence[PeerInfo], Sequence[PeerInfo]]],
+    ) -> Optional[Dict[int, List[int]]]:
+        """Batched re-selection for purely additive candidate-set deltas.
+
+        Each update is ``(reference, currently_selected, gained)`` where
+        ``currently_selected`` is the reference's installed selection (known
+        to equal ``select(reference, I(P))`` for its previous candidate set)
+        and ``gained`` are the candidates its set gained.  By path
+        independence the new selection is ``select(reference,
+        currently_selected + gained)``; methods with a vectorised delta rule
+        override this to compute the whole batch at once and may *omit*
+        references whose selection provably did not change -- callers treat
+        missing keys as "unchanged".
+
+        The default returns ``None``, meaning "no specialised path": callers
+        fall back to :meth:`select_many` over rebuilt candidate sets.  Only
+        meaningful for methods with ``path_independent = True``.
+        """
+        return None
 
     # ------------------------------------------------------------------
     # Shared helpers

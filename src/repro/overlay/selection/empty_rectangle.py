@@ -32,7 +32,7 @@ distinct-coordinate assumption; the workload generators enforce it.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -42,9 +42,18 @@ from repro.overlay.selection.base import NeighbourSelectionMethod
 
 __all__ = ["EmptyRectangleSelection", "brute_force_empty_rectangle_neighbours"]
 
+# Below this many candidates the plain-python select() beats the numpy path
+# (array construction dominates); the batched API switches implementation per
+# reference so churn-scale workloads get the best of both.
+_VECTORISE_THRESHOLD = 32
+
 
 class EmptyRectangleSelection(NeighbourSelectionMethod):
     """Keep every candidate whose bounding box with the reference peer is empty."""
+
+    # Per-orthant skylines are path independent: dropping dominated (never
+    # selected) candidates cannot change the Pareto minima of the orthant.
+    path_independent = True
 
     def select(
         self, reference: PeerInfo, candidates: Sequence[PeerInfo]
@@ -73,11 +82,158 @@ class EmptyRectangleSelection(NeighbourSelectionMethod):
                 selected.append(peer_id)
         return sorted(selected)
 
+    def select_many(
+        self,
+        references: Sequence[PeerInfo],
+        candidates_by_peer: Mapping[int, Sequence[PeerInfo]],
+    ) -> Dict[int, List[int]]:
+        """Batched selection, vectorising each large candidate set in numpy.
+
+        The incremental convergence engine mixes tiny candidate sets (a
+        peer's previous selection plus the few newly learned peers) with
+        occasional full-knowledge recomputations; each reference uses the
+        implementation that is faster at its candidate count.
+        """
+        return self._select_many_dispatch(
+            references, candidates_by_peer, _VECTORISE_THRESHOLD, self._select_vectorised
+        )
+
+    def select_many_additive(
+        self,
+        updates: Sequence[Tuple[PeerInfo, Sequence[PeerInfo], Sequence[PeerInfo]]],
+    ) -> Optional[Dict[int, List[int]]]:
+        """Vectorised skyline update for candidate sets that only gained peers.
+
+        The churn-scale hot path: when one peer joins under full knowledge,
+        every existing peer's candidate set gains exactly that peer.  For a
+        clean reference ``P`` with selection ``S`` the skyline update rule is
+        local:
+
+        * if some ``s in S`` dominates the gained peer ``Q`` in ``Q``'s
+          orthant, nothing changes (``Q`` is boxed out, and by transitivity
+          ``Q`` cannot box out any skyline member either);
+        * otherwise ``Q`` joins the selection and evicts exactly the members
+          it dominates.
+
+        Both tests are flat comparisons over the ``(reference, selected)``
+        pairs, so the whole batch is a handful of numpy operations
+        regardless of how many peers are dirty.  References whose selection
+        is unchanged may be omitted from the result.  Updates with several
+        gained peers (rare: only gossip-limited rounds produce them, on
+        small neighbourhoods) simply re-select from ``selected + gained``,
+        which path independence makes exact.  Like the fast ``select`` path,
+        the vectorised rule relies on the paper's distinct-coordinate
+        assumption.
+        """
+        results: Dict[int, List[int]] = {}
+        singles = []
+        for reference, selected, gained in updates:
+            if len(gained) == 1:
+                singles.append((reference, list(selected), gained[0]))
+            else:
+                results[reference.peer_id] = self.select(
+                    reference, list(selected) + list(gained)
+                )
+        results.update(self._additive_step(singles) if singles else {})
+        return results
+
+    def _additive_step(
+        self, batch: Sequence[Tuple[PeerInfo, List[PeerInfo], PeerInfo]]
+    ) -> Dict[int, List[int]]:
+        """One gained candidate per reference; returns only changed selections."""
+        ref_coords = np.asarray(
+            [tuple(reference.coordinates) for reference, _, _ in batch], dtype=float
+        )
+        gain_coords = np.asarray(
+            [tuple(gained.coordinates) for _, _, gained in batch], dtype=float
+        )
+        dimension = ref_coords.shape[1]
+        powers = 1 << np.arange(dimension)
+        greater_gain = gain_coords > ref_coords
+        gain_keys = np.where(greater_gain, gain_coords, -gain_coords)
+        gain_codes = (greater_gain @ powers).astype(np.int64)
+
+        owners: List[int] = []
+        pair_coords: List[Tuple[float, ...]] = []
+        for index, (_, selected, _) in enumerate(batch):
+            for peer in selected:
+                owners.append(index)
+                pair_coords.append(tuple(peer.coordinates))
+        blocked = np.zeros(len(batch), dtype=bool)
+        if owners:
+            owner_index = np.asarray(owners, dtype=np.int64)
+            member_coords = np.asarray(pair_coords, dtype=float)
+            origin = ref_coords[owner_index]
+            greater = member_coords > origin
+            member_keys = np.where(greater, member_coords, -member_coords)
+            member_codes = (greater @ powers).astype(np.int64)
+            same_orthant = member_codes == gain_codes[owner_index]
+            member_dominates = same_orthant & np.all(
+                member_keys <= gain_keys[owner_index], axis=1
+            )
+            gain_dominates = same_orthant & np.all(
+                gain_keys[owner_index] <= member_keys, axis=1
+            )
+            np.logical_or.at(blocked, owner_index, member_dominates)
+            evicted_pairs = np.nonzero(gain_dominates)[0]
+        else:
+            owner_index = np.zeros(0, dtype=np.int64)
+            evicted_pairs = np.zeros(0, dtype=np.int64)
+
+        evicted_by_owner: Dict[int, Set[int]] = {}
+        flat_position = 0
+        positions: List[int] = []
+        for index, (_, selected, _) in enumerate(batch):
+            positions.append(flat_position)
+            flat_position += len(selected)
+        for pair in evicted_pairs:
+            owner = int(owner_index[pair])
+            if blocked[owner]:
+                continue
+            offset = int(pair) - positions[owner]
+            evicted_by_owner.setdefault(owner, set()).add(offset)
+
+        results: Dict[int, List[int]] = {}
+        for index, (reference, selected, gained) in enumerate(batch):
+            if blocked[index]:
+                continue
+            evicted = evicted_by_owner.get(index, ())
+            kept = [
+                peer.peer_id
+                for offset, peer in enumerate(selected)
+                if offset not in evicted
+            ]
+            kept.append(gained.peer_id)
+            results[reference.peer_id] = sorted(kept)
+        return results
+
+    def _select_vectorised(
+        self, reference: PeerInfo, candidates: Sequence[PeerInfo]
+    ) -> List[int]:
+        """Numpy per-orthant skyline for one reference (see select())."""
+        others = self._exclude_reference(reference, candidates)
+        if not others:
+            return []
+        ids = np.asarray([peer.peer_id for peer in others], dtype=np.int64)
+        coords = np.asarray([tuple(peer.coordinates) for peer in others], dtype=float)
+        origin = np.asarray(tuple(reference.coordinates), dtype=float)
+        greater = coords > origin
+        # Sign-flipped raw coordinates (see select()): dominance checks on
+        # these are exactly the bounding-box comparisons of the paper.
+        keys = np.where(greater, coords, -coords)
+        powers = 1 << np.arange(coords.shape[1])
+        codes = (greater @ powers).astype(np.int64)
+        selected: List[int] = []
+        for code in np.unique(codes):
+            mask = codes == code
+            selected.extend(_skyline_ids(keys[mask], ids[mask]))
+        return sorted(selected)
+
     def compute_equilibrium(self, peers: Sequence[PeerInfo]) -> Dict[int, Set[int]]:
         """Vectorised full-knowledge equilibrium (per-orthant skylines in numpy)."""
         if not peers:
             return {}
-        peer_ids = [peer.peer_id for peer in peers]
+        peer_ids = np.asarray([peer.peer_id for peer in peers], dtype=np.int64)
         coords = np.asarray([tuple(peer.coordinates) for peer in peers], dtype=float)
         count, dimension = coords.shape
         powers = 1 << np.arange(dimension)
@@ -96,21 +252,30 @@ class EmptyRectangleSelection(NeighbourSelectionMethod):
             other_codes = codes[other_indices]
             for code in np.unique(other_codes):
                 members = other_indices[other_codes == code]
-                member_keys = keys[members]
-                order = np.argsort(member_keys.sum(axis=1), kind="stable")
-                kept_rows: List[np.ndarray] = []
-                kept_members: List[int] = []
-                for position in order:
-                    row = member_keys[position]
-                    if kept_rows and bool(
-                        np.all(np.asarray(kept_rows) <= row, axis=1).any()
-                    ):
-                        continue
-                    kept_rows.append(row)
-                    kept_members.append(int(members[position]))
-                selected.update(peer_ids[m] for m in kept_members)
-            result[peer_ids[index]] = selected
+                selected.update(_skyline_ids(keys[members], peer_ids[members]))
+            result[int(peer_ids[index])] = selected
         return result
+
+
+def _skyline_ids(member_keys: np.ndarray, member_ids: np.ndarray) -> List[int]:
+    """Ids of the Pareto-minimal rows of ``member_keys`` (component-wise ``<=``).
+
+    The numpy counterpart of :func:`_pareto_minima`, shared by the vectorised
+    equilibrium and batched-selection paths: rows are visited in increasing
+    ``(L1 magnitude, peer id)`` order, so a kept row can never be dominated by
+    a later one and one pass with dominance checks against the kept set
+    suffices.
+    """
+    order = np.lexsort((member_ids, member_keys.sum(axis=1)))
+    kept_rows: List[np.ndarray] = []
+    kept_ids: List[int] = []
+    for position in order:
+        row = member_keys[position]
+        if kept_rows and bool(np.all(np.asarray(kept_rows) <= row, axis=1).any()):
+            continue
+        kept_rows.append(row)
+        kept_ids.append(int(member_ids[position]))
+    return kept_ids
 
 
 def _pareto_minima(

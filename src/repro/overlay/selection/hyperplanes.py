@@ -16,16 +16,42 @@ specialisations:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.geometry.distance import DistanceFunction, get_distance
 from repro.geometry.hyperplane import HyperplaneSet
 from repro.overlay.peer import PeerInfo
 from repro.overlay.selection.base import NeighbourSelectionMethod
 
-__all__ = ["HyperplanesSelection"]
+__all__ = ["HyperplanesSelection", "minkowski"]
 
 HyperplaneSetFactory = Callable[[int], HyperplaneSet]
+
+# Minkowski orders of the distance names the numpy fast paths understand.
+MINKOWSKI_ORDERS = {"l1": 1.0, "manhattan": 1.0, "l2": 2.0, "euclidean": 2.0,
+                    "linf": float("inf"), "chebyshev": float("inf")}
+
+# Below this many candidates the generic python selection beats building
+# numpy arrays; the batched APIs switch implementation per reference.
+VECTORISE_THRESHOLD = 48
+
+
+def minkowski(deltas: np.ndarray, order: float) -> np.ndarray:
+    """Row-wise Minkowski norm of a matrix of coordinate differences.
+
+    Supports the orders the named distances map to (1, 2 and infinity);
+    other orders are rejected rather than silently miscomputed.
+    """
+    magnitudes = np.abs(deltas)
+    if order == 1.0:
+        return magnitudes.sum(axis=1)
+    if order == 2.0:
+        return np.sqrt((magnitudes ** 2).sum(axis=1))
+    if order == float("inf"):
+        return magnitudes.max(axis=1)
+    raise ValueError(f"unsupported Minkowski order {order!r}; known: 1, 2, inf")
 
 
 class HyperplanesSelection(NeighbourSelectionMethod):
@@ -45,6 +71,11 @@ class HyperplanesSelection(NeighbourSelectionMethod):
         Defaults to Euclidean distance.
     """
 
+    # Per-region top-K under the strict (distance, peer id) total order is
+    # path independent: removing a candidate ranked below the cut in its
+    # region never changes any region's top K.
+    path_independent = True
+
     def __init__(
         self,
         hyperplane_factory: HyperplaneSetFactory,
@@ -56,6 +87,13 @@ class HyperplanesSelection(NeighbourSelectionMethod):
             raise ValueError(f"k must be at least 1, got {k}")
         self._hyperplane_factory = hyperplane_factory
         self._k = k
+        # Minkowski order of the distance when it is a norm known by name;
+        # the vectorised subclasses only take their numpy paths when set.
+        self._distance_order: Optional[float] = (
+            MINKOWSKI_ORDERS.get(distance.strip().lower())
+            if isinstance(distance, str)
+            else None
+        )
         self._distance = get_distance(distance) if isinstance(distance, str) else distance
         self._sets_by_dimension: Dict[int, HyperplaneSet] = {}
 

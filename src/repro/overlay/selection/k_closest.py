@@ -10,9 +10,18 @@ quantify that difference.
 
 from __future__ import annotations
 
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
 from repro.geometry.distance import DistanceFunction
 from repro.geometry.hyperplane import HyperplaneSet
-from repro.overlay.selection.hyperplanes import HyperplanesSelection
+from repro.overlay.peer import PeerInfo
+from repro.overlay.selection.hyperplanes import (
+    VECTORISE_THRESHOLD,
+    HyperplanesSelection,
+    minkowski,
+)
 
 __all__ = ["KClosestSelection"]
 
@@ -22,3 +31,34 @@ class KClosestSelection(HyperplanesSelection):
 
     def __init__(self, *, k: int = 1, distance: "DistanceFunction | str" = "l2") -> None:
         super().__init__(HyperplaneSet.empty, k=k, distance=distance)
+
+    def select_many(
+        self,
+        references: Sequence[PeerInfo],
+        candidates_by_peer: Mapping[int, Sequence[PeerInfo]],
+    ) -> Dict[int, List[int]]:
+        """Batched selection; a numpy top-``K`` when the distance is Minkowski.
+
+        The numpy path assumes the well-formed inputs the overlay layer
+        provides and is only taken for large candidate sets where it pays
+        off; everything else goes through the generic per-peer loop.
+        """
+        if self._distance_order is None:
+            return super().select_many(references, candidates_by_peer)
+        return self._select_many_dispatch(
+            references, candidates_by_peer, VECTORISE_THRESHOLD, self._select_vectorised
+        )
+
+    def _select_vectorised(
+        self, reference: PeerInfo, candidates: Sequence[PeerInfo]
+    ) -> List[int]:
+        others = self._exclude_reference(reference, candidates)
+        if not others:
+            return []
+        ids = np.asarray([peer.peer_id for peer in others], dtype=np.int64)
+        coords = np.asarray([tuple(peer.coordinates) for peer in others], dtype=float)
+        origin = np.asarray(tuple(reference.coordinates), dtype=float)
+        distances = minkowski(coords - origin, self._distance_order)
+        # The same (distance, peer id) tie-break as the generic path.
+        ranking = np.lexsort((ids, distances))[: self.k]
+        return [int(ids[position]) for position in ranking]

@@ -12,29 +12,60 @@ vectorised equilibrium path keeps that sweep tractable.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set
+from typing import Dict, List, Mapping, Sequence, Set
 
 import numpy as np
 
 from repro.geometry.distance import DistanceFunction
 from repro.geometry.hyperplane import HyperplaneSet
 from repro.overlay.peer import PeerInfo
-from repro.overlay.selection.hyperplanes import HyperplanesSelection
+from repro.overlay.selection.hyperplanes import (
+    VECTORISE_THRESHOLD,
+    HyperplanesSelection,
+    minkowski,
+)
 
 __all__ = ["OrthogonalHyperplanesSelection"]
-
-_DISTANCE_NAMES = {"l1": 1.0, "manhattan": 1.0, "l2": 2.0, "euclidean": 2.0,
-                   "linf": float("inf"), "chebyshev": float("inf")}
 
 
 class OrthogonalHyperplanesSelection(HyperplanesSelection):
     """Keep the ``K`` closest candidates in each of the ``2^D`` orthants."""
 
     def __init__(self, *, k: int = 1, distance: "DistanceFunction | str" = "l2") -> None:
-        self._distance_order = (
-            _DISTANCE_NAMES.get(distance.strip().lower()) if isinstance(distance, str) else None
-        )
         super().__init__(HyperplaneSet.orthogonal, k=k, distance=distance)
+
+    def select_many(
+        self,
+        references: Sequence[PeerInfo],
+        candidates_by_peer: Mapping[int, Sequence[PeerInfo]],
+    ) -> Dict[int, List[int]]:
+        """Batched per-orthant top-``K``; numpy for named Minkowski distances."""
+        if self._distance_order is None:
+            return super().select_many(references, candidates_by_peer)
+        return self._select_many_dispatch(
+            references, candidates_by_peer, VECTORISE_THRESHOLD, self._select_vectorised
+        )
+
+    def _select_vectorised(
+        self, reference: PeerInfo, candidates: Sequence[PeerInfo]
+    ) -> List[int]:
+        others = self._exclude_reference(reference, candidates)
+        if not others:
+            return []
+        ids = np.asarray([peer.peer_id for peer in others], dtype=np.int64)
+        coords = np.asarray([tuple(peer.coordinates) for peer in others], dtype=float)
+        origin = np.asarray(tuple(reference.coordinates), dtype=float)
+        deltas = coords - origin
+        powers = 1 << np.arange(coords.shape[1])
+        codes = ((deltas > 0) @ powers).astype(np.int64)
+        distances = minkowski(deltas, self._distance_order)
+        selected: List[int] = []
+        for code in np.unique(codes):
+            mask = codes == code
+            member_ids = ids[mask]
+            ranking = np.lexsort((member_ids, distances[mask]))[: self.k]
+            selected.extend(int(member_ids[position]) for position in ranking)
+        return selected
 
     def compute_equilibrium(self, peers: Sequence[PeerInfo]) -> Dict[int, Set[int]]:
         """Vectorised full-knowledge equilibrium.
@@ -59,7 +90,7 @@ class OrthogonalHyperplanesSelection(HyperplanesSelection):
             mask[index] = False
             # Orthant code of every other peer: bit i set when delta on axis i > 0.
             codes = ((deltas > 0) @ powers).astype(np.int64)
-            distances = _minkowski(deltas, self._distance_order)
+            distances = minkowski(deltas, self._distance_order)
             selected: Set[int] = set()
             other_indices = np.nonzero(mask)[0]
             other_codes = codes[other_indices]
@@ -72,12 +103,3 @@ class OrthogonalHyperplanesSelection(HyperplanesSelection):
             result[peer_ids[index]] = selected
         return result
 
-
-def _minkowski(deltas: np.ndarray, order: float) -> np.ndarray:
-    """Row-wise Minkowski norm of a matrix of coordinate differences."""
-    magnitudes = np.abs(deltas)
-    if order == 1.0:
-        return magnitudes.sum(axis=1)
-    if order == 2.0:
-        return np.sqrt((magnitudes ** 2).sum(axis=1))
-    return magnitudes.max(axis=1)

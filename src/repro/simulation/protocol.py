@@ -28,6 +28,7 @@ figure benchmarks.
 
 from __future__ import annotations
 
+import itertools
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
@@ -42,7 +43,7 @@ from repro.overlay.selection.base import NeighbourSelectionMethod
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.network import Message, SimulatedNetwork
 
-__all__ = ["GossipConfig", "TreeRecorder", "PeerProcess"]
+__all__ = ["GossipConfig", "ConstructionRequest", "TreeRecorder", "PeerProcess"]
 
 ANNOUNCE = "announce"
 CONSTRUCT = "construct"
@@ -82,16 +83,36 @@ class GossipConfig:
             raise ValueError("Tmax must be larger than the gossiping period")
 
 
+@dataclass(frozen=True)
+class ConstructionRequest:
+    """A Section 2 construction message: the zone, tagged with its session.
+
+    The session tag lets a peer tell a fresh construction request apart from
+    one still in flight from an earlier session over the same overlay --
+    without it, a stale message would be recorded into whichever recorder is
+    currently attached and corrupt the later session's tree.
+    """
+
+    session: int
+    zone: HyperRectangle
+
+
 class TreeRecorder:
     """Collects the multicast tree as construction messages are delivered.
 
     The recorder is shared by all peer processes of one construction session;
     it is bookkeeping for the experimenter (who received what, from whom),
-    not protocol state -- peers never read it.
+    not protocol state -- peers never read it.  Every recorder carries a
+    unique session token; construction messages are tagged with it so that
+    messages from one session can never be recorded into another session's
+    recorder.
     """
+
+    _session_counter = itertools.count()
 
     def __init__(self, root: int) -> None:
         self._root = root
+        self._session = next(self._session_counter)
         self._parents: Dict[int, Optional[int]] = {root: None}
         self._zones: Dict[int, HyperRectangle] = {}
         self._duplicates = 0
@@ -100,6 +121,11 @@ class TreeRecorder:
     def root(self) -> int:
         """The initiating peer."""
         return self._root
+
+    @property
+    def session(self) -> int:
+        """Unique token tying construction messages to this session."""
+        return self._session
 
     @property
     def duplicate_deliveries(self) -> int:
@@ -263,7 +289,14 @@ class PeerProcess:
         self._forward_construction(zone, recorder)
 
     def attach_recorder(self, recorder: TreeRecorder) -> None:
-        """Attach the session recorder (called by the runner on every peer)."""
+        """Attach the session recorder, replacing any previous session's.
+
+        Called by the runner on every peer at the start of a session.  Any
+        construction message still in flight from an earlier session is
+        ignored from this point on (its session token no longer matches), so
+        back-to-back sessions over the same settled overlay cannot leak
+        state into each other.
+        """
         self._recorder = recorder
         self._received_construction = False
 
@@ -366,18 +399,23 @@ class PeerProcess:
                 self._network.send(self.peer_id, neighbour, ANNOUNCE, forwarded)
 
     def _on_construct(self, message: Message) -> None:
-        zone: HyperRectangle = message.payload
+        request: ConstructionRequest = message.payload
         recorder = self._recorder
         if recorder is None:
             raise RuntimeError(
                 f"peer {self.peer_id} received a construction request outside a session"
             )
+        if request.session != recorder.session:
+            # A message still in flight from an earlier session: the peers
+            # already moved on to a new recorder, so recording it would leak
+            # one session's tree into another's.
+            return
         accepted = recorder.record_delivery(self.peer_id, message.sender)
         if not accepted or self._received_construction:
             return
         self._received_construction = True
-        recorder.record_zone(self.peer_id, zone)
-        self._forward_construction(zone, recorder)
+        recorder.record_zone(self.peer_id, request.zone)
+        self._forward_construction(request.zone, recorder)
 
     def _forward_construction(self, zone: HyperRectangle, recorder: TreeRecorder) -> None:
         neighbours = [
@@ -394,4 +432,9 @@ class PeerProcess:
             rng=self._rng,
         )
         for child_info, child_zone_value in children:
-            self._network.send(self.peer_id, child_info.peer_id, CONSTRUCT, child_zone_value)
+            self._network.send(
+                self.peer_id,
+                child_info.peer_id,
+                CONSTRUCT,
+                ConstructionRequest(session=recorder.session, zone=child_zone_value),
+            )

@@ -156,6 +156,12 @@ def run_multicast_over_gossip_overlay(
     The network counters are reset first, so the reported message count is
     the construction traffic only (gossip keeps running underneath, exactly
     as it would in the real system, but is counted separately by kind).
+
+    The session is isolated from any previous one over the same overlay:
+    every peer's previously attached :class:`TreeRecorder` is replaced by
+    this session's, and construction messages carry the session token, so
+    requests still in flight from an earlier session are ignored rather
+    than recorded into the new tree.
     """
     if root not in overlay.processes:
         raise KeyError(f"root {root} is not a peer of the simulated overlay")

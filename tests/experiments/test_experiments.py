@@ -5,6 +5,7 @@ import pytest
 from repro.experiments.ablations import (
     run_baseline_comparison,
     run_churn_ablation,
+    run_overlay_churn_ablation,
     run_pick_strategy_ablation,
 )
 from repro.experiments.config import SCALES, ExperimentScale, resolve_scale
@@ -97,6 +98,17 @@ class TestFigure1c:
 
 
 class TestStabilitySweep:
+    def test_insertion_procedure_matches_equilibrium(self):
+        """The paper-literal churn loop reproduces the equilibrium sweep."""
+        direct = run_stability_sweep(TINY)
+        replayed = run_stability_sweep(TINY, procedure="insertion")
+        assert replayed.procedure == "insertion"
+        assert replayed.rows == direct.rows
+
+    def test_unknown_procedure_rejected(self):
+        with pytest.raises(ValueError, match="procedure"):
+            run_stability_sweep(TINY, procedure="telepathy")
+
     def test_invariants_hold_at_every_point(self):
         result = run_stability_sweep(TINY)
         assert len(result.rows) == len(TINY.section3_dimensions) * len(TINY.k_values)
@@ -137,3 +149,18 @@ class TestAblations:
         others = [row for row in rows if row.strategy != "stability"]
         assert any(row.disconnection_events > 0 for row in others)
         assert "stability" in table.to_table()
+
+    def test_overlay_churn_ablation(self):
+        rows, table = run_overlay_churn_ablation(TINY, dimension=2, k=2)
+        by_phase = {row.phase: row for row in rows}
+        assert set(by_phase) == {"join", "leave"}
+        assert by_phase["join"].events == TINY.peer_count - 1
+        assert by_phase["leave"].events == TINY.peer_count
+        # Per-event reconvergence stays cheap and never splits the overlay.
+        for row in rows:
+            # The very last departure empties the overlay and costs 0 rounds.
+            assert row.total_rounds >= row.events - 1
+            assert row.maximum_rounds_per_event <= 10
+            assert row.disconnected_events == 0
+        assert "overlay-churn" == table.name
+        assert "join" in table.to_table()

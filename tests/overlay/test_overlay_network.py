@@ -125,6 +125,16 @@ class TestEquilibriumBuilder:
         with pytest.raises(ValueError):
             OverlayNetwork.build_equilibrium(peers, EmptyRectangleSelection())
 
+    def test_mixed_dimension_population_rejected(self):
+        """The bulk builder validates dimensions the way add_peer does."""
+        peers = [
+            make_peer(0, (0.0, 0.0)),
+            make_peer(1, (1.0, 1.0)),
+            make_peer(2, (2.0, 2.0, 2.0)),
+        ]
+        with pytest.raises(ValueError, match="dimension"):
+            OverlayNetwork.build_equilibrium(peers, EmptyRectangleSelection())
+
     def test_snapshot_contains_all_peers(self, peers_2d):
         overlay = OverlayNetwork.build_equilibrium(peers_2d, EmptyRectangleSelection())
         snapshot = overlay.snapshot()

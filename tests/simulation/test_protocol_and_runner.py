@@ -113,6 +113,36 @@ class TestMessageLevelConstruction:
         with pytest.raises(KeyError):
             run_multicast_over_gossip_overlay(simulated, root=404)
 
+    def test_back_to_back_sessions_do_not_share_state(self):
+        peers = generate_peers(16, 2, seed=13)
+        simulated = run_gossip_overlay(
+            peers, EmptyRectangleSelection(), settle_time=40.0, seed=5
+        )
+        first = run_multicast_over_gossip_overlay(simulated, peers[0].peer_id)
+        second = run_multicast_over_gossip_overlay(simulated, peers[1].peer_id)
+        assert first.result.tree.root == peers[0].peer_id
+        assert second.result.tree.root == peers[1].peer_id
+        assert second.result.delivered_everywhere
+        assert second.construction_messages == len(peers) - 1
+
+    def test_in_flight_messages_from_a_previous_session_are_ignored(self):
+        peers = generate_peers(16, 2, seed=17)
+        simulated = run_gossip_overlay(
+            peers, EmptyRectangleSelection(), settle_time=40.0, seed=6
+        )
+        # Cut the first session short so its construction messages are still
+        # in flight when the second session starts.
+        truncated = run_multicast_over_gossip_overlay(
+            simulated, peers[0].peer_id, extra_time=0.0
+        )
+        assert not truncated.result.delivered_everywhere
+        second = run_multicast_over_gossip_overlay(simulated, peers[1].peer_id)
+        # Without session isolation the stale messages would be recorded into
+        # the second recorder as spurious parents/duplicates.
+        assert second.result.tree.root == peers[1].peer_id
+        assert second.result.delivered_everywhere
+        assert second.result.duplicate_deliveries == 0
+
 
 class TestPeerProcessLifecycle:
     def test_join_twice_rejected(self):
