@@ -15,6 +15,15 @@ import pytest
 from repro.experiments.config import ExperimentScale, resolve_scale
 
 
+def pytest_configure(config: pytest.Config) -> None:
+    """Register the marker carried by the heavyweight replay benchmarks."""
+    config.addinivalue_line(
+        "markers",
+        "slow: minutes-scale benchmark; the CI tier-1 job deselects these "
+        '(-m "not slow")',
+    )
+
+
 @pytest.fixture(scope="session")
 def scale() -> ExperimentScale:
     """The experiment scale every benchmark in this session runs at."""

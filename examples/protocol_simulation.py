@@ -54,6 +54,12 @@ def main() -> None:
         f"({stats.count('announce')} announcements, {stats.count('link-open')} link-opens) "
         f"over {simulated.engine.now:.0f} simulated seconds."
     )
+    print(
+        f"Dirty-set reselect ticks: {simulated.total_reselect_ticks()} ticks, "
+        f"{simulated.total_selection_invocations()} full selections, "
+        f"{simulated.total_additive_updates()} additive updates, "
+        f"{simulated.total_reselect_skips()} skipped."
+    )
 
     outcome = run_multicast_over_gossip_overlay(simulated, root=peers[0].peer_id)
     print("\nMulticast tree construction over the live overlay")

@@ -6,8 +6,9 @@ one-to-one onto the experiment drivers:
 
 * ``figure1a`` / ``figure1b`` / ``figure1c`` -- the Section 2 panels,
 * ``figure1d`` / ``figure1e`` -- the Section 3 sweep (diameter / degree view),
-* ``ablations`` -- the ablations of DESIGN.md (A1-A3) plus the overlay-churn
-  reconvergence ablation (A4),
+* ``ablations`` -- the ablations of DESIGN.md (A1-A3), the overlay-churn
+  reconvergence ablation (A4) and the message-replay dirty-set reselection
+  ablation (A5),
 * ``all`` -- everything above in sequence.
 
 Every command accepts ``--scale smoke|bench|paper`` (default: the
@@ -24,6 +25,7 @@ from typing import List, Optional
 from repro.experiments.ablations import (
     run_baseline_comparison,
     run_churn_ablation,
+    run_message_replay_ablation,
     run_overlay_churn_ablation,
     run_pick_strategy_ablation,
 )
@@ -114,6 +116,7 @@ def _run_ablations(scale) -> None:
         ("Ablation A2 - region pick strategy", run_pick_strategy_ablation),
         ("Ablation A3 - departures vs tree strategy", run_churn_ablation),
         ("Ablation A4 - overlay churn reconvergence", run_overlay_churn_ablation),
+        ("Ablation A5 - message-replay dirty-set reselection", run_message_replay_ablation),
     ):
         _, table = runner(scale)
         _print_block(f"{title} [{scale.name}]", table.to_table())

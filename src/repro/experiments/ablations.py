@@ -21,11 +21,19 @@ DESIGN.md):
   every membership event on the incremental reselection engine (the fast
   path that makes per-event convergence affordable), and reports the
   reconvergence effort and whether the overlay ever disconnects.
+* **Message replay (A5)** -- the message-level simulator replays the same
+  join/leave churn twice, once reapplying the neighbour selection method on
+  every reselect tick and once with the dirty-set tick of
+  :class:`repro.simulation.protocol.PeerProcess`; the rows show both runs
+  settle to the identical topology while the dirty-set run invokes the
+  selection method a fraction as often -- the measurement behind trusting
+  the fast path in the protocol-faithful experiments.
 """
 
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -49,19 +57,24 @@ from repro.multicast.space_partition import PickStrategy, SpacePartitionTreeBuil
 from repro.multicast.stability import StabilityTreeBuilder
 from repro.multicast.tree import MulticastTree
 from repro.overlay.network import OverlayNetwork
+from repro.overlay.selection.empty_rectangle import EmptyRectangleSelection
 from repro.overlay.selection.orthogonal import OrthogonalHyperplanesSelection
-from repro.workloads.peers import generate_peers_with_lifetimes
+from repro.simulation.runner import run_gossip_overlay
+from repro.workloads.churn import interleaved_join_leave_schedule
+from repro.workloads.peers import generate_peers, generate_peers_with_lifetimes
 
 __all__ = [
     "BaselineComparisonRow",
     "PickStrategyRow",
     "ChurnRow",
     "OverlayChurnRow",
+    "MessageReplayRow",
     "AblationResult",
     "run_baseline_comparison",
     "run_pick_strategy_ablation",
     "run_churn_ablation",
     "run_overlay_churn_ablation",
+    "run_message_replay_ablation",
 ]
 
 
@@ -113,6 +126,22 @@ class OverlayChurnRow:
     total_rounds: int
     maximum_rounds_per_event: int
     disconnected_events: int
+
+
+@dataclass(frozen=True)
+class MessageReplayRow:
+    """Cost of one message-level replay mode over the same churn schedule."""
+
+    mode: str
+    dimension: int
+    peers: int
+    departures: int
+    reselect_ticks: int
+    selection_invocations: int
+    additive_updates: int
+    skipped_ticks: int
+    wall_seconds: float
+    identical_topology: bool
 
 
 @dataclass(frozen=True)
@@ -408,6 +437,100 @@ def run_churn_ablation(
                 row.departures,
                 row.disconnection_events,
                 row.orphaned_peer_events,
+            )
+            for row in rows
+        ),
+    )
+    return rows, table
+
+
+def run_message_replay_ablation(
+    scale: Optional[ExperimentScale] = None,
+    *,
+    dimension: int = 2,
+    replay_cap: int = 80,
+) -> Tuple[List[MessageReplayRow], AblationResult]:
+    """A5: dirty-set reselect ticks versus per-tick full reselection.
+
+    Replays the identical seeded join/leave churn schedule through the
+    message-level simulator twice -- once reapplying the selection method on
+    every peer's every reselect tick, once with the dirty-set tick -- and
+    reports the selection-invocation counts, skip counts and wall-clock of
+    each mode, together with whether the two settled to the identical
+    topology (they must; the equivalence tests assert it).  The population
+    is capped at ``replay_cap`` so the full-reselect arm stays affordable
+    inside ``ablations``/``all`` CLI runs; the uncapped scaling measurement
+    lives in ``benchmarks/test_message_replay_scaling.py``.
+    """
+    resolved = scale if scale is not None else resolve_scale()
+    count = min(resolved.peer_count, replay_cap)
+    seed = derive_seed(resolved.seed, 15, dimension, count)
+    peers = generate_peers(count, dimension, seed=seed)
+    schedule = interleaved_join_leave_schedule(
+        count, join_interval=1.0, leave_fraction=0.2, holdoff=6.0, seed=seed
+    )
+
+    runs = {}
+    timings = {}
+    for mode, incremental in (("full-reselect", False), ("dirty-set", True)):
+        started = time.perf_counter()
+        runs[mode] = run_gossip_overlay(
+            peers,
+            EmptyRectangleSelection(),
+            churn=schedule,
+            settle_time=20.0,
+            seed=seed,
+            incremental_reselect=incremental,
+        )
+        timings[mode] = time.perf_counter() - started
+
+    identical = (
+        runs["dirty-set"].alive_snapshot().edges()
+        == runs["full-reselect"].alive_snapshot().edges()
+    )
+    departures = sum(1 for event in schedule if event.kind == "leave")
+    rows = [
+        MessageReplayRow(
+            mode=mode,
+            dimension=dimension,
+            peers=count,
+            departures=departures,
+            reselect_ticks=result.total_reselect_ticks(),
+            selection_invocations=result.total_selection_invocations(),
+            additive_updates=result.total_additive_updates(),
+            skipped_ticks=result.total_reselect_skips(),
+            wall_seconds=timings[mode],
+            identical_topology=identical,
+        )
+        for mode, result in runs.items()
+    ]
+
+    table = AblationResult(
+        name="message-replay",
+        headers=(
+            "mode",
+            "D",
+            "peers",
+            "departures",
+            "ticks",
+            "full selections",
+            "additive",
+            "skipped",
+            "wall [s]",
+            "identical",
+        ),
+        rows=tuple(
+            (
+                row.mode,
+                row.dimension,
+                row.peers,
+                row.departures,
+                row.reselect_ticks,
+                row.selection_invocations,
+                row.additive_updates,
+                row.skipped_ticks,
+                f"{row.wall_seconds:.2f}",
+                row.identical_topology,
             )
             for row in rows
         ),

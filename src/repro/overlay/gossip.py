@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Set
+from typing import Dict, Iterable, List, Mapping, Set
 
 from repro.geometry.point import Point
 from repro.overlay.peer import NetworkAddress
@@ -100,8 +100,13 @@ class AnnouncementStore:
             if announcement.issued_at >= horizon
         }
 
-    def prune(self, now: float) -> None:
-        """Discard announcements older than the ``Tmax`` window."""
+    def prune(self, now: float) -> List[int]:
+        """Discard announcements older than the ``Tmax`` window.
+
+        Returns the origins whose announcements expired, so callers can evict
+        their own per-origin state (known addresses, duplicate-suppression
+        keys) alongside the store's.
+        """
         horizon = now - self._window
         expired = [
             origin
@@ -110,6 +115,7 @@ class AnnouncementStore:
         ]
         for origin in expired:
             del self._latest[origin]
+        return expired
 
     def __len__(self) -> int:
         return len(self._latest)

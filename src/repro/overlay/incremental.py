@@ -47,6 +47,12 @@ Methods without the property fall back to full-candidate recomputation,
 which is always correct.  Selections are batched through
 :meth:`~repro.overlay.selection.base.NeighbourSelectionMethod.select_many`
 so vectorised methods amortise the per-call overhead.
+
+The full/skip/additive decision itself is :func:`classify_reselect`, shared
+with the message-level simulator: a
+:class:`repro.simulation.protocol.PeerProcess` applies the same rule to its
+``AnnouncementStore`` snapshot on every reselect tick, so the protocol replay
+and the offline engine skip and shortcut under exactly the same conditions.
 """
 
 from __future__ import annotations
@@ -59,7 +65,61 @@ from repro.overlay.peer import PeerInfo
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.overlay.network import OverlayNetwork
 
-__all__ = ["IncrementalReselectionEngine"]
+__all__ = [
+    "RESELECT_FULL",
+    "RESELECT_SKIP",
+    "RESELECT_ADDITIVE",
+    "classify_reselect",
+    "IncrementalReselectionEngine",
+]
+
+#: Re-run the selection against the complete candidate set.
+RESELECT_FULL = "full"
+#: The installed selection provably still holds; no recomputation needed.
+RESELECT_SKIP = "skip"
+#: Re-select from ``installed selection + gained`` (path independence).
+RESELECT_ADDITIVE = "additive"
+
+
+def classify_reselect(
+    last_candidates: Optional[FrozenSet[int]],
+    gained: Set[int],
+    lost: Set[int],
+    installed_selection: Set[int],
+    path_independent: bool,
+) -> str:
+    """Decide how a peer's selection must be refreshed for a candidate delta.
+
+    This is the dirty-set decision rule shared by the offline
+    :class:`IncrementalReselectionEngine` and the message-level simulator's
+    :class:`repro.simulation.protocol.PeerProcess`: given the candidate id
+    set at the peer's last installed selection (``None`` = no selection
+    consistent with any candidate set exists), the ids gained and lost since
+    then, and the installed selection itself, return one of
+
+    * :data:`RESELECT_FULL` -- recompute against the complete candidate set
+      (no history, a non-path-independent method, or a selected candidate
+      was lost);
+    * :data:`RESELECT_SKIP` -- only never-selected candidates were lost (or
+      nothing changed at all): path independence guarantees the installed
+      selection is exactly what a recomputation would produce;
+    * :data:`RESELECT_ADDITIVE` -- the set only gained members (beyond
+      harmless losses): path independence lets ``selection + gained`` stand
+      in for the full candidate set.
+
+    The skip verdict for an *empty* delta is valid for any deterministic
+    method; the skip-on-loss and additive verdicts rely on
+    :attr:`~repro.overlay.selection.base.NeighbourSelectionMethod.path_independent`.
+    """
+    if last_candidates is None or (lost & installed_selection):
+        return RESELECT_FULL
+    if not gained and not lost:
+        return RESELECT_SKIP
+    if not path_independent:
+        return RESELECT_FULL
+    if not gained:
+        return RESELECT_SKIP
+    return RESELECT_ADDITIVE
 
 
 class IncrementalReselectionEngine:
@@ -213,7 +273,10 @@ class IncrementalReselectionEngine:
                 gained = current_ids - last
                 lost = last - current_ids
 
-            if last is None or not selection.path_independent or (lost & current_selection):
+            verdict = classify_reselect(
+                last, gained, lost, current_selection, selection.path_independent
+            )
+            if verdict == RESELECT_FULL:
                 # Full recomputation against the complete candidate set.
                 if current_ids is None:
                     if self._radius is None:
@@ -228,9 +291,9 @@ class IncrementalReselectionEngine:
                 ]
                 references.append(peers[peer_id])
                 new_last[peer_id] = frozenset(current_ids)
-            elif not gained:
-                # Only never-selected candidates were lost: path independence
-                # guarantees the selection is unchanged, skip the recompute.
+            elif verdict == RESELECT_SKIP:
+                # Only never-selected candidates were lost (or nothing changed
+                # at all): the installed selection provably still holds.
                 new_last[peer_id] = frozenset(last - lost)
             else:
                 # Gains only: path independence lets the previous selection
@@ -251,11 +314,9 @@ class IncrementalReselectionEngine:
                 # No specialised delta rule: rebuild the reduced candidate
                 # sets (selection + gained) and go through the batched API.
                 for reference, selected, gained_infos in additive_updates:
-                    merged = {peer.peer_id: peer for peer in selected}
-                    merged.update({peer.peer_id: peer for peer in gained_infos})
-                    candidates_by_peer[reference.peer_id] = [
-                        merged[other] for other in sorted(merged)
-                    ]
+                    candidates_by_peer[reference.peer_id] = (
+                        selection.merge_candidate_delta(selected, gained_infos)
+                    )
                     references.append(reference)
 
         results = (

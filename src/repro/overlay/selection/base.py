@@ -137,6 +137,47 @@ class NeighbourSelectionMethod(abc.ABC):
         """
         return None
 
+    def select_additive(
+        self,
+        reference: PeerInfo,
+        selected: Sequence[PeerInfo],
+        gained: Sequence[PeerInfo],
+    ) -> List[int]:
+        """Single-reference additive re-selection with automatic fallback.
+
+        The per-peer counterpart of :meth:`select_many_additive`, used by the
+        message-level simulator where reselect ticks fire one peer at a time:
+        tries the method's vectorised delta rule first (a missing key means
+        "selection unchanged"), and otherwise re-selects from ``selected +
+        gained``, which path independence makes exact.  Callers must only use
+        this on methods with ``path_independent = True`` and with ``selected``
+        known to equal ``select(reference, I(P))`` for the previous candidate
+        set.
+        """
+        batched = self.select_many_additive([(reference, selected, gained)])
+        if batched is not None:
+            if reference.peer_id in batched:
+                return list(batched[reference.peer_id])
+            return [peer.peer_id for peer in selected]
+        return self.select(reference, self.merge_candidate_delta(selected, gained))
+
+    @staticmethod
+    def merge_candidate_delta(
+        selected: Sequence[PeerInfo], gained: Sequence[PeerInfo]
+    ) -> List[PeerInfo]:
+        """The reduced candidate set ``selected + gained``, deduplicated by id.
+
+        This is the candidate list every additive fallback re-selects from
+        (the incremental engine, :meth:`select_additive` and vectorised
+        multi-gain branches alike); keeping it in one place keeps the
+        ordering and dedup rule -- ascending peer id, ``gained`` info wins a
+        duplicate -- identical across all of them, which the cross-path
+        equivalence tests rely on.
+        """
+        merged: Dict[int, PeerInfo] = {peer.peer_id: peer for peer in selected}
+        merged.update({peer.peer_id: peer for peer in gained})
+        return [merged[other] for other in sorted(merged)]
+
     # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------

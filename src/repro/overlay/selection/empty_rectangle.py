@@ -132,7 +132,7 @@ class EmptyRectangleSelection(NeighbourSelectionMethod):
                 singles.append((reference, list(selected), gained[0]))
             else:
                 results[reference.peer_id] = self.select(
-                    reference, list(selected) + list(gained)
+                    reference, self.merge_candidate_delta(selected, gained)
                 )
         results.update(self._additive_step(singles) if singles else {})
         return results

@@ -12,6 +12,26 @@ simulated network.  It implements, with actual messages:
   ``I(P)``.
 * **Neighbour reselection**: periodically, the configured neighbour selection
   method is applied to ``I(P)`` to refresh the peer's overlay neighbours.
+  Reselect ticks are *dirty-set* ticks: the peer diffs the current candidate
+  id set against the one installed at its last selection
+  (``last_candidates``) and classifies the delta with
+  :func:`repro.overlay.incremental.classify_reselect` -- the same rule the
+  offline incremental engine uses.  An unchanged set skips the selection
+  method entirely; for path-independent methods a pure-gain delta takes the
+  additive shortcut (:meth:`~repro.overlay.selection.base.
+  NeighbourSelectionMethod.select_additive`) and a loss of never-selected
+  candidates keeps the installed selection; anything else (including any
+  loss of a *selected* candidate) falls back to a full recomputation, which
+  is always correct.  This is what keeps the message-level replay tractable
+  at hundreds of peers: once the overlay settles, ticks are no-ops.
+* **Leave**: a departing peer closes its links explicitly -- one
+  ``link-close`` carrying a departure notice to every peer it exchanges
+  traffic with -- so neighbours immediately drop it from their link sets,
+  stored announcements, known addresses and duplicate-suppression keys
+  instead of keeping a dead link until the announcements expire.  A
+  neighbour that had *selected* the departed peer loses part of its
+  installed selection and is forced onto the full-recompute path at its
+  next reselect tick.
 * **Multicast construction** (Section 2): on receiving a construction request
   carrying a responsibility zone, the peer applies the space-partitioning
   decision rule (shared with the offline builder through
@@ -31,13 +51,19 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.geometry.rectangle import HyperRectangle
 from repro.multicast.space_partition import PickStrategy, select_zone_children
 from repro.multicast.tree import MulticastTree
 from repro.multicast.zones import initial_zone
 from repro.overlay.gossip import AnnouncementStore, ExistenceAnnouncement
+from repro.overlay.incremental import (
+    RESELECT_ADDITIVE,
+    RESELECT_FULL,
+    RESELECT_SKIP,
+    classify_reselect,
+)
 from repro.overlay.peer import PeerInfo
 from repro.overlay.selection.base import NeighbourSelectionMethod
 from repro.simulation.engine import SimulationEngine
@@ -49,6 +75,12 @@ ANNOUNCE = "announce"
 CONSTRUCT = "construct"
 LINK_OPEN = "link-open"
 LINK_CLOSE = "link-close"
+
+#: Tag of the ``link-close`` payload announcing that the sender is leaving
+#: the system (as opposed to merely dropping this one link after a
+#: reselection); sent as ``(DEPARTED, departure_time)`` so receivers can
+#: tombstone exactly the announcements issued before the departure.
+DEPARTED = "departed"
 
 
 @dataclass(frozen=True)
@@ -170,6 +202,7 @@ class PeerProcess:
         config: GossipConfig,
         pick_strategy: str = PickStrategy.MEDIAN,
         rng: Optional[random.Random] = None,
+        incremental_reselect: bool = True,
     ) -> None:
         self._info = info
         self._engine = engine
@@ -178,16 +211,34 @@ class PeerProcess:
         self._config = config
         self._pick_strategy = pick_strategy
         self._rng = rng if rng is not None else random.Random(info.peer_id)
+        self._incremental_reselect = incremental_reselect
 
         self._alive = False
+        self._life = 0
         self._announcements = AnnouncementStore(window=config.tmax)
         self._known_addresses: Dict[int, PeerInfo] = {}
         self._neighbours: Set[int] = set()
         self._inbound_links: Set[int] = set()
         self._seen_announcements: Set[Tuple[int, float]] = set()
+        # Departure tombstones: id -> departure time.  Announcements issued
+        # at or before the tombstone are stale copies still in flight from
+        # before the leave; without the tombstone they would re-add the
+        # departed peer to the candidate set until Tmax expired it again.
+        self._departed_at: Dict[int, float] = {}
+        # Rebuilding the suppression-key set is O(origins * window/period),
+        # so it runs amortised -- once per Tmax -- not on every tick.
+        self._last_origin_prune = 0.0
         self._preferred_neighbour: Optional[int] = None
         self._recorder: Optional[TreeRecorder] = None
         self._received_construction = False
+        # Dirty-set bookkeeping: I(P) at the last installed selection (None =
+        # no selection consistent with any candidate set exists, e.g. after a
+        # join seeded the neighbour set directly or a departure mutated it).
+        self._last_candidates: Optional[FrozenSet[int]] = None
+        self._selection_invocations = 0
+        self._additive_updates = 0
+        self._reselect_ticks = 0
+        self._reselect_skips = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -233,6 +284,48 @@ class PeerProcess:
         """The Section 3 preferred tree neighbour, if one has been selected."""
         return self._preferred_neighbour
 
+    @property
+    def last_candidates(self) -> Optional[FrozenSet[int]]:
+        """``I(P)`` at the last installed selection; ``None`` = must recompute."""
+        return self._last_candidates
+
+    @property
+    def selection_invocations(self) -> int:
+        """Full applications of the selection method over the complete ``I(P)``.
+
+        Every reselect tick of the per-tick full-reselect mode is one;
+        dirty-set ticks only count when the delta forces a full recompute
+        (no consistent history, a non-path-independent method, or the loss
+        of a selected candidate).
+        """
+        return self._selection_invocations
+
+    @property
+    def additive_updates(self) -> int:
+        """Pure-gain ticks resolved through the additive-delta shortcut.
+
+        Each re-ran the selection against ``installed selection + gained``
+        (or the method's vectorised delta rule) instead of the complete
+        candidate set -- work proportional to the selection size, not to
+        ``|I(P)|``.
+        """
+        return self._additive_updates
+
+    @property
+    def reselect_ticks(self) -> int:
+        """Reselect ticks executed while the peer was alive."""
+        return self._reselect_ticks
+
+    @property
+    def reselect_skips(self) -> int:
+        """Reselect ticks resolved without any selection work at all."""
+        return self._reselect_skips
+
+    @property
+    def seen_announcement_count(self) -> int:
+        """Duplicate-suppression keys currently retained (pruned with Tmax)."""
+        return len(self._seen_announcements)
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -247,6 +340,23 @@ class PeerProcess:
         if self._alive:
             raise RuntimeError(f"peer {self.peer_id} has already joined")
         self._alive = True
+        # One tick generation per life: a stale callback scheduled before a
+        # leave() must not keep ticking (and doubling the chains) after a
+        # re-join inside the same tick period.
+        self._life += 1
+        # A re-join starts from a fresh joiner's state: knowledge retained
+        # from before a leave() (stored announcements still inside the Tmax
+        # window, known addresses, suppression keys, departure tombstones)
+        # would otherwise make the peer select links from a stale world view.
+        self._announcements = AnnouncementStore(window=self._config.tmax)
+        self._known_addresses.clear()
+        self._seen_announcements.clear()
+        self._departed_at.clear()
+        self._last_origin_prune = self._engine.now
+        self._neighbours.clear()
+        self._inbound_links.clear()
+        self._preferred_neighbour = None
+        self._last_candidates = None
         self._network.register(self.peer_id, self._on_message)
         for contact in bootstrap:
             if contact.peer_id == self.peer_id:
@@ -265,13 +375,34 @@ class PeerProcess:
             self._network.send(self.peer_id, contact.peer_id, LINK_OPEN, None)
         gossip_offset = self._rng.uniform(0.0, self._config.gossip_period)
         reselect_offset = self._rng.uniform(0.0, self._config.reselect_period)
-        self._engine.schedule_after(gossip_offset, self._gossip_tick)
-        self._engine.schedule_after(reselect_offset, self._reselect_tick)
+        life = self._life
+        self._engine.schedule_after(gossip_offset, lambda: self._gossip_tick(life))
+        self._engine.schedule_after(reselect_offset, lambda: self._reselect_tick(life))
 
     def leave(self) -> None:
-        """Leave the system: stop receiving messages and stop all ticks."""
+        """Leave the system: close links, stop receiving, stop all ticks.
+
+        Every peer this peer exchanges traffic with (selected neighbours and
+        inbound links alike) is sent a ``link-close`` carrying a departure
+        notice, so receivers drop the departed peer from their link sets and
+        knowledge immediately -- without it, the departed peer would keep
+        receiving gossip (counted as sent and dropped) and could even be
+        picked as a construction child, orphaning a subtree.  Idempotent.
+        """
+        if not self._alive:
+            return
         self._alive = False
+        # The notice carries the actual departure time: receivers tombstone
+        # announcements issued up to *this* instant, so a rejoin within one
+        # link latency cannot have its first new-life announcements dropped.
+        notice = (DEPARTED, self._engine.now)
+        for target in sorted(self.link_targets):
+            self._network.send(self.peer_id, target, LINK_CLOSE, notice)
         self._network.unregister(self.peer_id)
+        self._neighbours.clear()
+        self._inbound_links.clear()
+        self._preferred_neighbour = None
+        self._last_candidates = None
 
     # ------------------------------------------------------------------
     # Multicast construction (Section 2)
@@ -303,8 +434,8 @@ class PeerProcess:
     # ------------------------------------------------------------------
     # Periodic behaviour
     # ------------------------------------------------------------------
-    def _gossip_tick(self) -> None:
-        if not self._alive:
+    def _gossip_tick(self, life: int) -> None:
+        if not self._alive or life != self._life:
             return
         announcement = ExistenceAnnouncement(
             origin=self.peer_id,
@@ -315,33 +446,136 @@ class PeerProcess:
         )
         for neighbour in sorted(self.link_targets):
             self._network.send(self.peer_id, neighbour, ANNOUNCE, announcement)
-        self._engine.schedule_after(self._config.gossip_period, self._gossip_tick)
+        self._engine.schedule_after(
+            self._config.gossip_period, lambda: self._gossip_tick(life)
+        )
 
-    def _reselect_tick(self) -> None:
-        if not self._alive:
+    def _reselect_tick(self, life: int) -> None:
+        if not self._alive or life != self._life:
             return
         self._reselect_now()
-        self._engine.schedule_after(self._config.reselect_period, self._reselect_tick)
+        self._engine.schedule_after(
+            self._config.reselect_period, lambda: self._reselect_tick(life)
+        )
 
     def _reselect_now(self) -> None:
-        self._announcements.prune(self._engine.now)
-        candidates = []
-        for origin, announcement in self._announcements.known_peers(self._engine.now).items():
-            candidates.append(
-                PeerInfo(
-                    peer_id=origin,
-                    coordinates=announcement.coordinates,
-                    address=announcement.address,
-                )
+        """One dirty-set reselect tick (see the module docstring).
+
+        Pruning first keeps every per-origin structure in lockstep with the
+        ``Tmax`` window: expired announcements leave the store, their origins
+        leave the known-address map, and duplicate-suppression keys older
+        than the window are discarded.  The candidate id set is then diffed
+        against ``last_candidates`` and the delta classified; only the full
+        and additive verdicts invoke the selection method.
+        """
+        now = self._engine.now
+        self._reselect_ticks += 1
+        for origin in self._announcements.prune(now):
+            self._known_addresses.pop(origin, None)
+        if now - self._last_origin_prune >= self._config.tmax:
+            # Amortised: stale suppression keys and tombstones only cost
+            # memory (old keys never match new announcements), so rescanning
+            # them once per Tmax bounds both the memory and the per-tick cost.
+            self._last_origin_prune = now
+            horizon = now - self._config.tmax
+            if self._seen_announcements:
+                self._seen_announcements = {
+                    key for key in self._seen_announcements if key[1] >= horizon
+                }
+            if self._departed_at:
+                # A pre-departure announcement older than Tmax would have
+                # expired anyway; the tombstone has nothing left to suppress.
+                self._departed_at = {
+                    peer_id: departed_at
+                    for peer_id, departed_at in self._departed_at.items()
+                    if departed_at >= horizon
+                }
+        current = self._announcements.known_peers(now)
+        current_ids = frozenset(current)
+
+        last = self._last_candidates
+        verdict = RESELECT_FULL
+        if self._incremental_reselect and last is not None:
+            verdict = classify_reselect(
+                last,
+                current_ids - last,
+                last - current_ids,
+                self._neighbours,
+                self._selection.path_independent,
             )
-            self._known_addresses[origin] = candidates[-1]
+        if verdict == RESELECT_SKIP:
+            # The installed selection provably equals what a recomputation
+            # would produce; neighbours, links and the preferred neighbour
+            # are all unchanged.
+            self._reselect_skips += 1
+            self._last_candidates = current_ids
+            return
+
+        if verdict == RESELECT_ADDITIVE:
+            selected_infos = [
+                self._announcement_info(origin, current[origin])
+                for origin in sorted(self._neighbours)
+            ]
+            gained_infos = [
+                self._announcement_info(origin, current[origin])
+                for origin in sorted(current_ids - last)
+            ]
+            self._additive_updates += 1
+            selection = set(
+                self._selection.select_additive(self._info, selected_infos, gained_infos)
+            )
+        else:
+            candidates = [
+                self._announcement_info(origin, announcement)
+                for origin, announcement in current.items()
+            ]
+            self._selection_invocations += 1
+            selection = set(self._selection.select(self._info, candidates))
+
         previous = set(self._neighbours)
-        self._neighbours = set(self._selection.select(self._info, candidates))
-        for opened in sorted(self._neighbours - previous):
+        self._neighbours = selection
+        for opened in sorted(selection - previous):
             self._network.send(self.peer_id, opened, LINK_OPEN, None)
-        for closed in sorted(previous - self._neighbours):
+        for closed in sorted(previous - selection):
             self._network.send(self.peer_id, closed, LINK_CLOSE, None)
+        self._last_candidates = current_ids
         self._update_preferred_neighbour()
+
+    def _announcement_info(
+        self, origin: int, announcement: ExistenceAnnouncement
+    ) -> PeerInfo:
+        """Candidate :class:`PeerInfo` for a stored announcement (cached)."""
+        info = PeerInfo(
+            peer_id=origin,
+            coordinates=announcement.coordinates,
+            address=announcement.address,
+        )
+        self._known_addresses[origin] = info
+        return info
+
+    def _evict_departed(self, departed: int, *, departed_at: float) -> None:
+        """Drop every trace of a peer that announced its departure.
+
+        The departed id leaves the neighbour set, the inbound-link set, the
+        announcement store, the known-address map and the
+        duplicate-suppression keys.  If this peer had *selected* the departed
+        one, its installed selection was just mutated, so no selection
+        consistent with any candidate set exists any more: the dirty-set
+        invariant is reset and the next reselect tick recomputes in full.
+        """
+        self._departed_at[departed] = departed_at
+        if departed in self._neighbours:
+            self._neighbours.discard(departed)
+            self._last_candidates = None
+        self._inbound_links.discard(departed)
+        self._announcements.forget(departed)
+        self._known_addresses.pop(departed, None)
+        if self._seen_announcements:
+            self._seen_announcements = {
+                key for key in self._seen_announcements if key[0] != departed
+            }
+        if self._preferred_neighbour == departed:
+            self._update_preferred_neighbour()
 
     def _update_preferred_neighbour(self) -> None:
         """Section 3 rule: the longest-lived neighbour that outlives this peer.
@@ -375,6 +609,9 @@ class PeerProcess:
             self._inbound_links.add(message.sender)
         elif message.kind == LINK_CLOSE:
             self._inbound_links.discard(message.sender)
+            payload = message.payload
+            if isinstance(payload, tuple) and payload[0] == DEPARTED:
+                self._evict_departed(message.sender, departed_at=payload[1])
         else:
             raise ValueError(f"peer {self.peer_id} received unknown message kind {message.kind!r}")
 
@@ -382,15 +619,19 @@ class PeerProcess:
         announcement: ExistenceAnnouncement = message.payload
         if announcement.origin == self.peer_id:
             return
+        tombstone = self._departed_at.get(announcement.origin)
+        if tombstone is not None:
+            if announcement.issued_at <= tombstone:
+                # A copy still in flight from before the origin's departure:
+                # recording (or forwarding) it would undo the eviction.
+                return
+            # Issued after the departure: the origin re-joined.
+            del self._departed_at[announcement.origin]
         key = (announcement.origin, announcement.issued_at)
         first_sighting = key not in self._seen_announcements
         self._seen_announcements.add(key)
         self._announcements.record(announcement)
-        self._known_addresses[announcement.origin] = PeerInfo(
-            peer_id=announcement.origin,
-            coordinates=announcement.coordinates,
-            address=announcement.address,
-        )
+        self._announcement_info(announcement.origin, announcement)
         if first_sighting and announcement.remaining_hops > 1:
             forwarded = announcement.forwarded()
             for neighbour in sorted(self.link_targets):

@@ -18,7 +18,12 @@ from repro.workloads.lifetimes import (
     lease_lifetimes,
     uniform_lifetimes,
 )
-from repro.workloads.churn import ChurnEvent, departure_schedule, poisson_churn_schedule
+from repro.workloads.churn import (
+    ChurnEvent,
+    departure_schedule,
+    interleaved_join_leave_schedule,
+    poisson_churn_schedule,
+)
 from repro.workloads.peers import generate_peers, generate_peers_with_lifetimes
 
 __all__ = [
@@ -31,6 +36,7 @@ __all__ = [
     "ChurnEvent",
     "departure_schedule",
     "poisson_churn_schedule",
+    "interleaved_join_leave_schedule",
     "generate_peers",
     "generate_peers_with_lifetimes",
 ]

@@ -12,7 +12,12 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-__all__ = ["ChurnEvent", "departure_schedule", "poisson_churn_schedule"]
+__all__ = [
+    "ChurnEvent",
+    "departure_schedule",
+    "poisson_churn_schedule",
+    "interleaved_join_leave_schedule",
+]
 
 
 @dataclass(frozen=True, order=True)
@@ -75,5 +80,50 @@ def poisson_churn_schedule(
         clock += generator.expovariate(arrival_rate)
         departure = clock + generator.expovariate(1.0 / session_mean)
         events.append(ChurnEvent(time=clock, peer_id=peer_id, kind="join"))
+        events.append(ChurnEvent(time=departure, peer_id=peer_id, kind="leave"))
+    return sorted(events)
+
+
+def interleaved_join_leave_schedule(
+    count: int,
+    *,
+    join_interval: float = 2.0,
+    leave_fraction: float = 0.2,
+    holdoff: float = 6.0,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> List[ChurnEvent]:
+    """Paper-style staggered joins with a sampled fraction of leaves mixed in.
+
+    Peer ``i`` joins at ``i * join_interval`` (the paper's one-at-a-time
+    insertion procedure); a seeded sample of ``leave_fraction`` of the peers
+    additionally leaves at a uniform time between its own join plus
+    ``holdoff`` (so a peer is settled into the overlay before it departs)
+    and the end of the join phase plus ``holdoff``.  The last-joining peer
+    never leaves, so a bootstrap contact is always available.  This is the
+    workload the message-level churn replay runs: join-driven candidate
+    gains interleaved with departure-driven losses.
+    """
+    if count < 1:
+        raise ValueError("count must be positive")
+    if join_interval <= 0:
+        raise ValueError("join_interval must be positive")
+    if not 0.0 <= leave_fraction < 1.0:
+        raise ValueError("leave_fraction must be in [0, 1)")
+    if holdoff < 0:
+        raise ValueError("holdoff must be non-negative")
+    if rng is not None and seed is not None:
+        raise ValueError("pass either seed or rng, not both")
+    generator = rng if rng is not None else random.Random(0 if seed is None else seed)
+
+    events = [
+        ChurnEvent(time=index * join_interval, peer_id=index, kind="join")
+        for index in range(count)
+    ]
+    join_span = (count - 1) * join_interval
+    leavers = generator.sample(range(count - 1), int((count - 1) * leave_fraction))
+    for peer_id in sorted(leavers):
+        earliest = peer_id * join_interval + holdoff
+        departure = generator.uniform(earliest, max(join_span + holdoff, earliest))
         events.append(ChurnEvent(time=departure, peer_id=peer_id, kind="leave"))
     return sorted(events)

@@ -48,9 +48,12 @@ class TestExecution:
         assert "invariants hold: True" in output
         assert "tree diameter" in output
 
-    def test_ablations_prints_all_three(self, capsys):
+    def test_ablations_prints_every_ablation(self, capsys):
         assert main(["ablations"]) == 0
         output = capsys.readouterr().out
         assert "Ablation A1" in output
         assert "Ablation A2" in output
         assert "Ablation A3" in output
+        assert "Ablation A4" in output
+        assert "Ablation A5" in output
+        assert "dirty-set" in output

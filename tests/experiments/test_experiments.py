@@ -5,6 +5,7 @@ import pytest
 from repro.experiments.ablations import (
     run_baseline_comparison,
     run_churn_ablation,
+    run_message_replay_ablation,
     run_overlay_churn_ablation,
     run_pick_strategy_ablation,
 )
@@ -164,3 +165,19 @@ class TestAblations:
             assert row.disconnected_events == 0
         assert "overlay-churn" == table.name
         assert "join" in table.to_table()
+
+    def test_message_replay_ablation(self):
+        rows, table = run_message_replay_ablation(TINY, dimension=2, replay_cap=30)
+        by_mode = {row.mode: row for row in rows}
+        assert set(by_mode) == {"full-reselect", "dirty-set"}
+        full, dirty = by_mode["full-reselect"], by_mode["dirty-set"]
+        # Identical message streams: both modes settle to the same topology.
+        assert full.identical_topology and dirty.identical_topology
+        assert full.reselect_ticks == dirty.reselect_ticks
+        # The full-reselect arm applies the method on every tick; the
+        # dirty-set arm resolves most ticks as skips or additive updates.
+        assert full.selection_invocations == full.reselect_ticks
+        assert dirty.selection_invocations < full.selection_invocations
+        assert dirty.skipped_ticks > 0
+        assert "message-replay" == table.name
+        assert "dirty-set" in table.to_table()

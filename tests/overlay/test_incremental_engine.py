@@ -17,6 +17,12 @@ from repro.overlay.gossip import (
     knowledge_sets,
     peers_within_hops_of_any,
 )
+from repro.overlay.incremental import (
+    RESELECT_ADDITIVE,
+    RESELECT_FULL,
+    RESELECT_SKIP,
+    classify_reselect,
+)
 from repro.overlay.network import OverlayNetwork
 from repro.overlay.peer import make_peer
 from repro.overlay.selection.empty_rectangle import EmptyRectangleSelection
@@ -253,3 +259,35 @@ class TestGossipDeltas:
         adjacency = {0: {1}, 1: {0, 2}, 2: {1}}
         known = knowledge_sets(adjacency, 2)
         assert knowledge_set_deltas(adjacency, adjacency, 2, known) == {}
+
+
+class TestClassifyReselect:
+    """The shared full/skip/additive decision rule."""
+
+    def test_no_history_forces_full(self):
+        assert classify_reselect(None, set(), set(), set(), True) == RESELECT_FULL
+
+    def test_empty_delta_skips_for_any_method(self):
+        last = frozenset({1, 2, 3})
+        for path_independent in (True, False):
+            verdict = classify_reselect(last, set(), set(), {2}, path_independent)
+            assert verdict == RESELECT_SKIP
+
+    def test_lost_selected_candidate_forces_full(self):
+        last = frozenset({1, 2, 3})
+        assert classify_reselect(last, set(), {2}, {2, 3}, True) == RESELECT_FULL
+
+    def test_lost_never_selected_candidate_skips_when_path_independent(self):
+        last = frozenset({1, 2, 3})
+        assert classify_reselect(last, set(), {1}, {2, 3}, True) == RESELECT_SKIP
+        assert classify_reselect(last, set(), {1}, {2, 3}, False) == RESELECT_FULL
+
+    def test_pure_gain_is_additive_when_path_independent(self):
+        last = frozenset({1, 2})
+        assert classify_reselect(last, {9}, set(), {1}, True) == RESELECT_ADDITIVE
+        assert classify_reselect(last, {9}, set(), {1}, False) == RESELECT_FULL
+
+    def test_gain_with_harmless_loss_is_additive(self):
+        last = frozenset({1, 2, 3})
+        verdict = classify_reselect(last, {9}, {1}, {2, 3}, True)
+        assert verdict == RESELECT_ADDITIVE

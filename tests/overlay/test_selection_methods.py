@@ -3,6 +3,7 @@
 import pytest
 
 from repro.geometry.hyperplane import HyperplaneSet
+from repro.overlay.selection.empty_rectangle import EmptyRectangleSelection
 from repro.overlay.peer import make_peer
 from repro.overlay.selection import (
     HyperplanesSelection,
@@ -12,6 +13,7 @@ from repro.overlay.selection import (
     available_methods,
     make_selection_method,
 )
+from repro.workloads.peers import generate_peers
 
 
 def peer_grid():
@@ -151,3 +153,37 @@ class TestRegistry:
     def test_unknown_method(self):
         with pytest.raises(ValueError, match="unknown selection method"):
             make_selection_method("voronoi")
+
+
+class TestSelectAdditive:
+    """The single-reference additive API used by the message-level simulator."""
+
+    def _pair(self, selection, count=40, dimension=2, seed=17, split=28):
+        peers = generate_peers(count, dimension, seed=seed)
+        reference, others = peers[0], peers[1:]
+        initial, gained = others[: split - 1], others[split - 1 :]
+        selected_ids = set(selection.select(reference, initial))
+        selected = [peer for peer in initial if peer.peer_id in selected_ids]
+        return reference, others, selected, list(gained)
+
+    def test_matches_the_full_selection_with_a_delta_rule(self):
+        selection = EmptyRectangleSelection()
+        reference, others, selected, gained = self._pair(selection)
+        additive = selection.select_additive(reference, selected, gained)
+        assert sorted(additive) == sorted(selection.select(reference, others))
+
+    def test_matches_the_full_selection_via_fallback(self):
+        # The hyperplane family is path independent but has no vectorised
+        # delta rule: select_additive falls back to selected + gained.
+        selection = OrthogonalHyperplanesSelection(k=2)
+        reference, others, selected, gained = self._pair(selection, dimension=3)
+        additive = selection.select_additive(reference, selected, gained)
+        assert sorted(additive) == sorted(selection.select(reference, others))
+
+    def test_unchanged_selection_is_returned_as_is(self):
+        selection = EmptyRectangleSelection()
+        reference = make_peer(0, (0.0, 0.0))
+        selected = [make_peer(1, (1.0, 1.0))]
+        # A gained candidate boxed out by the selected one: no change.
+        additive = selection.select_additive(reference, selected, [make_peer(2, (5.0, 5.0))])
+        assert additive == [1]

@@ -4,7 +4,12 @@ import random
 
 import pytest
 
-from repro.workloads.churn import ChurnEvent, departure_schedule, poisson_churn_schedule
+from repro.workloads.churn import (
+    ChurnEvent,
+    departure_schedule,
+    interleaved_join_leave_schedule,
+    poisson_churn_schedule,
+)
 from repro.workloads.coordinates import (
     clustered_coordinates,
     distinct_uniform_coordinates,
@@ -126,6 +131,40 @@ class TestChurnSchedules:
             poisson_churn_schedule(5, arrival_rate=0.0)
         with pytest.raises(ValueError):
             poisson_churn_schedule(5, session_mean=0.0)
+
+    def test_interleaved_schedule_joins_everyone_on_the_paper_cadence(self):
+        events = interleaved_join_leave_schedule(10, join_interval=2.0, seed=3)
+        joins = {e.peer_id: e.time for e in events if e.kind == "join"}
+        assert joins == {i: i * 2.0 for i in range(10)}
+
+    def test_interleaved_schedule_leaves_are_sampled_after_a_holdoff(self):
+        events = interleaved_join_leave_schedule(
+            20, join_interval=1.0, leave_fraction=0.3, holdoff=5.0, seed=7
+        )
+        joins = {e.peer_id: e.time for e in events if e.kind == "join"}
+        leaves = {e.peer_id: e.time for e in events if e.kind == "leave"}
+        assert len(leaves) == int(19 * 0.3)
+        # The last joiner stays, so a bootstrap contact always exists.
+        assert 19 not in leaves
+        for peer_id, departure in leaves.items():
+            assert departure >= joins[peer_id] + 5.0
+
+    def test_interleaved_schedule_is_seed_deterministic(self):
+        first = interleaved_join_leave_schedule(15, leave_fraction=0.4, seed=5)
+        second = interleaved_join_leave_schedule(15, leave_fraction=0.4, seed=5)
+        assert first == second
+
+    def test_interleaved_parameters_validated(self):
+        with pytest.raises(ValueError):
+            interleaved_join_leave_schedule(0)
+        with pytest.raises(ValueError):
+            interleaved_join_leave_schedule(5, join_interval=0.0)
+        with pytest.raises(ValueError):
+            interleaved_join_leave_schedule(5, leave_fraction=1.0)
+        with pytest.raises(ValueError):
+            interleaved_join_leave_schedule(5, holdoff=-1.0)
+        with pytest.raises(ValueError):
+            interleaved_join_leave_schedule(5, seed=1, rng=random.Random(2))
 
 
 class TestPeerPopulations:
