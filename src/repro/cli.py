@@ -7,8 +7,8 @@ one-to-one onto the experiment drivers:
 * ``figure1a`` / ``figure1b`` / ``figure1c`` -- the Section 2 panels,
 * ``figure1d`` / ``figure1e`` -- the Section 3 sweep (diameter / degree view),
 * ``ablations`` -- the ablations of DESIGN.md (A1-A3), the overlay-churn
-  reconvergence ablation (A4) and the message-replay dirty-set reselection
-  ablation (A5),
+  reconvergence ablation (A4), the message-replay dirty-set reselection
+  ablation (A5) and the event-driven tree-maintenance ablation (A6),
 * ``all`` -- everything above in sequence.
 
 Every command accepts ``--scale smoke|bench|paper`` (default: the
@@ -28,6 +28,7 @@ from repro.experiments.ablations import (
     run_message_replay_ablation,
     run_overlay_churn_ablation,
     run_pick_strategy_ablation,
+    run_tree_maintenance_ablation,
 )
 from repro.experiments.config import SCALES, resolve_scale
 from repro.experiments.figure1a import run_figure1a
@@ -117,6 +118,7 @@ def _run_ablations(scale) -> None:
         ("Ablation A3 - departures vs tree strategy", run_churn_ablation),
         ("Ablation A4 - overlay churn reconvergence", run_overlay_churn_ablation),
         ("Ablation A5 - message-replay dirty-set reselection", run_message_replay_ablation),
+        ("Ablation A6 - event-driven tree maintenance", run_tree_maintenance_ablation),
     ):
         _, table = runner(scale)
         _print_block(f"{title} [{scale.name}]", table.to_table())

@@ -20,7 +20,12 @@ DESIGN.md):
   lifetime-ordered departures against the *overlay* itself, converging after
   every membership event on the incremental reselection engine (the fast
   path that makes per-event convergence affordable), and reports the
-  reconvergence effort and whether the overlay ever disconnects.
+  reconvergence effort and whether the overlay ever disconnects.  The
+  connectivity verdict comes from an
+  :class:`repro.multicast.incremental.IncrementalConnectivity` tracker fed
+  by the overlay delta stream -- no per-event graph reconstruction; edge
+  additions fold into the union-find structure on the fly and deletion
+  batches trigger at most one epoch rebuild per query.
 * **Message replay (A5)** -- the message-level simulator replays the same
   join/leave churn twice, once reapplying the neighbour selection method on
   every reselect tick and once with the dirty-set tick of
@@ -28,6 +33,15 @@ DESIGN.md):
   settle to the identical topology while the dirty-set run invokes the
   selection method a fraction as often -- the measurement behind trusting
   the fast path in the protocol-faithful experiments.
+* **Tree maintenance (A6)** -- the event-driven multicast layer
+  (:class:`repro.multicast.incremental.StabilityTreeMaintainer`) against the
+  snapshot-batch path: the same churn trace is driven through both, the
+  event-driven arm repairing the stability tree in place (one bootstrap
+  rebuild, then single edge re-parents with streaming metrics) while the
+  snapshot arm rebuilds :func:`repro.multicast.stability.build_stability_tree`
+  per event.  The rows assert the two stay byte-identical at every event and
+  report the repair traffic, the rebuild counts, the wall-clock of each arm
+  and a "tree health over time" summary drawn from the streaming samples.
 """
 
 from __future__ import annotations
@@ -46,6 +60,7 @@ from repro.experiments.common import (
 from repro.experiments.config import ExperimentScale, resolve_scale
 from repro.metrics.paths import path_statistics
 from repro.metrics.reporting import format_table
+from repro.metrics.trees import tree_metrics
 from repro.multicast.baselines import (
     bfs_tree,
     flood_multicast,
@@ -53,6 +68,7 @@ from repro.multicast.baselines import (
     sequential_unicast_tree,
 )
 from repro.multicast.dissemination import simulate_departures
+from repro.multicast.incremental import OverlayConnectivityFeed, StabilityTreeMaintainer
 from repro.multicast.space_partition import PickStrategy, SpacePartitionTreeBuilder
 from repro.multicast.stability import StabilityTreeBuilder
 from repro.multicast.tree import MulticastTree
@@ -69,12 +85,14 @@ __all__ = [
     "ChurnRow",
     "OverlayChurnRow",
     "MessageReplayRow",
+    "TreeMaintenanceRow",
     "AblationResult",
     "run_baseline_comparison",
     "run_pick_strategy_ablation",
     "run_churn_ablation",
     "run_overlay_churn_ablation",
     "run_message_replay_ablation",
+    "run_tree_maintenance_ablation",
 ]
 
 
@@ -126,6 +144,31 @@ class OverlayChurnRow:
     total_rounds: int
     maximum_rounds_per_event: int
     disconnected_events: int
+    connectivity_rebuilds: int
+
+
+@dataclass(frozen=True)
+class TreeMaintenanceRow:
+    """Event-driven tree maintenance versus snapshot rebuilds, one churn phase."""
+
+    phase: str
+    dimension: int
+    k: int
+    events: int
+    reparent_operations: int
+    full_rebuilds: int
+    snapshot_rebuilds: int
+    identical_events: int
+    maximum_height: int
+    maximum_degree: int
+    single_tree_events: int
+    event_driven_seconds: float
+    snapshot_seconds: float
+
+    @property
+    def identical(self) -> bool:
+        """``True`` when both arms agreed at every event of the phase."""
+        return self.identical_events == self.events
 
 
 @dataclass(frozen=True)
@@ -298,13 +341,17 @@ def run_overlay_churn_ablation(
     convergence runs on the incremental reselection engine -- the churn loop
     this ablation exists to exercise -- and the row records how many
     reselection rounds the engine needed and whether the overlay was ever
-    observed disconnected after settling.
+    observed disconnected after settling.  The connectivity check runs on
+    the delta-fed :class:`IncrementalConnectivity` tracker, so no graph is
+    reconstructed inside the per-event loop; the row also reports how many
+    epoch rebuilds the deletion batches actually triggered.
     """
     resolved = scale if scale is not None else resolve_scale()
     seed = derive_seed(resolved.seed, 14, dimension, k)
     peers = generate_peers_with_lifetimes(resolved.peer_count, dimension, seed=seed)
     rng = random.Random(seed)
     overlay = OverlayNetwork(OrthogonalHyperplanesSelection(k=k))
+    feed = OverlayConnectivityFeed(overlay)
 
     rows: List[OverlayChurnRow] = []
     join_rounds: List[int] = []
@@ -312,13 +359,15 @@ def run_overlay_churn_ablation(
     for peer in peers:
         if overlay.peer_count == 0:
             overlay.add_peer(peer, bootstrap=())
+            feed.sync()
             continue
         bootstrap = {rng.choice(overlay.peer_ids)}
         join_rounds.append(
             overlay.insert_and_converge(peer, bootstrap=bootstrap, incremental=True)
         )
-        if not overlay.snapshot().is_connected():
+        if not feed.is_connected():
             join_disconnected += 1
+    join_rebuilds = feed.tracker.rebuilds
     rows.append(
         OverlayChurnRow(
             phase="join",
@@ -328,6 +377,7 @@ def run_overlay_churn_ablation(
             total_rounds=sum(join_rounds),
             maximum_rounds_per_event=max(join_rounds, default=0),
             disconnected_events=join_disconnected,
+            connectivity_rebuilds=join_rebuilds,
         )
     )
 
@@ -338,8 +388,12 @@ def run_overlay_churn_ablation(
     leave_disconnected = 0
     for peer in departure_order:
         leave_rounds.append(overlay.remove_and_converge(peer.peer_id, incremental=True))
-        if overlay.peer_count > 1 and not overlay.snapshot().is_connected():
+        if overlay.peer_count > 1 and not feed.is_connected():
             leave_disconnected += 1
+    # The last one or two departures skip the connectivity query (a 0/1-peer
+    # overlay is trivially connected); fold them in so the tracker mirrors
+    # the final overlay state and the rebuild count covers every event.
+    feed.sync()
     rows.append(
         OverlayChurnRow(
             phase="leave",
@@ -349,12 +403,22 @@ def run_overlay_churn_ablation(
             total_rounds=sum(leave_rounds),
             maximum_rounds_per_event=max(leave_rounds, default=0),
             disconnected_events=leave_disconnected,
+            connectivity_rebuilds=feed.tracker.rebuilds - join_rebuilds,
         )
     )
 
     table = AblationResult(
         name="overlay-churn",
-        headers=("phase", "D", "K", "events", "rounds", "max rounds", "disconnected"),
+        headers=(
+            "phase",
+            "D",
+            "K",
+            "events",
+            "rounds",
+            "max rounds",
+            "disconnected",
+            "uf rebuilds",
+        ),
         rows=tuple(
             (
                 row.phase,
@@ -364,6 +428,7 @@ def run_overlay_churn_ablation(
                 row.total_rounds,
                 row.maximum_rounds_per_event,
                 row.disconnected_events,
+                row.connectivity_rebuilds,
             )
             for row in rows
         ),
@@ -505,7 +570,158 @@ def run_message_replay_ablation(
         for mode, result in runs.items()
     ]
 
+    table = _message_replay_table(rows)
+    return rows, table
+
+
+def run_tree_maintenance_ablation(
+    scale: Optional[ExperimentScale] = None,
+    *,
+    dimension: int = 3,
+    k: int = 2,
+) -> Tuple[List[TreeMaintenanceRow], AblationResult]:
+    """A6: event-driven tree maintenance versus per-event snapshot rebuilds.
+
+    Replays the A4 churn trace (joins one at a time, then lifetime-ordered
+    departures, the overlay reconverging incrementally after every event)
+    while the Section 3 stability tree is kept current on *both* paths:
+
+    * the event-driven arm -- a :class:`StabilityTreeMaintainer` consuming
+      the overlay delta stream, repairing the tree with single edge
+      re-parents and streaming metrics (one full rebuild total, at
+      bootstrap);
+    * the snapshot arm -- :class:`repro.multicast.stability.StabilityTreeBuilder`
+      re-run over a fresh topology snapshot after every event, exactly what
+      the pipeline did before the event-driven layer existed.
+
+    After every event the two parent maps (and, whenever the forest is one
+    tree, the full metric bundles) are compared; ``identical_events`` counts
+    the agreements and must equal ``events``.  The health columns summarise
+    the streaming tree-health series over the phase.
+    """
+    resolved = scale if scale is not None else resolve_scale()
+    seed = derive_seed(resolved.seed, 16, dimension, k)
+    peers = generate_peers_with_lifetimes(resolved.peer_count, dimension, seed=seed)
+    rng = random.Random(seed)
+    overlay = OverlayNetwork(OrthogonalHyperplanesSelection(k=k))
+    maintainer = StabilityTreeMaintainer(overlay)
+    builder = StabilityTreeBuilder()
+
+    rows: List[TreeMaintenanceRow] = []
+
+    def run_phase(phase: str, events) -> None:
+        event_count = 0
+        identical = 0
+        single_tree_events = 0
+        maximum_height = 0
+        maximum_degree = 0
+        event_driven_seconds = 0.0
+        snapshot_seconds = 0.0
+        reparents_before = maintainer.engine.reparent_operations
+        rebuilds_before = maintainer.full_rebuilds
+        for event in events:
+            event()
+            event_count += 1
+
+            started = time.perf_counter()
+            maintainer.refresh()
+            health = maintainer.engine.health_sample(event_count)
+            event_driven_seconds += time.perf_counter() - started
+
+            started = time.perf_counter()
+            reference = builder.build(overlay.snapshot())
+            snapshot_seconds += time.perf_counter() - started
+
+            maximum_height = max(maximum_height, health.height)
+            maximum_degree = max(maximum_degree, health.maximum_degree)
+            agree = maintainer.forest().preferred == dict(reference.preferred)
+            if health.is_single_tree and health.size:
+                single_tree_events += 1
+                if agree:
+                    agree = maintainer.metrics() == tree_metrics(
+                        reference.to_multicast_tree()
+                    )
+            if agree:
+                identical += 1
+        rows.append(
+            TreeMaintenanceRow(
+                phase=phase,
+                dimension=dimension,
+                k=k,
+                events=event_count,
+                reparent_operations=maintainer.engine.reparent_operations
+                - reparents_before,
+                full_rebuilds=maintainer.full_rebuilds - rebuilds_before,
+                snapshot_rebuilds=event_count,
+                identical_events=identical,
+                maximum_height=maximum_height,
+                maximum_degree=maximum_degree,
+                single_tree_events=single_tree_events,
+                event_driven_seconds=event_driven_seconds,
+                snapshot_seconds=snapshot_seconds,
+            )
+        )
+
+    def join_events():
+        for peer in peers:
+            if overlay.peer_count == 0:
+                yield lambda p=peer: overlay.add_peer(p, bootstrap=())
+            else:
+                yield lambda p=peer: overlay.insert_and_converge(
+                    p, bootstrap={rng.choice(overlay.peer_ids)}, incremental=True
+                )
+
+    def leave_events():
+        for peer in sorted(peers, key=lambda p: (p.lifetime, p.peer_id)):
+            yield lambda p=peer: overlay.remove_and_converge(
+                p.peer_id, incremental=True
+            )
+
+    run_phase("join", join_events())
+    run_phase("leave", leave_events())
+
     table = AblationResult(
+        name="tree-maintenance",
+        headers=(
+            "phase",
+            "D",
+            "K",
+            "events",
+            "reparents",
+            "rebuilds",
+            "snapshot rebuilds",
+            "identical",
+            "max height",
+            "max degree",
+            "single tree",
+            "event-driven [s]",
+            "snapshot [s]",
+        ),
+        rows=tuple(
+            (
+                row.phase,
+                row.dimension,
+                row.k,
+                row.events,
+                row.reparent_operations,
+                row.full_rebuilds,
+                row.snapshot_rebuilds,
+                row.identical,
+                row.maximum_height,
+                row.maximum_degree,
+                row.single_tree_events,
+                f"{row.event_driven_seconds:.2f}",
+                f"{row.snapshot_seconds:.2f}",
+            )
+            for row in rows
+        ),
+    )
+    return rows, table
+
+
+def _message_replay_table(rows: List[MessageReplayRow]) -> AblationResult:
+    """Table view of the A5 rows (split out to keep the driver readable)."""
+    return AblationResult(
         name="message-replay",
         headers=(
             "mode",
@@ -535,4 +751,3 @@ def run_message_replay_ablation(
             for row in rows
         ),
     )
-    return rows, table

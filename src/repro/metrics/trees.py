@@ -1,20 +1,29 @@
-"""Per-tree metric bundles.
+"""Per-tree metric bundles, batch and streaming.
 
 :func:`tree_metrics` collects, for one multicast tree, every quantity any of
 the paper's figures or text claims mention: size, height, diameter, maximum
 and average degree, leaf count and the ``N - 1`` dissemination message count.
 Experiment drivers work with these bundles instead of poking the tree object
-so the figures all read from one audited place.
+so the figures all read from one audited place.  The batch path runs one
+combined pass (:meth:`repro.multicast.tree.MulticastTree.metrics_summary`)
+instead of five independent traversals.
+
+:class:`StreamingTreeMetrics` is the event-driven counterpart: counters over
+node depths and degrees that the tree maintenance engine updates under
+single edge re-parent operations, so the whole bundle (except the diameter,
+which the engine recomputes lazily) stays current in ``O(subtree)`` per
+repair instead of ``O(N)`` per query.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from typing import Dict
 
 from repro.multicast.tree import MulticastTree
 
-__all__ = ["TreeMetrics", "tree_metrics"]
+__all__ = ["TreeMetrics", "tree_metrics", "StreamingTreeMetrics"]
 
 
 @dataclass(frozen=True)
@@ -43,13 +52,201 @@ class TreeMetrics:
 
 
 def tree_metrics(tree: MulticastTree) -> TreeMetrics:
-    """Compute the full metric bundle of one multicast tree."""
+    """Compute the full metric bundle of one multicast tree.
+
+    Uses the tree's combined :meth:`~repro.multicast.tree.MulticastTree.metrics_summary`
+    pass -- one loop over the children map plus a single extra BFS for the
+    diameter -- instead of invoking the five standalone metric traversals.
+    """
+    summary = tree.metrics_summary()
     return TreeMetrics(
         size=tree.size,
-        height=tree.height(),
-        diameter=tree.diameter(),
-        maximum_degree=tree.maximum_degree(),
-        average_degree=tree.average_degree(),
-        leaf_count=len(tree.leaves()),
+        height=int(summary["height"]),
+        diameter=int(summary["diameter"]),
+        maximum_degree=int(summary["max_degree"]),
+        average_degree=summary["avg_degree"],
+        leaf_count=int(summary["leaves"]),
         dissemination_messages=tree.message_count(),
     )
+
+
+class StreamingTreeMetrics:
+    """Tree metric counters maintained under incremental edit operations.
+
+    The maintenance engine owns the tree structure (parents, children,
+    lifetimes); this class owns the *statistics* over it.  The engine reports
+    node-level facts -- a node's depth changed, a node gained or lost a
+    child, a node gained or lost its parent link -- and the counters keep the
+    Figure 1 quantities answerable in ``O(1)``:
+
+    * ``size``, ``leaf_count`` and the degree sum are plain counters;
+    * ``height`` and ``maximum_degree`` use count multisets (depth -> nodes,
+      degree -> nodes) plus a lazily-decayed maximum hint, so queries are
+      amortised ``O(1)`` over any edit sequence;
+    * the diameter is *not* maintained here -- no local rule survives a
+      re-parent -- which is why the engine recomputes it lazily and caches it
+      per structure version.
+
+    A node's degree follows the :class:`~repro.multicast.tree.MulticastTree`
+    convention: children plus one for the parent link (roots have no parent
+    link), so the bundles agree bit for bit with the batch path.
+    """
+
+    __slots__ = (
+        "_depths",
+        "_depth_counts",
+        "_height_hint",
+        "_child_counts",
+        "_has_parent",
+        "_degree_counts",
+        "_degree_hint",
+        "_degree_sum",
+        "_leaf_count",
+    )
+
+    def __init__(self) -> None:
+        self._depths: Dict[int, int] = {}
+        self._depth_counts: Counter = Counter()
+        self._height_hint = 0
+        self._child_counts: Dict[int, int] = {}
+        self._has_parent: Dict[int, bool] = {}
+        self._degree_counts: Counter = Counter()
+        self._degree_hint = 0
+        self._degree_sum = 0
+        self._leaf_count = 0
+
+    # ------------------------------------------------------------------
+    # Edit operations (driven by the maintenance engine)
+    # ------------------------------------------------------------------
+    def add_node(self, node: int, *, depth: int = 0, has_parent: bool = False) -> None:
+        """Register a new childless node at the given depth."""
+        if node in self._depths:
+            raise ValueError(f"node {node} is already tracked")
+        self._depths[node] = depth
+        self._depth_counts[depth] += 1
+        if depth > self._height_hint:
+            self._height_hint = depth
+        self._child_counts[node] = 0
+        self._has_parent[node] = has_parent
+        degree = 1 if has_parent else 0
+        self._degree_counts[degree] += 1
+        if degree > self._degree_hint:
+            self._degree_hint = degree
+        self._degree_sum += degree
+        self._leaf_count += 1
+
+    def remove_node(self, node: int) -> None:
+        """Forget a node; it must be childless (a leaf or an isolated root)."""
+        if self._child_counts[node]:
+            raise ValueError(f"node {node} still has children")
+        self._depth_counts[self._depths.pop(node)] -= 1
+        degree = self._degree_of(node)
+        self._degree_counts[degree] -= 1
+        self._degree_sum -= degree
+        del self._child_counts[node]
+        del self._has_parent[node]
+        self._leaf_count -= 1
+
+    def depth(self, node: int) -> int:
+        """Current depth of a tracked node."""
+        return self._depths[node]
+
+    def set_depth(self, node: int, depth: int) -> None:
+        """Move a node to a new depth (one subtree member of a re-parent)."""
+        old = self._depths[node]
+        if old == depth:
+            return
+        self._depth_counts[old] -= 1
+        self._depth_counts[depth] += 1
+        self._depths[node] = depth
+        if depth > self._height_hint:
+            self._height_hint = depth
+
+    def adjust_children(self, node: int, delta: int) -> None:
+        """A node gained (``+1``) or lost (``-1``) one child."""
+        old_children = self._child_counts[node]
+        new_children = old_children + delta
+        if new_children < 0:
+            raise ValueError(f"node {node} cannot have {new_children} children")
+        self._child_counts[node] = new_children
+        if old_children == 0 and new_children > 0:
+            self._leaf_count -= 1
+        elif old_children > 0 and new_children == 0:
+            self._leaf_count += 1
+        self._shift_degree(node, delta)
+
+    def set_parent_flag(self, node: int, has_parent: bool) -> None:
+        """A node gained or lost its parent link (became or stopped being a root)."""
+        if self._has_parent[node] == has_parent:
+            return
+        self._has_parent[node] = has_parent
+        self._shift_degree(node, 1 if has_parent else -1)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of tracked nodes."""
+        return len(self._depths)
+
+    @property
+    def leaf_count(self) -> int:
+        """Nodes without children."""
+        return self._leaf_count
+
+    def height(self) -> int:
+        """Largest tracked depth (the longest root-to-leaf path, in edges)."""
+        hint = self._height_hint
+        while hint > 0 and not self._depth_counts[hint]:
+            hint -= 1
+        self._height_hint = hint
+        return hint
+
+    def maximum_degree(self) -> int:
+        """Largest tree degree over all tracked nodes."""
+        hint = self._degree_hint
+        while hint > 0 and not self._degree_counts[hint]:
+            hint -= 1
+        self._degree_hint = hint
+        return hint
+
+    def average_degree(self) -> float:
+        """Average tree degree over all tracked nodes."""
+        if not self._depths:
+            return 0.0
+        return self._degree_sum / len(self._depths)
+
+    def bundle(self, *, diameter: int) -> TreeMetrics:
+        """The full :class:`TreeMetrics` bundle for a single-tree forest.
+
+        The diameter is supplied by the caller (the engine computes it lazily
+        with the classic double BFS); everything else reads straight from the
+        counters.  Only meaningful when the tracked forest is one tree --
+        the maintenance engine enforces that before calling.
+        """
+        size = len(self._depths)
+        return TreeMetrics(
+            size=size,
+            height=self.height(),
+            diameter=diameter,
+            maximum_degree=self.maximum_degree(),
+            average_degree=self.average_degree(),
+            leaf_count=self._leaf_count,
+            dissemination_messages=size - 1,
+        )
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _degree_of(self, node: int) -> int:
+        return self._child_counts[node] + (1 if self._has_parent[node] else 0)
+
+    def _shift_degree(self, node: int, delta: int) -> None:
+        new_degree = self._degree_of(node)
+        old_degree = new_degree - delta
+        self._degree_counts[old_degree] -= 1
+        self._degree_counts[new_degree] += 1
+        self._degree_sum += delta
+        if new_degree > self._degree_hint:
+            self._degree_hint = new_degree

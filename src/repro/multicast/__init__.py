@@ -11,8 +11,11 @@ into the geometric P2P overlay of :mod:`repro.overlay`:
 
 Supporting modules: the common tree model (:mod:`repro.multicast.tree`),
 responsibility-zone algebra (:mod:`repro.multicast.zones`), dissemination and
-churn analysis (:mod:`repro.multicast.dissemination`) and the baselines the
-constructions are compared against (:mod:`repro.multicast.baselines`).
+churn analysis (:mod:`repro.multicast.dissemination`), the baselines the
+constructions are compared against (:mod:`repro.multicast.baselines`), and
+the event-driven maintenance layer (:mod:`repro.multicast.incremental`) that
+keeps the Section 3 tree repaired in place under churn instead of rebuilding
+it from topology snapshots.
 """
 
 from repro.multicast.tree import MulticastTree, TreeValidationError
@@ -38,8 +41,17 @@ from repro.multicast.stability import (
 from repro.multicast.dissemination import (
     DepartureReport,
     DisseminationReport,
+    TreeHealthSample,
+    departure_health_series,
     disseminate,
     simulate_departures,
+)
+from repro.multicast.incremental import (
+    IncrementalConnectivity,
+    OverlayConnectivityFeed,
+    StabilityTreeMaintainer,
+    TreeDelta,
+    TreeMaintenanceEngine,
 )
 from repro.multicast.baselines import (
     FloodingResult,
@@ -68,8 +80,15 @@ __all__ = [
     "peer_lifetime",
     "DisseminationReport",
     "DepartureReport",
+    "TreeHealthSample",
     "disseminate",
     "simulate_departures",
+    "departure_health_series",
+    "TreeDelta",
+    "TreeMaintenanceEngine",
+    "StabilityTreeMaintainer",
+    "IncrementalConnectivity",
+    "OverlayConnectivityFeed",
     "FloodingResult",
     "flood_multicast",
     "bfs_tree",

@@ -25,8 +25,10 @@ from repro.multicast.tree import MulticastTree
 __all__ = [
     "DisseminationReport",
     "DepartureReport",
+    "TreeHealthSample",
     "disseminate",
     "simulate_departures",
+    "departure_health_series",
 ]
 
 
@@ -140,3 +142,87 @@ def simulate_departures(
         orphaned_peer_events=orphaned,
         disconnecting_peers=tuple(disconnecting),
     )
+
+
+@dataclass(frozen=True)
+class TreeHealthSample:
+    """One point of a "tree health over time" series.
+
+    Emitted after a membership event by the event-driven maintenance engine
+    (:class:`repro.multicast.incremental.TreeMaintenanceEngine`) and by
+    :func:`departure_health_series`; the churn ablations plot these instead
+    of re-deriving every quantity from a fresh tree per event.
+    """
+
+    event: int
+    size: int
+    roots: int
+    height: int
+    maximum_degree: int
+    leaf_count: int
+
+    @property
+    def is_single_tree(self) -> bool:
+        """``True`` when the maintained forest is one tree covering every peer."""
+        return self.roots <= 1
+
+
+def departure_health_series(
+    tree: MulticastTree,
+    departure_order: Sequence[int],
+    *,
+    sample_every: int = 1,
+) -> Tuple[List[TreeHealthSample], DepartureReport]:
+    """Replay departures via the repair API, sampling tree health as it shrinks.
+
+    The offline counterpart of the streaming engine: a working copy of the
+    tree is shrunk with :meth:`~repro.multicast.tree.MulticastTree.remove_leaf`
+    (the repair API keeps children and depths exact, so each sample is one
+    :meth:`~repro.multicast.tree.MulticastTree.metrics_summary` pass over the
+    *remaining* tree, no reconstruction).  The replay stops at the first
+    non-leaf departure -- from that point the remaining peers are no longer
+    one tree and per-tree health quantities stop being well defined -- or
+    when the root departs, mirroring :func:`simulate_departures`.
+    """
+    if sample_every < 1:
+        raise ValueError("sample_every must be at least 1")
+    working = MulticastTree(tree.root, tree.parent_map())
+    samples: List[TreeHealthSample] = []
+    departures = 0
+    disconnecting: List[int] = []
+    orphaned = 0
+
+    def sample(event: int) -> None:
+        summary = working.metrics_summary()
+        samples.append(
+            TreeHealthSample(
+                event=event,
+                size=working.size,
+                roots=1,
+                height=int(summary["height"]),
+                maximum_degree=int(summary["max_degree"]),
+                leaf_count=int(summary["leaves"]),
+            )
+        )
+
+    for peer_id in departure_order:
+        if peer_id not in working:
+            continue
+        departures += 1
+        if peer_id == working.root:
+            break
+        if not working.is_leaf(peer_id):
+            disconnecting.append(peer_id)
+            orphaned += len(working.subtree_nodes(peer_id)) - 1
+            break
+        working.remove_leaf(peer_id)
+        if departures % sample_every == 0:
+            sample(departures)
+
+    report = DepartureReport(
+        departures=departures,
+        non_leaf_departures=len(disconnecting),
+        orphaned_peer_events=orphaned,
+        disconnecting_peers=tuple(disconnecting),
+    )
+    return samples, report

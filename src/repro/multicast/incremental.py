@@ -1,0 +1,737 @@
+"""Event-driven multicast layer: incremental stability-tree maintenance.
+
+The paper's Section 3 guarantee is about what the multicast tree does *under
+churn*, yet the snapshot-batch pipeline re-derives the whole
+preferred-neighbour forest (:func:`repro.multicast.stability.build_stability_tree`)
+from a fresh topology snapshot after every membership event.  This module is
+the event-driven replacement: overlay deltas in, single edge repairs out.
+
+Three cooperating pieces:
+
+* :class:`TreeMaintenanceEngine` -- a mutable preferred-neighbour forest.
+  It consumes :class:`TreeDelta` records (peers joined with their lifetimes,
+  peers departed, peers whose preferred neighbour changed) and repairs the
+  forest in place, re-parenting only the peers named by the delta.  Metrics
+  (size, height, max/avg degree, leaf count) are maintained *streaming* by
+  :class:`repro.metrics.trees.StreamingTreeMetrics`; only the diameter is
+  recomputed lazily, cached per structure version.
+* :class:`StabilityTreeMaintainer` -- binds an engine to a live
+  :class:`repro.overlay.network.OverlayNetwork` through the overlay delta
+  stream (see :mod:`repro.overlay.incremental`).  On every
+  :meth:`~StabilityTreeMaintainer.refresh` it re-derives the preferred
+  parent -- via the *same* rule the snapshot builder uses
+  (:func:`repro.multicast.stability.choose_preferred_parent`) -- for exactly
+  the peers whose adjacency may have changed, and feeds the resulting
+  :class:`TreeDelta` to the engine.
+* :class:`IncrementalConnectivity` -- a union-find connectivity tracker over
+  a dynamic graph: edge and node additions are unioned on the fly in
+  near-constant time, deletions mark an epoch dirty and the structure is
+  rebuilt once per *batch* of deletions, at the next query.  It replaces the
+  per-event full-graph connectivity recomputation in the overlay-churn
+  ablation (A4).
+
+Invariants the repair engine preserves (and validates on every operation):
+
+1. every maintained link points from a peer to a strictly longer-lived peer
+   -- the paper's ``T(parent) > T(child)`` invariant, which also makes
+   cycles structurally impossible, so single edge re-parents never need a
+   global acyclicity check;
+2. the children map is the exact inverse of the parent map, and the stored
+   depths are the exact BFS distances from each peer's root;
+3. the streaming counters agree with a from-scratch
+   :func:`repro.metrics.trees.tree_metrics` over the same forest -- the
+   hypothesis cross-checks drive arbitrary join/leave/reselect schedules
+   through both paths and assert byte-identical parent maps and metric
+   bundles.
+
+Peers whose lifetimes collide are rejected exactly as the snapshot builder
+rejects them (the paper assumes pairwise-distinct lifetimes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+
+from repro.geometry.distance import DistanceFunction, get_distance
+from repro.metrics.trees import StreamingTreeMetrics, TreeMetrics
+from repro.multicast.dissemination import TreeHealthSample
+from repro.multicast.stability import (
+    PreferredNeighbourForest,
+    StabilityTreeBuilder,
+    choose_preferred_parent,
+    lifetime_of,
+)
+from repro.multicast.tree import MulticastTree, TreeValidationError, _farthest
+from repro.overlay.incremental import DirectedSelectionMirror
+from repro.overlay.network import OverlayNetwork
+
+__all__ = [
+    "TreeDelta",
+    "TreeMaintenanceEngine",
+    "StabilityTreeMaintainer",
+    "IncrementalConnectivity",
+    "OverlayConnectivityFeed",
+]
+
+
+@dataclass(frozen=True)
+class TreeDelta:
+    """One batch of tree repairs derived from overlay changes.
+
+    ``joined`` maps new peer ids to their lifetimes; ``departed`` lists
+    removed peers; ``reparented`` maps a peer to its new preferred neighbour
+    (``None`` = no longer-lived neighbour, the peer becomes a root).  The
+    engine applies departures first, then joins, then re-parents, so a
+    re-join of a departed id and a re-parent onto a freshly joined peer are
+    both well-formed inside a single delta.
+    """
+
+    joined: Mapping[int, float] = field(default_factory=dict)
+    departed: FrozenSet[int] = frozenset()
+    reparented: Mapping[int, Optional[int]] = field(default_factory=dict)
+
+    @property
+    def is_empty(self) -> bool:
+        """``True`` when the delta carries no repairs at all."""
+        return not (self.joined or self.departed or self.reparented)
+
+
+class TreeMaintenanceEngine:
+    """A mutable preferred-neighbour forest repaired by :class:`TreeDelta` batches.
+
+    See the module docstring for the invariants every operation preserves.
+    The engine is deliberately ignorant of *why* a peer's preferred
+    neighbour changed -- the :class:`StabilityTreeMaintainer` derives deltas
+    from an overlay, the simulation runner derives them from protocol
+    events, and tests drive it directly.
+    """
+
+    def __init__(self) -> None:
+        self._parents: Dict[int, Optional[int]] = {}
+        self._children: Dict[int, Set[int]] = {}
+        self._lifetimes: Dict[int, float] = {}
+        self._lifetime_values: Set[float] = set()
+        self._roots: Set[int] = set()
+        self._metrics = StreamingTreeMetrics()
+        self._version = 0
+        self._diameter_cache: Tuple[int, int] = (-1, 0)
+        self._reparent_operations = 0
+        self._applied_deltas = 0
+
+    # ------------------------------------------------------------------
+    # Structure accessors
+    # ------------------------------------------------------------------
+    def __contains__(self, peer_id: int) -> bool:
+        return peer_id in self._parents
+
+    def __len__(self) -> int:
+        return len(self._parents)
+
+    @property
+    def peer_count(self) -> int:
+        """Number of maintained peers."""
+        return len(self._parents)
+
+    @property
+    def reparent_operations(self) -> int:
+        """Single edge repairs performed since the last bootstrap."""
+        return self._reparent_operations
+
+    @property
+    def applied_deltas(self) -> int:
+        """Delta batches applied since the last bootstrap."""
+        return self._applied_deltas
+
+    def parent(self, peer_id: int) -> Optional[int]:
+        """Current preferred neighbour of one peer (``None`` for roots)."""
+        return self._parents[peer_id]
+
+    def parent_map(self) -> Dict[int, Optional[int]]:
+        """Copy of the maintained preferred-neighbour map."""
+        return dict(self._parents)
+
+    def lifetime(self, peer_id: int) -> float:
+        """Lifetime the peer was registered with."""
+        return self._lifetimes[peer_id]
+
+    def roots(self) -> List[int]:
+        """Peers without a preferred neighbour, sorted."""
+        return sorted(self._roots)
+
+    def is_single_tree(self) -> bool:
+        """``True`` when the forest is one tree covering every maintained peer."""
+        return len(self._roots) <= 1
+
+    def forest(self) -> PreferredNeighbourForest:
+        """The maintained forest as an immutable snapshot value."""
+        return PreferredNeighbourForest(
+            preferred=dict(self._parents), lifetimes=dict(self._lifetimes)
+        )
+
+    def tree(self) -> MulticastTree:
+        """The maintained forest as a :class:`MulticastTree` (single tree required)."""
+        return self.forest().to_multicast_tree()
+
+    # ------------------------------------------------------------------
+    # Bootstrap and repair operations
+    # ------------------------------------------------------------------
+    def bootstrap(self, forest: PreferredNeighbourForest) -> None:
+        """Adopt a snapshot-built forest wholesale, discarding all prior state.
+
+        This is the one full-rebuild entry point; everything after it goes
+        through :meth:`apply`.  Links are attached top-down from the roots so
+        the adoption costs ``O(N)`` subtree shifts overall.
+        """
+        self.__init__()
+        for peer_id in sorted(forest.preferred):
+            self.add_peer(peer_id, forest.lifetimes[peer_id])
+        children: Dict[int, List[int]] = {}
+        for child, parent in forest.preferred.items():
+            if parent is not None:
+                children.setdefault(parent, []).append(child)
+        stack = [root for root, parent in forest.preferred.items() if parent is None]
+        attached = len(stack)
+        while stack:
+            parent = stack.pop()
+            for child in children.get(parent, ()):
+                self.set_parent(child, parent)
+                attached += 1
+                stack.append(child)
+        if attached != len(self._parents):
+            raise TreeValidationError(
+                "the adopted forest contains a cycle: "
+                f"{len(self._parents) - attached} peers unreachable from any root"
+            )
+        # Adoption is not incremental repair work; reset the counters.
+        self._reparent_operations = 0
+        self._applied_deltas = 0
+
+    def add_peer(self, peer_id: int, lifetime: float) -> None:
+        """Register a peer as a fresh isolated root."""
+        if peer_id in self._parents:
+            raise ValueError(f"peer {peer_id} is already maintained")
+        lifetime = float(lifetime)
+        if lifetime in self._lifetime_values:
+            raise ValueError(
+                "peer lifetimes must be pairwise distinct (the paper breaks ties "
+                "using other peer-specific properties before running the algorithm); "
+                f"lifetime {lifetime!r} of peer {peer_id} collides"
+            )
+        self._parents[peer_id] = None
+        self._children[peer_id] = set()
+        self._lifetimes[peer_id] = lifetime
+        self._lifetime_values.add(lifetime)
+        self._roots.add(peer_id)
+        self._metrics.add_node(peer_id, depth=0, has_parent=False)
+        self._version += 1
+
+    def remove_peer(self, peer_id: int) -> None:
+        """Remove a peer; any children it still has become roots.
+
+        Under lifetime-ordered departures the stability invariant makes the
+        departing peer a leaf, so the orphaning path never runs; it exists
+        for arbitrary schedules (and for the protocol replay, where a
+        departure notice can overtake the children's re-parent events).
+        """
+        if peer_id not in self._parents:
+            raise KeyError(f"peer {peer_id} is not maintained")
+        for child in sorted(self._children[peer_id]):
+            self.set_parent(child, None)
+        self.set_parent(peer_id, None)
+        self._roots.discard(peer_id)
+        del self._parents[peer_id]
+        del self._children[peer_id]
+        self._lifetime_values.discard(self._lifetimes.pop(peer_id))
+        self._metrics.remove_node(peer_id)
+        self._version += 1
+
+    def set_parent(self, child: int, parent: Optional[int]) -> None:
+        """Single edge repair: replace ``child``'s preferred-neighbour link.
+
+        Validates the lifetime invariant (``T(parent) > T(child)``), which
+        also rules out cycles: every link strictly increases the lifetime, so
+        no descendant of ``child`` can ever be its parent.  Depths of the
+        moved subtree are shifted in place.
+        """
+        if child not in self._parents:
+            raise KeyError(f"peer {child} is not maintained")
+        old = self._parents[child]
+        if old == parent:
+            return
+        if parent is not None:
+            if parent not in self._parents:
+                raise TreeValidationError(f"parent {parent} is not maintained")
+            if not self._lifetimes[parent] > self._lifetimes[child]:
+                raise TreeValidationError(
+                    f"link {child} -> {parent} violates the lifetime invariant: "
+                    f"T({parent})={self._lifetimes[parent]!r} must exceed "
+                    f"T({child})={self._lifetimes[child]!r}"
+                )
+        if old is None:
+            self._roots.discard(child)
+        else:
+            self._children[old].discard(child)
+            self._metrics.adjust_children(old, -1)
+        self._parents[child] = parent
+        if parent is None:
+            self._roots.add(child)
+            new_depth = 0
+        else:
+            self._children[parent].add(child)
+            self._metrics.adjust_children(parent, +1)
+            new_depth = self._metrics.depth(parent) + 1
+        self._metrics.set_parent_flag(child, parent is not None)
+        shift = new_depth - self._metrics.depth(child)
+        if shift:
+            stack = [child]
+            while stack:
+                node = stack.pop()
+                self._metrics.set_depth(node, self._metrics.depth(node) + shift)
+                stack.extend(self._children[node])
+        self._version += 1
+        self._reparent_operations += 1
+
+    def apply(self, delta: TreeDelta) -> None:
+        """Apply one repair batch: departures, then joins, then re-parents.
+
+        A peer may appear in all three groups at once -- a departure
+        followed by a re-join inside one delta window, with the rejoined
+        peer's fresh preferred parent -- because the phases run in that
+        order.  Only a re-parent of a peer that departs *without* rejoining
+        is contradictory and rejected.
+        """
+        overlap = (set(delta.departed) - set(delta.joined)) & set(delta.reparented)
+        if overlap:
+            raise ValueError(
+                f"peers {sorted(overlap)[:10]} appear both departed and re-parented"
+            )
+        for peer_id in sorted(delta.departed):
+            self.remove_peer(peer_id)
+        for peer_id in sorted(delta.joined):
+            self.add_peer(peer_id, delta.joined[peer_id])
+        for peer_id in sorted(delta.reparented):
+            self.set_parent(peer_id, delta.reparented[peer_id])
+        self._applied_deltas += 1
+
+    # ------------------------------------------------------------------
+    # Streaming metrics
+    # ------------------------------------------------------------------
+    def diameter(self) -> int:
+        """Tree diameter, recomputed lazily and cached per structure version.
+
+        The diameter has no local update rule under re-parents, so it is the
+        one quantity the engine recomputes (double BFS) -- but only when the
+        structure actually changed since the cached value.
+        """
+        if len(self._roots) != 1:
+            raise TreeValidationError(
+                f"the forest has {len(self._roots)} roots; the diameter is only "
+                "defined for a single tree"
+            )
+        version, value = self._diameter_cache
+        if version == self._version:
+            return value
+        if len(self._parents) <= 1:
+            value = 0
+        else:
+            adjacency: Dict[int, List[int]] = {node: [] for node in self._parents}
+            for child, parent in self._parents.items():
+                if parent is not None:
+                    adjacency[child].append(parent)
+                    adjacency[parent].append(child)
+            endpoint, _ = _farthest(adjacency, next(iter(self._roots)))
+            _, value = _farthest(adjacency, endpoint)
+        self._diameter_cache = (self._version, value)
+        return value
+
+    def metrics(self) -> TreeMetrics:
+        """The full metric bundle of the maintained tree (single tree required).
+
+        Everything except the diameter reads straight from the streaming
+        counters; the result is bit-identical to
+        ``tree_metrics(build_stability_tree(snapshot))`` on the equivalent
+        snapshot, which the property tests assert.
+        """
+        if len(self._roots) != 1:
+            raise TreeValidationError(
+                f"the forest has {len(self._roots)} roots, not one; "
+                "metrics bundles describe a single tree"
+            )
+        return self._metrics.bundle(diameter=self.diameter())
+
+    def health_sample(self, event: int) -> TreeHealthSample:
+        """One cheap "tree health" observation (valid for forests too)."""
+        return TreeHealthSample(
+            event=event,
+            size=self._metrics.size,
+            roots=len(self._roots),
+            height=self._metrics.height(),
+            maximum_degree=self._metrics.maximum_degree(),
+            leaf_count=self._metrics.leaf_count,
+        )
+
+
+class _LifetimeView:
+    """Read-only lifetime lookup across the engine and a pending join batch."""
+
+    __slots__ = ("_engine", "_joined")
+
+    def __init__(self, engine: TreeMaintenanceEngine, joined: Mapping[int, float]) -> None:
+        self._engine = engine
+        self._joined = joined
+
+    def __getitem__(self, peer_id: int) -> float:
+        if peer_id in self._joined:
+            return self._joined[peer_id]
+        return self._engine.lifetime(peer_id)
+
+
+class StabilityTreeMaintainer:
+    """Keeps a :class:`TreeMaintenanceEngine` in lockstep with a live overlay.
+
+    The maintainer subscribes to the overlay's delta stream at construction,
+    bootstraps the engine from one snapshot build (the only full rebuild),
+    and from then on :meth:`refresh` turns each drained
+    :class:`~repro.overlay.incremental.OverlayDelta` into the minimal
+    :class:`TreeDelta`: the preferred parent is re-derived -- with the exact
+    snapshot-builder rule -- only for peers whose adjacency may have
+    changed, and only actual changes reach the engine.
+
+    A directed-selection mirror plus a reverse (selector) index give
+    ``O(degree)`` per-peer adjacency reads, so a refresh costs time
+    proportional to the overlay churn, not to the population.
+    """
+
+    def __init__(
+        self,
+        overlay: OverlayNetwork,
+        *,
+        tie_break: str = StabilityTreeBuilder.LARGEST_LIFETIME,
+        distance: "DistanceFunction | str" = "l2",
+    ) -> None:
+        if tie_break not in StabilityTreeBuilder.TIE_BREAKS:
+            raise ValueError(
+                f"unknown tie_break {tie_break!r}; expected one of "
+                f"{StabilityTreeBuilder.TIE_BREAKS}"
+            )
+        self._overlay = overlay
+        self._tie_break = tie_break
+        self._distance = get_distance(distance) if isinstance(distance, str) else distance
+        self._engine = TreeMaintenanceEngine()
+        # Attach before reading the snapshot: events that land in between are
+        # both in the snapshot and in the first drain, and re-deriving a
+        # clean peer's parent from current state is harmless by contract.
+        self._recorder = overlay.delta_stream()
+        self._mirror = DirectedSelectionMirror()
+        self._full_rebuilds = 0
+        self.rebuild()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> TreeMaintenanceEngine:
+        """The maintained engine (forest, streaming metrics, counters)."""
+        return self._engine
+
+    @property
+    def full_rebuilds(self) -> int:
+        """Snapshot-scale rebuilds performed (1 = only the bootstrap)."""
+        return self._full_rebuilds
+
+    def forest(self) -> PreferredNeighbourForest:
+        """Immutable snapshot of the maintained forest."""
+        return self._engine.forest()
+
+    def tree(self) -> MulticastTree:
+        """The maintained stability tree (single tree required)."""
+        return self._engine.tree()
+
+    def metrics(self) -> TreeMetrics:
+        """Streaming metric bundle of the maintained tree."""
+        return self._engine.metrics()
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def rebuild(self) -> None:
+        """Force one snapshot-scale rebuild (used at bootstrap only).
+
+        Drains the recorder first so the rebuilt state is not immediately
+        dirtied by its own history.
+        """
+        self._recorder.drain()
+        forest = StabilityTreeBuilder(
+            tie_break=self._tie_break, distance=self._distance
+        ).build(self._overlay.snapshot())
+        self._engine.bootstrap(forest)
+        self._mirror.adopt(self._overlay)
+        self._full_rebuilds += 1
+
+    def refresh(self) -> TreeDelta:
+        """Drain the overlay delta stream and repair the tree accordingly.
+
+        Returns the applied :class:`TreeDelta` (empty when nothing relevant
+        happened), so callers can log or assert on the repair traffic.
+        """
+        overlay = self._overlay
+        raw = self._recorder.drain()
+        if raw.is_empty:
+            return TreeDelta()
+
+        # Membership: net joins/leaves relative to what the engine holds.
+        departed = frozenset(p for p in raw.departed if p in self._engine)
+        joined = {
+            p: lifetime_of(overlay.peer(p))
+            for p in raw.joined
+            if p in overlay and (p in departed or p not in self._engine)
+        }
+
+        # Fold the delta into the shared directed mirror; its key set is
+        # exactly the alive peers whose adjacency may have changed.
+        recheck = self._mirror.apply(raw, overlay)
+
+        # Re-derive the preferred parent of every possibly-affected peer
+        # with the snapshot builder's rule; only actual changes are applied.
+        lifetimes = _LifetimeView(self._engine, joined)
+        reparented: Dict[int, Optional[int]] = {}
+        for peer_id in recheck:
+            adjacency = self._mirror.adjacency(peer_id)
+            parent = choose_preferred_parent(
+                peer_id,
+                adjacency,
+                lifetimes,
+                tie_break=self._tie_break,
+                coordinates_of=lambda n: overlay.peer(n).coordinates,
+                distance=self._distance,
+            )
+            if peer_id in joined:
+                if parent is not None:
+                    reparented[peer_id] = parent
+                continue
+            # Compare against the link as it will stand *after* the delta's
+            # departure phase: removing a departed parent orphans the child,
+            # so a link onto a departed-and-rejoined id must be re-issued
+            # even though the pre-delta parent value looks unchanged.
+            current_parent = self._engine.parent(peer_id)
+            if current_parent in departed:
+                current_parent = None
+            if parent != current_parent:
+                reparented[peer_id] = parent
+
+        delta = TreeDelta(joined=joined, departed=departed, reparented=reparented)
+        if not delta.is_empty:
+            self._engine.apply(delta)
+        return delta
+
+
+class OverlayConnectivityFeed:
+    """Keeps an :class:`IncrementalConnectivity` in sync with a live overlay.
+
+    Subscribes to the overlay's delta stream and mirrors the *directed*
+    selection edges of touched peers into the tracker (the undirected
+    closure has the same components), so a connectivity query after a
+    membership event costs the tracker's union/rebuild work instead of a
+    full topology snapshot plus graph traversal per event.  This is the
+    glue ablation A4 and the churn experiments query between events; it
+    also owns the one subtle delta-stream corner the tracker itself cannot
+    see -- restoring the incoming edges of a peer that left and rejoined
+    inside a single sync window.
+    """
+
+    def __init__(self, overlay: OverlayNetwork) -> None:
+        self._overlay = overlay
+        self._recorder = overlay.delta_stream()
+        self._mirror = DirectedSelectionMirror()
+        self._mirror.adopt(overlay)
+        self.tracker = IncrementalConnectivity()
+        for peer_id in overlay.peer_ids:
+            self.tracker.add_node(peer_id)
+        for peer_id in overlay.peer_ids:
+            for target in self._mirror.selected(peer_id):
+                self.tracker.add_edge(peer_id, target)
+        self._recorder.drain()
+
+    def sync(self) -> None:
+        """Fold the overlay changes since the last sync into the tracker."""
+        delta = self._recorder.drain()
+        if delta.is_empty:
+            return
+        for peer_id in delta.departed:
+            if peer_id in self.tracker:
+                self.tracker.remove_node(peer_id)
+        diffs = self._mirror.apply(delta, self._overlay)
+        for peer_id in diffs:
+            if peer_id not in self.tracker:
+                self.tracker.add_node(peer_id)
+        for peer_id, (gained, lost) in diffs.items():
+            for target in gained:
+                self.tracker.add_edge(peer_id, target)
+            for target in lost:
+                # Already gone when the target departed (remove_node drops
+                # incident edges); remove_edge is idempotent.
+                self.tracker.remove_edge(peer_id, target)
+        for peer_id in delta.departed:
+            if peer_id not in self.tracker:
+                continue
+            # Leave-then-rejoin inside one window: remove_node dropped the
+            # incoming edges of selectors whose selection is net-unchanged
+            # (empty diff), so restore them from the mirror's reverse index.
+            for selector in self._mirror.selectors(peer_id):
+                self.tracker.add_edge(selector, peer_id)
+
+    def is_connected(self) -> bool:
+        """Sync, then ask the tracker."""
+        self.sync()
+        return self.tracker.is_connected()
+
+
+class IncrementalConnectivity:
+    """Connectivity of a dynamic graph: union-find plus epoch rebuilds.
+
+    Node and edge *additions* are folded into the union-find structure on
+    the fly (near-constant amortised time), so pure-growth phases -- the
+    paper's insertion procedure -- never pay more than the union cost.
+    *Deletions* only mark the epoch dirty; the structure is rebuilt from the
+    surviving edge set once per batch of deletions, at the next query,
+    instead of once per event.  Edges are directed pairs as given (the
+    overlay's selection edges); connectivity is judged on the undirected
+    closure, which has the same components.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Set[int] = set()
+        self._edges: Set[Tuple[int, int]] = set()
+        self._incident: Dict[int, Set[Tuple[int, int]]] = {}
+        self._uf_parent: Dict[int, int] = {}
+        self._uf_rank: Dict[int, int] = {}
+        self._components = 0
+        self._dirty = False
+        self._rebuilds = 0
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def add_node(self, node: int) -> None:
+        """Track a new isolated node."""
+        if node in self._nodes:
+            raise ValueError(f"node {node} is already tracked")
+        self._nodes.add(node)
+        self._incident[node] = set()
+        self._uf_parent[node] = node
+        self._uf_rank[node] = 0
+        self._components += 1
+
+    def remove_node(self, node: int) -> None:
+        """Forget a node and every edge incident to it (marks the epoch dirty)."""
+        if node not in self._nodes:
+            raise KeyError(f"node {node} is not tracked")
+        incident = self._incident.pop(node)
+        if incident:
+            for edge in incident:
+                self._edges.discard(edge)
+                other = edge[1] if edge[0] == node else edge[0]
+                other_incident = self._incident.get(other)
+                if other_incident:
+                    other_incident.discard(edge)
+            self._dirty = True
+        elif not self._dirty:
+            # An isolated node is its own component in the exact structure.
+            self._components -= 1
+        self._nodes.discard(node)
+        self._uf_parent.pop(node, None)
+        self._uf_rank.pop(node, None)
+
+    def add_edge(self, source: int, target: int) -> None:
+        """Add one (directed) edge; unioned immediately unless the epoch is dirty."""
+        if source == target:
+            return
+        if source not in self._nodes or target not in self._nodes:
+            missing = source if source not in self._nodes else target
+            raise KeyError(f"node {missing} is not tracked")
+        edge = (source, target)
+        if edge in self._edges:
+            return
+        self._edges.add(edge)
+        self._incident[source].add(edge)
+        self._incident[target].add(edge)
+        if not self._dirty and self._union(source, target):
+            self._components -= 1
+
+    def remove_edge(self, source: int, target: int) -> None:
+        """Remove one (directed) edge if present (marks the epoch dirty)."""
+        edge = (source, target)
+        if edge not in self._edges:
+            return
+        self._edges.discard(edge)
+        self._incident[source].discard(edge)
+        self._incident[target].discard(edge)
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, node: int) -> bool:
+        return node in self._nodes
+
+    @property
+    def node_count(self) -> int:
+        """Number of tracked nodes."""
+        return len(self._nodes)
+
+    @property
+    def rebuilds(self) -> int:
+        """Epoch rebuilds performed so far (one per deletion batch queried)."""
+        return self._rebuilds
+
+    def component_count(self) -> int:
+        """Number of connected components (rebuilding first if dirty)."""
+        self._ensure_clean()
+        return self._components
+
+    def is_connected(self) -> bool:
+        """``True`` when the graph is empty or one connected component."""
+        self._ensure_clean()
+        return self._components <= 1
+
+    def same_component(self, first: int, second: int) -> bool:
+        """``True`` when both tracked nodes lie in one component."""
+        self._ensure_clean()
+        return self._find(first) == self._find(second)
+
+    # ------------------------------------------------------------------
+    # Internal union-find helpers
+    # ------------------------------------------------------------------
+    def _ensure_clean(self) -> None:
+        if not self._dirty:
+            return
+        self._uf_parent = {node: node for node in self._nodes}
+        self._uf_rank = {node: 0 for node in self._nodes}
+        self._components = len(self._nodes)
+        for source, target in self._edges:
+            if self._union(source, target):
+                self._components -= 1
+        self._dirty = False
+        self._rebuilds += 1
+
+    def _find(self, node: int) -> int:
+        parent = self._uf_parent
+        root = node
+        while parent[root] != root:
+            root = parent[root]
+        while parent[node] != root:
+            parent[node], node = root, parent[node]
+        return root
+
+    def _union(self, first: int, second: int) -> bool:
+        root_a, root_b = self._find(first), self._find(second)
+        if root_a == root_b:
+            return False
+        rank = self._uf_rank
+        if rank[root_a] < rank[root_b]:
+            root_a, root_b = root_b, root_a
+        self._uf_parent[root_b] = root_a
+        if rank[root_a] == rank[root_b]:
+            rank[root_a] += 1
+        return True

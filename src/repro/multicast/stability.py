@@ -17,30 +17,76 @@ of the remaining tree and departures never disconnect the multicast tree.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.geometry.distance import DistanceFunction, get_distance
 from repro.multicast.tree import MulticastTree, TreeValidationError
+from repro.overlay.peer import PeerInfo
 from repro.overlay.topology import TopologySnapshot
 
 __all__ = [
     "PreferredNeighbourForest",
     "StabilityTreeBuilder",
     "build_stability_tree",
+    "choose_preferred_parent",
+    "lifetime_of",
     "peer_lifetime",
 ]
 
 
-def peer_lifetime(topology: TopologySnapshot, peer_id: int) -> float:
-    """Departure time ``T(P)`` of a peer.
+def lifetime_of(info: PeerInfo) -> float:
+    """Departure time ``T(P)`` read from one peer's metadata.
 
     Uses the explicit ``lifetime`` attribute when present and falls back to
     the first coordinate, which is where Section 3 embeds the lifetime.
     """
-    info = topology.peers[peer_id]
     if info.lifetime is not None:
         return float(info.lifetime)
     return float(info.coordinates[0])
+
+
+def peer_lifetime(topology: TopologySnapshot, peer_id: int) -> float:
+    """Departure time ``T(P)`` of a peer of a topology snapshot."""
+    return lifetime_of(topology.peers[peer_id])
+
+
+def choose_preferred_parent(
+    peer_id: int,
+    neighbours: Iterable[int],
+    lifetimes: Mapping[int, float],
+    *,
+    tie_break: str = "largest-lifetime",
+    coordinates_of: Optional[Callable[[int], Sequence[float]]] = None,
+    distance: Optional[DistanceFunction] = None,
+) -> Optional[int]:
+    """The Section 3 preferred-neighbour rule for one peer.
+
+    This is the single place the rule lives: the snapshot-batch
+    :class:`StabilityTreeBuilder` and the event-driven
+    :class:`repro.multicast.incremental.StabilityTreeMaintainer` both call
+    it, so the two paths provably pick the identical parent for identical
+    inputs (the seeded equivalence tests rely on exactly this).
+
+    ``coordinates_of`` and ``distance`` are only consulted by the
+    ``"closest"`` tie-break.
+    """
+    own_lifetime = lifetimes[peer_id]
+    candidates = [n for n in neighbours if lifetimes[n] > own_lifetime]
+    if not candidates:
+        return None
+    if tie_break == StabilityTreeBuilder.LARGEST_LIFETIME:
+        return max(candidates, key=lambda n: (lifetimes[n], -n))
+    if tie_break == StabilityTreeBuilder.SMALLEST_ABOVE:
+        return min(candidates, key=lambda n: (lifetimes[n], n))
+    if tie_break != StabilityTreeBuilder.CLOSEST:
+        raise ValueError(
+            f"unknown tie_break {tie_break!r}; expected one of "
+            f"{StabilityTreeBuilder.TIE_BREAKS}"
+        )
+    if coordinates_of is None or distance is None:
+        raise ValueError("the 'closest' tie_break needs coordinates_of and distance")
+    own_coordinates = coordinates_of(peer_id)
+    return min(candidates, key=lambda n: (distance(own_coordinates, coordinates_of(n)), n))
 
 
 @dataclass(frozen=True)
@@ -186,22 +232,13 @@ class StabilityTreeBuilder:
         lifetimes: Mapping[int, float],
         peer_id: int,
     ) -> Optional[int]:
-        own_lifetime = lifetimes[peer_id]
-        candidates = [
-            neighbour
-            for neighbour in topology.adjacency[peer_id]
-            if lifetimes[neighbour] > own_lifetime
-        ]
-        if not candidates:
-            return None
-        if self._tie_break == self.LARGEST_LIFETIME:
-            return max(candidates, key=lambda n: (lifetimes[n], -n))
-        if self._tie_break == self.SMALLEST_ABOVE:
-            return min(candidates, key=lambda n: (lifetimes[n], n))
-        own_coordinates = topology.peers[peer_id].coordinates
-        return min(
-            candidates,
-            key=lambda n: (self._distance(own_coordinates, topology.peers[n].coordinates), n),
+        return choose_preferred_parent(
+            peer_id,
+            topology.adjacency[peer_id],
+            lifetimes,
+            tie_break=self._tie_break,
+            coordinates_of=lambda n: topology.peers[n].coordinates,
+            distance=self._distance,
         )
 
 

@@ -1,4 +1,4 @@
-"""Multicast tree model, validation and metrics.
+"""Multicast tree model, validation, repair and metrics.
 
 Both constructions of the paper produce a rooted tree over the peers; this
 module is their common representation.  The metrics exposed here are exactly
@@ -8,10 +8,20 @@ the quantities Figure 1 reports:
 * the tree diameter (panel (d)),
 * the maximum tree degree of a peer (panel (e), and the ``2^D`` bound stated
   for the space-partitioning construction).
+
+Trees are validated on construction and then support a small *repair API*
+(:meth:`MulticastTree.add_leaf`, :meth:`MulticastTree.remove_leaf`,
+:meth:`MulticastTree.reparent`) whose operations each preserve the tree
+invariants and keep the derived children and depth maps exact -- this is what
+the event-driven maintenance engine of :mod:`repro.multicast.incremental`
+builds on instead of reconstructing a tree per membership event.
+:meth:`MulticastTree.revalidate` re-runs the construction-time checks on
+demand, so long repair sequences can be audited cheaply in tests.
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from collections import deque
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
@@ -28,8 +38,10 @@ class MulticastTree:
     """A rooted tree over peer ids.
 
     The tree is stored as a parent map (``parent[root] is None``) plus the
-    derived children map.  Instances are immutable after construction; all
-    mutation happens in the builders that produce them.
+    derived children map.  Instances are fully validated on construction;
+    afterwards the only mutation allowed is through the repair API
+    (:meth:`add_leaf`, :meth:`remove_leaf`, :meth:`reparent`), whose
+    operations each preserve the tree invariants.
     """
 
     __slots__ = ("_root", "_parents", "_children", "_depths")
@@ -209,6 +221,157 @@ class MulticastTree:
     def message_count(self) -> int:
         """Messages needed to disseminate one datum over the tree (``N - 1``)."""
         return len(self._parents) - 1
+
+    def metrics_summary(self) -> Dict[str, float]:
+        """Height, diameter, degree statistics and leaf count in one pass.
+
+        The separate metric methods each traverse the tree on their own
+        (``diameter`` alone runs two BFS passes from scratch); batch callers
+        that want the whole Figure 1 bundle go through here instead: one loop
+        over the children map collects the degree statistics and the leaf
+        count, the stored depths give the height *and* one endpoint of a
+        diameter (the deepest node -- depths are BFS distances from the
+        root), so a single extra BFS from that endpoint completes the
+        diameter.
+        """
+        degree_sum = 0
+        max_degree = 0
+        leaves = 0
+        for node, children in self._children.items():
+            degree = len(children) + (0 if node == self._root else 1)
+            degree_sum += degree
+            if degree > max_degree:
+                max_degree = degree
+            if not children:
+                leaves += 1
+        height = 0
+        endpoint = self._root
+        for node, depth in self._depths.items():
+            if depth > height or (depth == height and node < endpoint):
+                height, endpoint = depth, node
+        if len(self._parents) <= 1:
+            diameter = 0
+        else:
+            _, diameter = _farthest(self._undirected_adjacency(), endpoint)
+        return {
+            "height": height,
+            "diameter": diameter,
+            "max_degree": max_degree,
+            "avg_degree": degree_sum / len(self._parents),
+            "leaves": leaves,
+        }
+
+    # ------------------------------------------------------------------
+    # Repair API (used by the event-driven maintenance engine)
+    # ------------------------------------------------------------------
+    def add_leaf(self, node: int, parent: int) -> None:
+        """Attach ``node`` as a new leaf under ``parent``.
+
+        The new node must not be part of the tree yet and the parent must be;
+        children lists and depths are updated in place.
+        """
+        if node in self._parents:
+            raise TreeValidationError(f"node {node} is already part of the tree")
+        if parent not in self._parents:
+            raise TreeValidationError(f"parent {parent} is not part of the tree")
+        self._parents[node] = parent
+        self._children[node] = []
+        insort(self._children[parent], node)
+        self._depths[node] = self._depths[parent] + 1
+
+    def remove_leaf(self, node: int) -> None:
+        """Detach a leaf from the tree (the root cannot be removed)."""
+        if node not in self._parents:
+            raise TreeValidationError(f"node {node} is not part of the tree")
+        if node == self._root:
+            raise TreeValidationError("the root cannot be removed")
+        if self._children[node]:
+            raise TreeValidationError(
+                f"node {node} still has children {tuple(self._children[node][:10])}; "
+                "only leaves can be removed"
+            )
+        parent = self._parents.pop(node)
+        self._children[parent].remove(node)
+        del self._children[node]
+        del self._depths[node]
+
+    def reparent(self, node: int, new_parent: int) -> None:
+        """Move ``node`` (and its whole subtree) under ``new_parent``.
+
+        This is the single edge re-parent operation the stability-tree repair
+        engine performs when a peer's preferred neighbour changes: the edge
+        ``node -> old parent`` is replaced by ``node -> new_parent`` and the
+        depths of the moved subtree are shifted accordingly.  Re-parenting
+        under a descendant of ``node`` would create a cycle and is rejected.
+        """
+        if node not in self._parents:
+            raise TreeValidationError(f"node {node} is not part of the tree")
+        if node == self._root:
+            raise TreeValidationError("the root cannot be re-parented")
+        if new_parent not in self._parents:
+            raise TreeValidationError(f"parent {new_parent} is not part of the tree")
+        old_parent = self._parents[node]
+        if new_parent == old_parent:
+            return
+        ancestor: Optional[int] = new_parent
+        while ancestor is not None:
+            if ancestor == node:
+                raise TreeValidationError(
+                    f"re-parenting {node} under its descendant {new_parent} "
+                    "would create a cycle"
+                )
+            ancestor = self._parents[ancestor]
+        self._children[old_parent].remove(node)
+        insort(self._children[new_parent], node)
+        self._parents[node] = new_parent
+        shift = self._depths[new_parent] + 1 - self._depths[node]
+        if shift:
+            stack = [node]
+            while stack:
+                current = stack.pop()
+                self._depths[current] += shift
+                stack.extend(self._children[current])
+
+    def revalidate(self) -> None:
+        """Re-run the construction-time invariant checks on the current state.
+
+        Verifies that the children map is exactly the inverse of the parent
+        map, that every node is reachable from the root, and that the stored
+        depths match a fresh BFS.  Raises :class:`TreeValidationError` on the
+        first violation; a tree only ever mutated through the repair API
+        passes by construction, so this is an audit hook for tests and
+        debugging, not a routine cost.
+        """
+        if self._parents.get(self._root, "missing") is not None:
+            raise TreeValidationError(f"root {self._root} must be present with no parent")
+        derived: Dict[int, List[int]] = {node: [] for node in self._parents}
+        for node, parent in self._parents.items():
+            if node == self._root:
+                continue
+            if parent not in self._parents:
+                raise TreeValidationError(
+                    f"node {node} has parent {parent} which is not part of the tree"
+                )
+            derived[parent].append(node)
+        for node, children in derived.items():
+            children.sort()
+            if children != self._children[node]:
+                raise TreeValidationError(
+                    f"children map of node {node} is stale: stored "
+                    f"{tuple(self._children[node][:10])}, derived {tuple(children[:10])}"
+                )
+        depths = self._compute_depths()
+        if len(depths) != len(self._parents):
+            unreachable = sorted(set(self._parents) - set(depths))
+            raise TreeValidationError(
+                f"nodes {unreachable[:10]} are not reachable from the root "
+                f"({len(unreachable)} unreachable in total)"
+            )
+        if depths != self._depths:
+            stale = sorted(
+                node for node, depth in depths.items() if self._depths.get(node) != depth
+            )
+            raise TreeValidationError(f"stored depths of nodes {stale[:10]} are stale")
 
     # ------------------------------------------------------------------
     # Export

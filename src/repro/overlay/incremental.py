@@ -53,10 +53,35 @@ with the message-level simulator: a
 :class:`repro.simulation.protocol.PeerProcess` applies the same rule to its
 ``AnnouncementStore`` snapshot on every reselect tick, so the protocol replay
 and the offline engine skip and shortcut under exactly the same conditions.
+
+Delta-stream contract
+---------------------
+
+Downstream consumers (the event-driven multicast layer of
+:mod:`repro.multicast.incremental`, the incremental connectivity tracker of
+ablation A4) react to overlay changes without re-reading the whole topology.
+They subscribe through :meth:`repro.overlay.network.OverlayNetwork.delta_stream`,
+which hands out an :class:`OverlayDeltaRecorder`; every membership event and
+every installed selection change -- whichever convergence path produced it --
+is recorded, and :meth:`OverlayDeltaRecorder.drain` returns the accumulated
+:class:`OverlayDelta` and resets the recorder.  The contract:
+
+* ``joined`` / ``departed`` are the net membership changes since the last
+  drain (a peer that joined *and* departed inside one window appears in
+  neither; a departure followed by a re-join appears in both, and consumers
+  must process the departure first);
+* ``touched`` is a superset of the peers whose *undirected* adjacency may
+  have changed -- both endpoints of every added or removed selection edge --
+  so a consumer that re-derives per-peer state (e.g. the preferred tree
+  neighbour, which depends only on a peer's own adjacency) from the
+  overlay's *current* state for every touched peer provably reaches the
+  same result as a from-scratch recomputation.  Re-processing an
+  already-clean peer is always harmless, so over-approximation is safe.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Set
 
 from repro.overlay.gossip import knowledge_set_deltas, knowledge_sets
@@ -71,7 +96,156 @@ __all__ = [
     "RESELECT_ADDITIVE",
     "classify_reselect",
     "IncrementalReselectionEngine",
+    "OverlayDelta",
+    "OverlayDeltaRecorder",
+    "DirectedSelectionMirror",
 ]
+
+
+@dataclass(frozen=True)
+class OverlayDelta:
+    """Net overlay changes accumulated between two recorder drains."""
+
+    joined: FrozenSet[int]
+    departed: FrozenSet[int]
+    touched: FrozenSet[int]
+
+    @property
+    def is_empty(self) -> bool:
+        """``True`` when nothing happened since the last drain."""
+        return not (self.joined or self.departed or self.touched)
+
+
+class OverlayDeltaRecorder:
+    """Accumulates membership and adjacency-touch events for one subscriber.
+
+    Created by :meth:`repro.overlay.network.OverlayNetwork.delta_stream`;
+    see the module docstring for the exact delta-stream contract.  The
+    recorder only stores peer ids, so keeping one attached costs ``O(changed
+    peers)`` per convergence, not ``O(N)``.
+    """
+
+    def __init__(self) -> None:
+        self._joined: Set[int] = set()
+        self._departed: Set[int] = set()
+        self._touched: Set[int] = set()
+
+    def note_join(self, peer_id: int) -> None:
+        """A peer entered the overlay (possibly re-using a departed id)."""
+        self._joined.add(peer_id)
+        self._touched.add(peer_id)
+
+    def note_leave(self, peer_id: int) -> None:
+        """A peer left the overlay."""
+        if peer_id in self._joined:
+            # A join and a leave inside one window cancel out: the consumer
+            # never saw the peer, so it must not be asked to remove it.
+            self._joined.discard(peer_id)
+        else:
+            self._departed.add(peer_id)
+
+    def note_touch(self, peer_ids: Iterable[int]) -> None:
+        """The undirected adjacency of these peers may have changed."""
+        self._touched.update(peer_ids)
+
+    def drain(self) -> OverlayDelta:
+        """Return the accumulated delta and reset the recorder."""
+        delta = OverlayDelta(
+            joined=frozenset(self._joined),
+            departed=frozenset(self._departed),
+            touched=frozenset(self._touched),
+        )
+        self._joined = set()
+        self._departed = set()
+        self._touched = set()
+        return delta
+
+
+class DirectedSelectionMirror:
+    """Per-peer copies of the directed selection, maintained from drained deltas.
+
+    The delta-stream consumers (the stability-tree maintainer, the A4
+    connectivity feed) all need the same two things the overlay does not
+    index: ``O(degree)`` reads of one peer's undirected adjacency (its own
+    selection plus the reverse *selector* index) and the per-peer directed
+    edge diffs behind each drained :class:`OverlayDelta`.  This mirror is
+    the single implementation of that bookkeeping -- departed peers'
+    outgoing links dropped first, then every alive touched peer's current
+    selection diffed against the stored copy -- so the subtle ordering
+    rules live in one place.
+    """
+
+    def __init__(self) -> None:
+        self._selected: Dict[int, FrozenSet[int]] = {}
+        self._selectors: Dict[int, Set[int]] = {}
+
+    def adopt(self, overlay: "OverlayNetwork") -> None:
+        """Reset to the overlay's current directed selection wholesale."""
+        self._selected = {}
+        self._selectors = {}
+        for peer_id, selected in overlay.directed_neighbour_map().items():
+            self._selected[peer_id] = selected
+            for target in selected:
+                self._selectors.setdefault(target, set()).add(peer_id)
+
+    def selected(self, peer_id: int) -> FrozenSet[int]:
+        """Mirrored directed selection of one peer."""
+        return self._selected.get(peer_id, frozenset())
+
+    def selectors(self, peer_id: int) -> FrozenSet[int]:
+        """Peers whose mirrored selection contains ``peer_id``."""
+        return frozenset(self._selectors.get(peer_id, ()))
+
+    def adjacency(self, peer_id: int) -> Set[int]:
+        """Undirected adjacency of one peer: selected plus selectors."""
+        return set(self._selected.get(peer_id, frozenset())) | self._selectors.get(
+            peer_id, set()
+        )
+
+    def apply(
+        self, delta: OverlayDelta, overlay: "OverlayNetwork"
+    ) -> Dict[int, "tuple[FrozenSet[int], FrozenSet[int]]"]:
+        """Fold one drained delta in; return per-peer ``(gained, lost)`` targets.
+
+        A departed peer's *outgoing* links are dropped up front; its
+        *selector* index is deliberately left alone and drained by the alive
+        endpoints' own diffs instead (every ex-selector is in ``touched`` by
+        contract).  This is what keeps a leave-then-rejoin inside one window
+        correct: a selector whose selection is net-unchanged across the
+        rejoin produces an empty diff, and its (still valid) reverse-index
+        entry must survive.  Selector entries of peers that departed for
+        good are popped once empty.
+
+        The result maps every *alive* touched or joined peer -- including
+        ones whose selection turned out unchanged, so callers can use the
+        key set as their recheck set -- to the directed targets its
+        selection gained and lost.
+        """
+        for peer_id in delta.departed:
+            for target in self._selected.pop(peer_id, frozenset()):
+                selectors = self._selectors.get(target)
+                if selectors:
+                    selectors.discard(peer_id)
+        diffs: Dict[int, "tuple[FrozenSet[int], FrozenSet[int]]"] = {}
+        for peer_id in delta.touched | delta.joined:
+            if peer_id not in overlay:
+                continue
+            current = overlay.selected_neighbours(peer_id)
+            previous = self._selected.get(peer_id, frozenset())
+            gained = current - previous
+            lost = previous - current
+            for target in gained:
+                self._selectors.setdefault(target, set()).add(peer_id)
+            for target in lost:
+                selectors = self._selectors.get(target)
+                if selectors:
+                    selectors.discard(peer_id)
+            self._selected[peer_id] = current
+            diffs[peer_id] = (gained, lost)
+        for peer_id in delta.departed:
+            if peer_id not in overlay:
+                self._selectors.pop(peer_id, None)
+        return diffs
 
 #: Re-run the selection against the complete candidate set.
 RESELECT_FULL = "full"
@@ -327,14 +501,20 @@ class IncrementalReselectionEngine:
         changed = False
         for reference in references:
             selected = set(results[reference.peer_id])
-            if selected != neighbours[reference.peer_id]:
+            previous = neighbours[reference.peer_id]
+            if selected != previous:
                 neighbours[reference.peer_id] = selected
+                overlay._notify_selection_change(  # noqa: SLF001
+                    reference.peer_id, previous, selected
+                )
                 changed = True
         if additive_results:
             for peer_id, selected_ids in additive_results.items():
                 selected = set(selected_ids)
-                if selected != neighbours[peer_id]:
+                previous = neighbours[peer_id]
+                if selected != previous:
                     neighbours[peer_id] = selected
+                    overlay._notify_selection_change(peer_id, previous, selected)  # noqa: SLF001
                     changed = True
         for peer_id, ids in new_last.items():
             self._last_candidates[peer_id] = ids

@@ -41,7 +41,7 @@ import random
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set
 
 from repro.overlay.gossip import knowledge_sets
-from repro.overlay.incremental import IncrementalReselectionEngine
+from repro.overlay.incremental import IncrementalReselectionEngine, OverlayDeltaRecorder
 from repro.overlay.peer import PeerInfo
 from repro.overlay.selection.base import NeighbourSelectionMethod
 from repro.overlay.topology import TopologySnapshot, undirected_closure
@@ -103,6 +103,10 @@ class OverlayNetwork:
         # sync by the membership methods and dropped whenever a full sweep
         # rewrites the topology behind its back.
         self._engine: Optional[IncrementalReselectionEngine] = None
+        # Delta-stream subscribers (see repro.overlay.incremental): every
+        # membership event and installed selection change is mirrored into
+        # each attached recorder, whichever convergence path produced it.
+        self._delta_recorders: List[OverlayDeltaRecorder] = []
 
     # ------------------------------------------------------------------
     # Membership
@@ -162,6 +166,10 @@ class OverlayNetwork:
         self._neighbours[peer.peer_id] = set(bootstrap_ids)
         if self._engine is not None:
             self._engine.note_join(peer.peer_id)
+        if self._delta_recorders:
+            for recorder in self._delta_recorders:
+                recorder.note_join(peer.peer_id)
+                recorder.note_touch(bootstrap_ids)
 
     def remove_peer(self, peer_id: int) -> PeerInfo:
         """Remove a peer and every link that references it."""
@@ -169,7 +177,7 @@ class OverlayNetwork:
             info = self._peers.pop(peer_id)
         except KeyError:
             raise KeyError(f"unknown peer {peer_id}") from None
-        self._neighbours.pop(peer_id, None)
+        selected = self._neighbours.pop(peer_id, set())
         selectors = [
             other
             for other, neighbours in self._neighbours.items()
@@ -179,6 +187,13 @@ class OverlayNetwork:
             self._neighbours[selector].discard(peer_id)
         if self._engine is not None:
             self._engine.note_leave(peer_id, selectors)
+        if self._delta_recorders:
+            for recorder in self._delta_recorders:
+                recorder.note_leave(peer_id)
+                # Every peer that shared an undirected link with the departed
+                # one just lost that edge.
+                recorder.note_touch(selectors)
+                recorder.note_touch(selected)
         return info
 
     # ------------------------------------------------------------------
@@ -199,6 +214,41 @@ class OverlayNetwork:
     def snapshot(self) -> TopologySnapshot:
         """Immutable snapshot of the current topology."""
         return TopologySnapshot.from_directed(self._peers, self._neighbours)
+
+    # ------------------------------------------------------------------
+    # Delta stream (see repro.overlay.incremental for the contract)
+    # ------------------------------------------------------------------
+    def delta_stream(self) -> OverlayDeltaRecorder:
+        """Attach and return a new overlay delta recorder.
+
+        From this call on, every membership event and every installed
+        selection change -- full sweeps and incremental rounds alike -- is
+        mirrored into the recorder; draining it yields the net
+        :class:`~repro.overlay.incremental.OverlayDelta` since the previous
+        drain.  Consumers attaching to an already-populated overlay must
+        bootstrap from :meth:`snapshot` first (events before the attachment
+        are not replayed); re-processing peers touched both before and after
+        the snapshot is harmless by the contract.
+        """
+        recorder = OverlayDeltaRecorder()
+        self._delta_recorders.append(recorder)
+        return recorder
+
+    def _notify_selection_change(
+        self, peer_id: int, previous: Set[int], selected: Set[int]
+    ) -> None:
+        """Record one installed selection change into every delta recorder.
+
+        The undirected adjacency of the selecting peer and of both the
+        gained and lost targets may have changed; everything else provably
+        kept its adjacency.
+        """
+        if not self._delta_recorders:
+            return
+        touched = {peer_id}
+        touched.update(previous ^ selected)
+        for recorder in self._delta_recorders:
+            recorder.note_touch(touched)
 
     # ------------------------------------------------------------------
     # Knowledge sets and convergence
@@ -265,6 +315,9 @@ class OverlayNetwork:
             selected = set(self._selection.select(self._peers[peer_id], candidates))
             new_neighbours[peer_id] = selected
             if selected != self._neighbours[peer_id]:
+                self._notify_selection_change(
+                    peer_id, self._neighbours[peer_id], selected
+                )
                 changed = True
         self._neighbours = new_neighbours
         self._engine = None

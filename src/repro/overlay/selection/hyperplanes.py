@@ -16,7 +16,7 @@ specialisations:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -151,6 +151,73 @@ class HyperplanesSelection(NeighbourSelectionMethod):
             )
             selected.extend(peer.peer_id for peer in region_candidates[: self._k])
         return selected
+
+    def select_many_additive(
+        self,
+        updates: Sequence[Tuple[PeerInfo, Sequence[PeerInfo], Sequence[PeerInfo]]],
+    ) -> Optional[Dict[int, List[int]]]:
+        """Per-region top-``K`` delta rule for candidate sets that only gained.
+
+        The regions are independent and the per-region ranking is the strict
+        total order ``(distance, peer id)``, so a single gained candidate
+        ``Q`` can only affect *its own* region of the reference peer: the
+        new selection of that region is the top ``K`` of ``previous region
+        selection + Q``, and every other region is untouched.  Concretely:
+
+        * if the region already holds ``K`` members that all rank ahead of
+          ``Q``, the selection is unchanged (the reference is *omitted* from
+          the result, which callers read as "unchanged");
+        * otherwise ``Q`` enters and the now ``(K+1)``-th ranked member of
+          the region -- if any -- is evicted.
+
+        Updates with several gained candidates (gossip-limited rounds on
+        small neighbourhoods) fall back to a full ``select`` over ``selected
+        + gained``, which path independence makes exact.  The rule is shared
+        by the whole Hyperplanes family -- orthogonal, sign-coefficient and
+        the degenerate ``H = 0`` (K-closest, one region) instance.
+        """
+        results: Dict[int, List[int]] = {}
+        for reference, selected, gained in updates:
+            gained_others = self._exclude_reference(reference, gained)
+            if not gained_others:
+                continue
+            selected_ids = {peer.peer_id for peer in selected}
+            if len(gained_others) > 1 or gained_others[0].peer_id in selected_ids:
+                results[reference.peer_id] = self.select(
+                    reference, self.merge_candidate_delta(selected, gained)
+                )
+                continue
+            gained_peer = gained_others[0]
+            hyperplane_set = self.hyperplane_set(reference.dimension)
+            signature = hyperplane_set.signature(
+                gained_peer.coordinates, reference=reference.coordinates
+            )
+
+            def rank(peer: PeerInfo) -> Tuple[float, int]:
+                return (
+                    self._distance(reference.coordinates, peer.coordinates),
+                    peer.peer_id,
+                )
+
+            region = [
+                peer
+                for peer in selected
+                if hyperplane_set.signature(
+                    peer.coordinates, reference=reference.coordinates
+                )
+                == signature
+            ]
+            ranked = sorted(region + [gained_peer], key=rank)
+            kept = ranked[: self._k]
+            if gained_peer not in kept:
+                continue
+            evicted = {peer.peer_id for peer in ranked[self._k :]}
+            new_selection = [
+                peer.peer_id for peer in selected if peer.peer_id not in evicted
+            ]
+            new_selection.append(gained_peer.peer_id)
+            results[reference.peer_id] = sorted(new_selection)
+        return results
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(k={self._k})"

@@ -229,6 +229,10 @@ class PeerProcess:
         # so it runs amortised -- once per Tmax -- not on every tick.
         self._last_origin_prune = 0.0
         self._preferred_neighbour: Optional[int] = None
+        # Optional observer of the Section 3 tree state: notified on join,
+        # on leave and whenever the preferred neighbour changes, so a live
+        # maintenance engine can mirror the tree without polling processes.
+        self._tree_listener: Optional[object] = None
         self._recorder: Optional[TreeRecorder] = None
         self._received_construction = False
         # Dirty-set bookkeeping: I(P) at the last installed selection (None =
@@ -373,6 +377,8 @@ class PeerProcess:
                 )
             )
             self._network.send(self.peer_id, contact.peer_id, LINK_OPEN, None)
+        if self._tree_listener is not None:
+            self._tree_listener.on_join(self._info)
         gossip_offset = self._rng.uniform(0.0, self._config.gossip_period)
         reselect_offset = self._rng.uniform(0.0, self._config.reselect_period)
         life = self._life
@@ -403,6 +409,8 @@ class PeerProcess:
         self._inbound_links.clear()
         self._preferred_neighbour = None
         self._last_candidates = None
+        if self._tree_listener is not None:
+            self._tree_listener.on_leave(self.peer_id)
 
     # ------------------------------------------------------------------
     # Multicast construction (Section 2)
@@ -418,6 +426,15 @@ class PeerProcess:
         zone = initial_zone(self._info.dimension)
         recorder.record_zone(self.peer_id, zone)
         self._forward_construction(zone, recorder)
+
+    def attach_tree_listener(self, listener: Optional[object]) -> None:
+        """Attach (or detach, with ``None``) the Section 3 tree observer.
+
+        The listener must provide ``on_join(info)``, ``on_leave(peer_id)``
+        and ``on_preferred_change(peer_id, parent)``; the simulation runner's
+        live tree monitor is the intended implementation.
+        """
+        self._tree_listener = listener
 
     def attach_recorder(self, recorder: TreeRecorder) -> None:
         """Attach the session recorder, replacing any previous session's.
@@ -593,7 +610,10 @@ class PeerProcess:
             lifetime = neighbour_info.coordinates[0]
             if lifetime > best_lifetime:
                 best, best_lifetime = neighbour, lifetime
+        changed = best != self._preferred_neighbour
         self._preferred_neighbour = best
+        if changed and self._tree_listener is not None:
+            self._tree_listener.on_preferred_change(self.peer_id, best)
 
     # ------------------------------------------------------------------
     # Message handling

@@ -56,4 +56,6 @@ class TestExecution:
         assert "Ablation A3" in output
         assert "Ablation A4" in output
         assert "Ablation A5" in output
+        assert "Ablation A6" in output
         assert "dirty-set" in output
+        assert "snapshot rebuilds" in output

@@ -8,6 +8,7 @@ from repro.experiments.ablations import (
     run_message_replay_ablation,
     run_overlay_churn_ablation,
     run_pick_strategy_ablation,
+    run_tree_maintenance_ablation,
 )
 from repro.experiments.config import SCALES, ExperimentScale, resolve_scale
 from repro.experiments.figure1a import run_figure1a
@@ -164,6 +165,27 @@ class TestAblations:
             assert row.maximum_rounds_per_event <= 10
             assert row.disconnected_events == 0
         assert "overlay-churn" == table.name
+        assert "join" in table.to_table()
+        # The connectivity verdicts come from the delta-fed union-find
+        # tracker; the pure-growth phase may rebuild (reselection evicts
+        # edges) but never more than once per event.
+        for row in rows:
+            assert 0 <= row.connectivity_rebuilds <= row.events
+
+    def test_tree_maintenance_ablation(self):
+        rows, table = run_tree_maintenance_ablation(TINY, dimension=2, k=2)
+        by_phase = {row.phase: row for row in rows}
+        assert set(by_phase) == {"join", "leave"}
+        assert by_phase["join"].events == TINY.peer_count
+        assert by_phase["leave"].events == TINY.peer_count
+        for row in rows:
+            # Event-driven maintenance stays byte-identical to the snapshot
+            # rebuild at every event while never rebuilding after bootstrap.
+            assert row.identical
+            assert row.full_rebuilds == 0
+            assert row.snapshot_rebuilds == row.events
+            assert row.reparent_operations > 0
+        assert "tree-maintenance" == table.name
         assert "join" in table.to_table()
 
     def test_message_replay_ablation(self):

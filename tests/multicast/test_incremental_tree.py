@@ -1,0 +1,396 @@
+"""Event-driven multicast layer: equivalence with the snapshot-batch path.
+
+The maintenance engine's correctness story is that every repair preserves
+the tree invariants and that, driven from the overlay delta stream, the
+maintained forest is *byte-identical* to a from-scratch
+``build_stability_tree`` over the current snapshot -- with the streaming
+metric bundle matching ``tree_metrics`` and the incremental connectivity
+tracker matching a networkx recomputation.  These tests let hypothesis hunt
+for counterexamples over random populations and churn scripts (mirroring
+``tests/overlay/test_incremental_properties.py``), plus unit coverage for
+the repair API and the tracker's epoch-rebuild behaviour.
+"""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.trees import tree_metrics
+from repro.multicast.dissemination import departure_health_series
+from repro.multicast.incremental import (
+    IncrementalConnectivity,
+    OverlayConnectivityFeed,
+    StabilityTreeMaintainer,
+    TreeDelta,
+    TreeMaintenanceEngine,
+)
+from repro.multicast.stability import StabilityTreeBuilder
+from repro.multicast.tree import MulticastTree, TreeValidationError
+from repro.overlay.network import OverlayNetwork
+from repro.overlay.peer import make_peer
+from repro.overlay.selection.empty_rectangle import EmptyRectangleSelection
+from repro.overlay.selection.k_closest import KClosestSelection
+from repro.overlay.selection.orthogonal import OrthogonalHyperplanesSelection
+
+
+# ----------------------------------------------------------------------
+# Repair API of MulticastTree
+# ----------------------------------------------------------------------
+class TestTreeRepairAPI:
+    @pytest.fixture()
+    def tree(self):
+        return MulticastTree(0, {0: None, 1: 0, 2: 0, 3: 1, 4: 3})
+
+    def test_add_leaf_updates_children_and_depths(self, tree):
+        tree.add_leaf(5, 2)
+        assert tree.parent(5) == 2
+        assert tree.children(2) == (5,)
+        assert tree.depth(5) == 2
+        tree.revalidate()
+
+    def test_remove_leaf(self, tree):
+        tree.remove_leaf(4)
+        assert 4 not in tree
+        assert tree.children(3) == ()
+        tree.revalidate()
+
+    def test_remove_non_leaf_rejected(self, tree):
+        with pytest.raises(TreeValidationError):
+            tree.remove_leaf(1)
+        with pytest.raises(TreeValidationError):
+            tree.remove_leaf(0)
+
+    def test_reparent_shifts_subtree_depths(self, tree):
+        tree.reparent(3, 2)
+        assert tree.parent(3) == 2
+        assert tree.depth(3) == 2
+        assert tree.depth(4) == 3
+        assert tree.children(1) == ()
+        assert tree.children(2) == (3,)
+        tree.revalidate()
+
+    def test_reparent_under_descendant_rejected(self, tree):
+        with pytest.raises(TreeValidationError):
+            tree.reparent(1, 4)
+        with pytest.raises(TreeValidationError):
+            tree.reparent(0, 1)
+
+    def test_revalidate_catches_corruption(self, tree):
+        tree._parents[4] = 2  # noqa: SLF001 - deliberate corruption
+        with pytest.raises(TreeValidationError):
+            tree.revalidate()
+
+    def test_metrics_summary_matches_standalone_metrics(self):
+        rng = random.Random(1234)
+        for _ in range(20):
+            count = rng.randrange(1, 40)
+            parents = {0: None}
+            for node in range(1, count):
+                parents[node] = rng.randrange(node)
+            tree = MulticastTree(0, parents)
+            summary = tree.metrics_summary()
+            assert summary["height"] == tree.height()
+            assert summary["diameter"] == tree.diameter()
+            assert summary["max_degree"] == tree.maximum_degree()
+            assert summary["avg_degree"] == tree.average_degree()
+            assert summary["leaves"] == len(tree.leaves())
+
+    def test_departure_health_series_shrinks_leaf_first(self):
+        rng = random.Random(9)
+        parents = {0: None}
+        for node in range(1, 30):
+            parents[node] = rng.randrange(node)
+        tree = MulticastTree(0, parents)
+        # Depth-descending order removes only leaves, so the replay is stable.
+        order = sorted((n for n in tree.nodes() if n != 0), key=tree.depth, reverse=True)
+        samples, report = departure_health_series(tree, order + [0])
+        assert report.non_leaf_departures == 0
+        assert report.departures == 30
+        assert [s.size for s in samples] == list(range(29, 0, -1))
+        assert all(s.is_single_tree for s in samples)
+        # The original tree is untouched (the replay works on a copy).
+        assert tree.size == 30
+
+
+# ----------------------------------------------------------------------
+# TreeMaintenanceEngine invariants
+# ----------------------------------------------------------------------
+class TestMaintenanceEngine:
+    def test_lifetime_invariant_enforced(self):
+        engine = TreeMaintenanceEngine()
+        engine.apply(TreeDelta(joined={1: 10.0, 2: 20.0}))
+        engine.apply(TreeDelta(reparented={1: 2}))
+        with pytest.raises(TreeValidationError):
+            engine.apply(TreeDelta(reparented={2: 1}))
+
+    def test_duplicate_lifetimes_rejected(self):
+        engine = TreeMaintenanceEngine()
+        engine.add_peer(1, 5.0)
+        with pytest.raises(ValueError):
+            engine.add_peer(2, 5.0)
+
+    def test_departed_peer_orphans_children(self):
+        engine = TreeMaintenanceEngine()
+        engine.apply(TreeDelta(joined={1: 1.0, 2: 2.0, 3: 3.0}))
+        engine.apply(TreeDelta(reparented={1: 2, 2: 3}))
+        assert engine.roots() == [3]
+        engine.apply(TreeDelta(departed=frozenset((2,))))
+        assert engine.parent(1) is None
+        assert engine.roots() == [1, 3]
+
+    def test_leave_then_rejoin_inside_one_delta_is_well_formed(self):
+        # The delta-stream contract: a departure followed by a re-join in one
+        # window appears in both groups, with the rejoined peer's fresh
+        # parent in reparented; all three at once must apply cleanly.
+        engine = TreeMaintenanceEngine()
+        engine.apply(TreeDelta(joined={1: 1.0, 2: 2.0}))
+        engine.apply(TreeDelta(reparented={1: 2}))
+        engine.apply(
+            TreeDelta(joined={1: 1.5}, departed=frozenset((1,)), reparented={1: 2})
+        )
+        assert engine.lifetime(1) == 1.5
+        assert engine.parent(1) == 2
+
+    def test_rejoin_window_reattaches_children_to_the_fresh_instance(self):
+        # Regression: a peer leaves and rejoins before one refresh().  Its
+        # ex-children's recomputed parent equals their pre-delta parent id,
+        # but the engine's departure phase orphans them -- the maintainer
+        # must re-issue the link onto the rejoined instance.
+        child, parent = make_peer(2, (0.25, 0.25)), make_peer(3, (0.375, 0.375))
+        overlay = OverlayNetwork(EmptyRectangleSelection())
+        overlay.insert_and_converge(parent, bootstrap=set(), incremental=True)
+        overlay.insert_and_converge(child, bootstrap={3}, incremental=True)
+        maintainer = StabilityTreeMaintainer(overlay)
+        assert maintainer.forest().preferred == {2: 3, 3: None}
+        overlay.remove_and_converge(3, incremental=True)
+        overlay.insert_and_converge(parent, bootstrap={2}, incremental=True)
+        maintainer.refresh()
+        expected = StabilityTreeBuilder().build(overlay.snapshot())
+        assert dict(maintainer.forest().preferred) == dict(expected.preferred)
+        assert maintainer.forest().preferred[2] == 3
+
+    def test_streaming_metrics_match_batch_metrics(self):
+        rng = random.Random(77)
+        engine = TreeMaintenanceEngine()
+        population = list(range(1, 30))
+        for peer in population:
+            engine.add_peer(peer, float(peer))
+        for _ in range(200):
+            child = rng.choice(population)
+            parent = rng.choice([None] + [p for p in population if p > child])
+            engine.set_parent(child, parent)
+            # Re-attach everything below the maximum so the forest is a tree
+            # often enough to exercise the metrics bundle.
+            if engine.is_single_tree():
+                assert engine.metrics() == tree_metrics(engine.tree())
+        # Force a single tree and compare once more.
+        for peer in population[:-1]:
+            engine.set_parent(peer, population[-1])
+        assert engine.is_single_tree()
+        assert engine.metrics() == tree_metrics(engine.tree())
+
+
+# ----------------------------------------------------------------------
+# IncrementalConnectivity vs networkx
+# ----------------------------------------------------------------------
+class TestIncrementalConnectivity:
+    def test_matches_networkx_under_random_edit_scripts(self):
+        rng = random.Random(4242)
+        for _ in range(10):
+            tracker = IncrementalConnectivity()
+            graph = nx.Graph()
+            nodes = []
+            next_id = 0
+            for _ in range(120):
+                action = rng.random()
+                if action < 0.3 or len(nodes) < 2:
+                    tracker.add_node(next_id)
+                    graph.add_node(next_id)
+                    nodes.append(next_id)
+                    next_id += 1
+                elif action < 0.6:
+                    u, v = rng.sample(nodes, 2)
+                    tracker.add_edge(u, v)
+                    graph.add_edge(u, v)
+                elif action < 0.8 and graph.number_of_edges():
+                    u, v = rng.choice(list(graph.edges()))
+                    # The tracker stores directed pairs; remove whichever
+                    # orientations are present.
+                    tracker.remove_edge(u, v)
+                    tracker.remove_edge(v, u)
+                    graph.remove_edge(u, v)
+                else:
+                    victim = rng.choice(nodes)
+                    tracker.remove_node(victim)
+                    graph.remove_node(victim)
+                    nodes.remove(victim)
+                expected_components = nx.number_connected_components(graph)
+                assert tracker.component_count() == expected_components
+                expected = graph.number_of_nodes() == 0 or nx.is_connected(graph)
+                assert tracker.is_connected() == expected
+
+    def test_pure_growth_needs_no_rebuilds(self):
+        tracker = IncrementalConnectivity()
+        for node in range(50):
+            tracker.add_node(node)
+            if node:
+                tracker.add_edge(node - 1, node)
+            assert tracker.is_connected()
+        assert tracker.rebuilds == 0
+
+    def test_deletion_batches_rebuild_once_per_query(self):
+        tracker = IncrementalConnectivity()
+        for node in range(10):
+            tracker.add_node(node)
+        for node in range(1, 10):
+            tracker.add_edge(0, node)
+        for node in range(1, 5):
+            tracker.remove_edge(0, node)
+        assert not tracker.is_connected()
+        assert tracker.rebuilds == 1
+        assert tracker.component_count() == 5
+        assert tracker.rebuilds == 1  # clean epoch, no further rebuild
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: maintainer vs snapshot rebuild under arbitrary schedules
+# ----------------------------------------------------------------------
+def _populations(min_size=2, max_size=14, max_dimension=3):
+    """Random populations with pairwise-distinct per-axis coordinates."""
+
+    @st.composite
+    def build(draw):
+        count = draw(st.integers(min_value=min_size, max_value=max_size))
+        dimension = draw(st.integers(min_value=2, max_value=max_dimension))
+        axes = [
+            draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=9999),
+                    min_size=count,
+                    max_size=count,
+                    unique=True,
+                )
+            )
+            for _ in range(dimension)
+        ]
+        return [
+            make_peer(index, tuple(float(axis[index]) / 8 for axis in axes))
+            for index in range(count)
+        ]
+
+    return build()
+
+
+_SELECTIONS = st.sampled_from(
+    [
+        EmptyRectangleSelection,
+        lambda: OrthogonalHyperplanesSelection(k=1),
+        lambda: OrthogonalHyperplanesSelection(k=2),
+        lambda: KClosestSelection(k=2),
+    ]
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    peers=_populations(min_size=4, max_size=14),
+    selection_factory=_SELECTIONS,
+    script_seed=st.integers(min_value=0, max_value=999),
+)
+def test_maintained_tree_matches_snapshot_rebuild_at_every_step(
+    peers, selection_factory, script_seed
+):
+    """Arbitrary join/leave/reselect schedules: engine == snapshot rebuild.
+
+    After every event the maintained parent map must equal a from-scratch
+    ``StabilityTreeBuilder`` build over the current snapshot, the streaming
+    metric bundle must equal ``tree_metrics`` of the rebuilt tree whenever
+    the forest is a single tree, and the delta-fed connectivity tracker must
+    agree with a networkx recomputation.
+    """
+    rng = random.Random(script_seed)
+    overlay = OverlayNetwork(selection_factory())
+    maintainer = StabilityTreeMaintainer(overlay)
+    feed = OverlayConnectivityFeed(overlay)
+    builder = StabilityTreeBuilder()
+
+    info_by_id = {peer.peer_id: peer for peer in peers}
+    alive = []
+    pending = list(peers)
+    while pending or (alive and rng.random() < 0.5):
+        roll = rng.random()
+        if alive and roll < 0.15:
+            # Full synchronous sweep: rewrites every neighbour set outside
+            # the incremental engine; the delta stream must still cover it.
+            overlay.reselect_round()
+        elif alive and roll < 0.25:
+            # Leave then immediate rejoin of the same id: both land inside
+            # one refresh window, so the drained delta carries the peer as
+            # departed *and* joined (and usually re-parented too).
+            victim = rng.choice(alive)
+            overlay.remove_and_converge(victim, incremental=True)
+            bootstrap = {rng.choice([p for p in alive if p != victim])} if len(alive) > 1 else set()
+            overlay.insert_and_converge(
+                info_by_id[victim], bootstrap=bootstrap, incremental=True
+            )
+        elif alive and (not pending or roll < 0.4):
+            victim = rng.choice(alive)
+            alive.remove(victim)
+            overlay.remove_and_converge(victim, incremental=True)
+        else:
+            peer = pending.pop()
+            bootstrap = {rng.choice(alive)} if alive else set()
+            overlay.insert_and_converge(peer, bootstrap=bootstrap, incremental=True)
+            alive.append(peer.peer_id)
+
+        maintainer.refresh()
+        snapshot = overlay.snapshot()
+        expected = builder.build(snapshot)
+        forest = maintainer.forest()
+        assert dict(forest.preferred) == dict(expected.preferred)
+        assert dict(forest.lifetimes) == dict(expected.lifetimes)
+        if snapshot.peer_count and forest.is_single_tree():
+            assert maintainer.metrics() == tree_metrics(expected.to_multicast_tree())
+
+        graph = snapshot.to_networkx()
+        expected_connected = graph.number_of_nodes() == 0 or nx.is_connected(graph)
+        assert feed.is_connected() == expected_connected
+
+    assert maintainer.full_rebuilds == 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    peers=_populations(min_size=3, max_size=16),
+    script_seed=st.integers(min_value=0, max_value=999),
+    k=st.integers(min_value=1, max_value=3),
+)
+def test_hyperplane_additive_rule_agrees_with_full_selection(peers, script_seed, k):
+    """The per-region top-K delta rule equals select() on the grown set."""
+    joiner, existing = peers[-1], peers[:-1]
+    selection = OrthogonalHyperplanesSelection(k=k)
+    equilibrium = selection.compute_equilibrium(existing)
+    updates = [
+        (
+            reference,
+            [p for p in existing if p.peer_id in equilibrium[reference.peer_id]],
+            [joiner],
+        )
+        for reference in existing
+    ]
+    delta_results = selection.select_many_additive(updates)
+    assert delta_results is not None
+    for reference in existing:
+        expected = sorted(
+            selection.select(
+                reference, [p for p in peers if p.peer_id != reference.peer_id]
+            )
+        )
+        got = delta_results.get(reference.peer_id)
+        if got is None:
+            assert expected == sorted(equilibrium[reference.peer_id])
+        else:
+            assert sorted(got) == expected

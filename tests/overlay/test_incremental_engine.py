@@ -25,6 +25,7 @@ from repro.overlay.incremental import (
 )
 from repro.overlay.network import OverlayNetwork
 from repro.overlay.peer import make_peer
+from repro.overlay.selection.base import NeighbourSelectionMethod
 from repro.overlay.selection.empty_rectangle import EmptyRectangleSelection
 from repro.overlay.selection.k_closest import KClosestSelection
 from repro.overlay.selection.orthogonal import OrthogonalHyperplanesSelection
@@ -219,8 +220,45 @@ class TestSelectManyAgreement:
             result = sorted(got) if got is not None else sorted(equilibrium[reference.peer_id])
             assert result == full
 
-    def test_default_select_many_additive_is_unimplemented(self):
-        assert OrthogonalHyperplanesSelection(k=1).select_many_additive([]) is None
+    def test_base_select_many_additive_is_unimplemented(self):
+        # The abstract base has no specialised delta rule; the hyperplane
+        # family now does (the per-region top-K update), so an empty batch
+        # yields an empty dict ("no changes"), not the None fallback marker.
+        class _Plain(NeighbourSelectionMethod):
+            def select(self, reference, candidates):  # pragma: no cover - stub
+                return []
+
+        assert _Plain().select_many_additive([]) is None
+        assert OrthogonalHyperplanesSelection(k=1).select_many_additive([]) == {}
+
+    def test_hyperplane_select_many_additive_matches_full_reselection(self):
+        peers = generate_peers(60, 3, seed=78)
+        joiner, existing = peers[-1], peers[:-1]
+        for selection in (
+            OrthogonalHyperplanesSelection(k=1),
+            OrthogonalHyperplanesSelection(k=2),
+            KClosestSelection(k=3),
+        ):
+            equilibrium = selection.compute_equilibrium(existing)
+            updates = []
+            for reference in existing:
+                selected = [
+                    p for p in existing if p.peer_id in equilibrium[reference.peer_id]
+                ]
+                updates.append((reference, selected, [joiner]))
+            delta_results = selection.select_many_additive(updates)
+            assert delta_results is not None
+            for reference in existing:
+                full = sorted(
+                    selection.select(
+                        reference, [p for p in peers if p.peer_id != reference.peer_id]
+                    )
+                )
+                got = delta_results.get(reference.peer_id)
+                if got is None:
+                    assert full == sorted(equilibrium[reference.peer_id])
+                else:
+                    assert sorted(got) == full
 
 
 class TestGossipDeltas:

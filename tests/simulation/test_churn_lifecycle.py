@@ -308,3 +308,46 @@ class TestDirtySetEquivalence:
                 or victim not in process.last_candidates
             )
             assert victim not in process.neighbours
+
+
+class TestLiveTreeMonitor:
+    """The Section 3 tree maintained live from protocol events."""
+
+    def test_monitor_matches_settled_preferred_links_under_churn(self):
+        count = 24
+        peers = generate_peers_with_lifetimes(count, 3, seed=43)
+        schedule = interleaved_join_leave_schedule(
+            count, join_interval=2.0, leave_fraction=0.25, holdoff=6.0, seed=43
+        )
+        result = run_gossip_overlay(
+            peers,
+            OrthogonalHyperplanesSelection(k=2),
+            churn=schedule,
+            settle_time=40.0,
+            seed=43,
+            maintain_tree=True,
+        )
+        monitor = result.tree_monitor
+        assert monitor is not None
+        alive = {pid for pid, process in result.processes.items() if process.is_alive}
+        forest = monitor.forest()
+        # The maintained forest covers exactly the alive peers and agrees
+        # with every process's own preferred link at settle time.
+        assert set(forest.preferred) == alive
+        assert dict(forest.preferred) == {
+            pid: result.processes[pid].preferred_neighbour for pid in alive
+        }
+        assert forest.parents_outlive_children()
+        # One health sample per membership event, none of them rebuilt from
+        # a snapshot (the engine only ever applied deltas).
+        departures = sum(1 for event in schedule if event.kind == "leave")
+        assert monitor.membership_events == count + departures
+        assert len(monitor.health_series) == monitor.membership_events
+        assert monitor.health_series[-1].size == len(alive)
+        if forest.is_single_tree():
+            metrics = monitor.engine.metrics()
+            assert metrics.size == len(alive)
+
+    def test_monitor_absent_by_default(self):
+        _, result = _settled_overlay(count=6, seed=5, settle_time=15.0)
+        assert result.tree_monitor is None
