@@ -8,7 +8,11 @@ one-to-one onto the experiment drivers:
 * ``figure1d`` / ``figure1e`` -- the Section 3 sweep (diameter / degree view),
 * ``ablations`` -- the ablations of DESIGN.md (A1-A3), the overlay-churn
   reconvergence ablation (A4), the message-replay dirty-set reselection
-  ablation (A5) and the event-driven tree-maintenance ablation (A6),
+  ablation (A5), the event-driven tree-maintenance ablation (A6) and the
+  batched-epoch trace-convergence ablation (A7),
+* ``trace`` -- the churn-trace scenarios (Poisson, flash crowd, mass
+  departure, diurnal wave) replayed through the batched-epoch path with
+  live tree and connectivity metrics,
 * ``all`` -- everything above in sequence.
 
 Every command accepts ``--scale smoke|bench|paper`` (default: the
@@ -28,8 +32,10 @@ from repro.experiments.ablations import (
     run_message_replay_ablation,
     run_overlay_churn_ablation,
     run_pick_strategy_ablation,
+    run_trace_convergence_ablation,
     run_tree_maintenance_ablation,
 )
+from repro.experiments.trace_runner import run_trace_scenarios
 from repro.experiments.config import SCALES, resolve_scale
 from repro.experiments.figure1a import run_figure1a
 from repro.experiments.figure1b import run_figure1b
@@ -61,6 +67,7 @@ def build_parser() -> argparse.ArgumentParser:
             "figure1d",
             "figure1e",
             "ablations",
+            "trace",
             "all",
         ],
         help="which experiment to run",
@@ -119,9 +126,18 @@ def _run_ablations(scale) -> None:
         ("Ablation A4 - overlay churn reconvergence", run_overlay_churn_ablation),
         ("Ablation A5 - message-replay dirty-set reselection", run_message_replay_ablation),
         ("Ablation A6 - event-driven tree maintenance", run_tree_maintenance_ablation),
+        ("Ablation A7 - batched-epoch trace convergence", run_trace_convergence_ablation),
     ):
         _, table = runner(scale)
         _print_block(f"{title} [{scale.name}]", table.to_table())
+
+
+def _run_trace(scale) -> None:
+    _, table = run_trace_scenarios(scale)
+    _print_block(
+        f"Churn-trace scenarios - batched-epoch replay [{scale.name}]",
+        table.to_table(),
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -143,6 +159,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _run_stability(scale, view="degree")
     if command in ("ablations", "all"):
         _run_ablations(scale)
+    if command in ("trace", "all"):
+        _run_trace(scale)
     return 0
 
 

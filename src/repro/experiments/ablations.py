@@ -33,6 +33,13 @@ DESIGN.md):
   settle to the identical topology while the dirty-set run invokes the
   selection method a fraction as often -- the measurement behind trusting
   the fast path in the protocol-faithful experiments.
+* **Trace convergence (A7)** -- the batched-epoch path
+  (:meth:`repro.overlay.network.OverlayNetwork.apply_batch`, one convergence
+  and one tree ``refresh()`` per epoch) against the per-event loop on the
+  same Poisson churn trace: both arms must land on the identical overlay
+  fixed point and byte-identical maintained stability tree, while the
+  per-epoch arm pays a fraction of the engine rounds -- the amortisation
+  that makes long churn traces at ``N >= 1000`` tractable.
 * **Tree maintenance (A6)** -- the event-driven multicast layer
   (:class:`repro.multicast.incremental.StabilityTreeMaintainer`) against the
   snapshot-batch path: the same churn trace is driven through both, the
@@ -58,6 +65,7 @@ from repro.experiments.common import (
     sample_roots,
 )
 from repro.experiments.config import ExperimentScale, resolve_scale
+from repro.experiments.trace_runner import TraceRunner
 from repro.metrics.paths import path_statistics
 from repro.metrics.reporting import format_table
 from repro.metrics.trees import tree_metrics
@@ -78,6 +86,7 @@ from repro.overlay.selection.orthogonal import OrthogonalHyperplanesSelection
 from repro.simulation.runner import run_gossip_overlay
 from repro.workloads.churn import interleaved_join_leave_schedule
 from repro.workloads.peers import generate_peers, generate_peers_with_lifetimes
+from repro.workloads.traces import poisson_trace
 
 __all__ = [
     "BaselineComparisonRow",
@@ -86,6 +95,7 @@ __all__ = [
     "OverlayChurnRow",
     "MessageReplayRow",
     "TreeMaintenanceRow",
+    "TraceConvergenceRow",
     "AblationResult",
     "run_baseline_comparison",
     "run_pick_strategy_ablation",
@@ -93,6 +103,7 @@ __all__ = [
     "run_overlay_churn_ablation",
     "run_message_replay_ablation",
     "run_tree_maintenance_ablation",
+    "run_trace_convergence_ablation",
 ]
 
 
@@ -169,6 +180,22 @@ class TreeMaintenanceRow:
     def identical(self) -> bool:
         """``True`` when both arms agreed at every event of the phase."""
         return self.identical_events == self.events
+
+
+@dataclass(frozen=True)
+class TraceConvergenceRow:
+    """Cost of one convergence cadence over the same churn trace."""
+
+    arm: str
+    dimension: int
+    epochs: int
+    events: int
+    engine_rounds: int
+    convergences: int
+    reparent_operations: int
+    connectivity_rebuilds: int
+    wall_seconds: float
+    identical: bool
 
 
 @dataclass(frozen=True)
@@ -712,6 +739,88 @@ def run_tree_maintenance_ablation(
                 row.single_tree_events,
                 f"{row.event_driven_seconds:.2f}",
                 f"{row.snapshot_seconds:.2f}",
+            )
+            for row in rows
+        ),
+    )
+    return rows, table
+
+
+def run_trace_convergence_ablation(
+    scale: Optional[ExperimentScale] = None,
+    *,
+    dimension: int = 3,
+) -> Tuple[List[TraceConvergenceRow], AblationResult]:
+    """A7: batched-epoch convergence versus the per-event loop on one trace.
+
+    Generates a Poisson join/leave trace over the Section 3 population and
+    replays it twice through the :class:`~repro.experiments.trace_runner.TraceRunner`
+    -- once converging after every single event (the pre-batching cadence),
+    once converging once per epoch via
+    :meth:`~repro.overlay.network.OverlayNetwork.apply_batch` -- with the
+    stability-tree maintainer and the connectivity tracker live in both
+    arms.  The rows report the engine-round budget each cadence paid and
+    assert the equivalence the batching relies on: identical final overlay
+    topology and byte-identical maintained stability tree.
+    """
+    resolved = scale if scale is not None else resolve_scale()
+    count = resolved.peer_count
+    seed = derive_seed(resolved.seed, 17, dimension, count)
+    peers = generate_peers_with_lifetimes(count, dimension, seed=seed)
+    trace = poisson_trace(
+        count, session_mean=count / 2.0, epoch_length=count / 12.0, seed=seed
+    )
+    runner = TraceRunner(peers, EmptyRectangleSelection, bootstrap_seed=seed)
+
+    per_event = runner.run(trace, per_event=True)
+    per_epoch = runner.run(trace, per_event=False)
+    identical = (
+        per_epoch.final_neighbours == per_event.final_neighbours
+        and per_epoch.final_parents == per_event.final_parents
+    )
+
+    rows = [
+        TraceConvergenceRow(
+            arm=result.mode,
+            dimension=dimension,
+            epochs=result.epoch_count,
+            events=result.total_events,
+            engine_rounds=result.total_rounds,
+            convergences=result.convergences,
+            reparent_operations=result.reparent_operations,
+            connectivity_rebuilds=result.connectivity_rebuilds,
+            wall_seconds=result.wall_seconds,
+            identical=identical,
+        )
+        for result in (per_event, per_epoch)
+    ]
+
+    table = AblationResult(
+        name="trace-convergence",
+        headers=(
+            "arm",
+            "D",
+            "epochs",
+            "events",
+            "engine rounds",
+            "convergences",
+            "reparents",
+            "uf rebuilds",
+            "wall [s]",
+            "identical",
+        ),
+        rows=tuple(
+            (
+                row.arm,
+                row.dimension,
+                row.epochs,
+                row.events,
+                row.engine_rounds,
+                row.convergences,
+                row.reparent_operations,
+                row.connectivity_rebuilds,
+                f"{row.wall_seconds:.2f}",
+                row.identical,
             )
             for row in rows
         ),

@@ -15,7 +15,12 @@ from repro.overlay.gossip import (
     knowledge_sets,
     peers_within_hops,
 )
-from repro.overlay.network import ConvergenceError, OverlayNetwork
+from repro.overlay.network import (
+    BatchJoin,
+    BatchLeave,
+    ConvergenceError,
+    OverlayNetwork,
+)
 from repro.overlay.topology import TopologySnapshot, undirected_closure
 from repro.overlay.selection import (
     EmptyRectangleSelection,
@@ -38,6 +43,8 @@ __all__ = [
     "knowledge_sets",
     "OverlayNetwork",
     "ConvergenceError",
+    "BatchJoin",
+    "BatchLeave",
     "TopologySnapshot",
     "undirected_closure",
     "NeighbourSelectionMethod",

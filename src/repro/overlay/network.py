@@ -38,7 +38,18 @@ produces the same equilibria.
 from __future__ import annotations
 
 import random
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Union,
+)
 
 from repro.overlay.gossip import knowledge_sets
 from repro.overlay.incremental import IncrementalReselectionEngine, OverlayDeltaRecorder
@@ -46,7 +57,38 @@ from repro.overlay.peer import PeerInfo
 from repro.overlay.selection.base import NeighbourSelectionMethod
 from repro.overlay.topology import TopologySnapshot, undirected_closure
 
-__all__ = ["OverlayNetwork", "ConvergenceError"]
+__all__ = [
+    "OverlayNetwork",
+    "ConvergenceError",
+    "BatchJoin",
+    "BatchLeave",
+    "BatchEvent",
+]
+
+
+@dataclass(frozen=True)
+class BatchJoin:
+    """One join inside an :meth:`OverlayNetwork.apply_batch` epoch.
+
+    ``bootstrap=None`` selects the default :meth:`OverlayNetwork.add_peer`
+    rule (the lowest existing id); peers that joined earlier in the same
+    batch are valid bootstrap contacts because events apply in order.
+    """
+
+    peer: PeerInfo
+    bootstrap: Optional[FrozenSet[int]] = None
+
+
+@dataclass(frozen=True)
+class BatchLeave:
+    """One departure inside an :meth:`OverlayNetwork.apply_batch` epoch."""
+
+    peer_id: int
+
+
+#: Accepted by :meth:`OverlayNetwork.apply_batch`: explicit event records, or
+#: the shorthands ``PeerInfo`` (a default-bootstrap join) and ``int`` (a leave).
+BatchEvent = Union[BatchJoin, BatchLeave, PeerInfo, int]
 
 
 def _validate_dimension(peer: PeerInfo, dimension: int) -> None:
@@ -169,7 +211,13 @@ class OverlayNetwork:
         if self._delta_recorders:
             for recorder in self._delta_recorders:
                 recorder.note_join(peer.peer_id)
-                recorder.note_touch(bootstrap_ids)
+            # The bootstrap set is an installed selection change like any
+            # other (previous selection: empty), so it goes through the
+            # shared notification instead of a special-cased touch -- both
+            # endpoints of every bootstrap edge land in ``touched``, which
+            # is what keeps multi-peer-bootstrap joins on the delta-stream
+            # contract.
+            self._notify_selection_change(peer.peer_id, set(), bootstrap_ids)
 
     def remove_peer(self, peer_id: int) -> PeerInfo:
         """Remove a peer and every link that references it."""
@@ -333,7 +381,12 @@ class OverlayNetwork:
         provably unchanged work, so it may report fewer rounds.
 
         Raises :class:`ConvergenceError` if the topology is still changing
-        after ``max_rounds`` rounds.
+        after ``max_rounds`` rounds.  On that exception path the incremental
+        engine is invalidated: the abandoned engine holds mid-trajectory
+        state (a consumed dirty set, ``last_candidates`` describing a
+        topology the caller may now mutate or abandon), so the next
+        incremental convergence rebootstraps from an all-dirty state instead
+        of resuming from it.
         """
         if max_rounds < 1:
             raise ValueError("max_rounds must be at least 1")
@@ -344,6 +397,7 @@ class OverlayNetwork:
             for round_index in range(1, max_rounds + 1):
                 if not engine.run_round():
                     return round_index
+            self._engine = None
             raise ConvergenceError(max_rounds)
         for round_index in range(1, max_rounds + 1):
             if not self.reselect_round():
@@ -368,6 +422,60 @@ class OverlayNetwork:
         """Remove one peer and let the overlay converge."""
         self.remove_peer(peer_id)
         if not self._peers:
+            return 0
+        return self.converge(max_rounds=max_rounds, incremental=incremental)
+
+    def apply_batch(
+        self,
+        events: Iterable[BatchEvent],
+        *,
+        incremental: bool = True,
+        max_rounds: int = 50,
+    ) -> int:
+        """Apply one epoch of membership events, then converge **once**.
+
+        This is the batched-epoch counterpart of the per-event
+        :meth:`insert_and_converge` / :meth:`remove_and_converge` loop: every
+        event seeds the incremental engine (``note_join`` / ``note_leave``)
+        and the delta recorders up front, and the overlay pays a single
+        convergence for the whole batch instead of one per event.  Under full
+        knowledge the post-convergence fixed point is a function of the
+        surviving population alone, so the batched path lands on the exact
+        topology the one-event-at-a-time procedure reaches (the hypothesis
+        equivalence tests assert this, including byte-identical maintained
+        stability trees).
+
+        Events apply in order, so a join may bootstrap off a peer that
+        joined earlier in the same batch, and a leave followed by a rejoin
+        of the same id is well-formed.  The delta-stream contract is
+        preserved per *event*, not per batch: a join+leave inside the epoch
+        cancels in the drained delta, a leave+rejoin appears as both, and
+        every bootstrap edge notifies both endpoints -- which is what lets a
+        :class:`~repro.multicast.incremental.StabilityTreeMaintainer`
+        ``refresh()`` once per epoch instead of once per event.
+
+        Accepts :class:`BatchJoin` / :class:`BatchLeave` records or the
+        shorthands ``PeerInfo`` (join, default bootstrap) and ``int``
+        (leave).  Returns the round count of the single convergence (``0``
+        when the batch was empty or emptied the overlay).
+        """
+        applied = False
+        for event in events:
+            if isinstance(event, BatchJoin):
+                self.add_peer(event.peer, bootstrap=event.bootstrap)
+            elif isinstance(event, BatchLeave):
+                self.remove_peer(event.peer_id)
+            elif isinstance(event, PeerInfo):
+                self.add_peer(event)
+            elif isinstance(event, int):
+                self.remove_peer(event)
+            else:
+                raise TypeError(
+                    f"unsupported batch event {event!r}; expected BatchJoin, "
+                    "BatchLeave, PeerInfo or a peer id"
+                )
+            applied = True
+        if not applied or not self._peers:
             return 0
         return self.converge(max_rounds=max_rounds, incremental=incremental)
 

@@ -25,6 +25,14 @@ from repro.workloads.churn import (
     poisson_churn_schedule,
 )
 from repro.workloads.peers import generate_peers, generate_peers_with_lifetimes
+from repro.workloads.traces import (
+    ChurnTrace,
+    EventBatch,
+    diurnal_trace,
+    flash_crowd_trace,
+    mass_departure_trace,
+    poisson_trace,
+)
 
 __all__ = [
     "distinct_uniform_coordinates",
@@ -39,4 +47,10 @@ __all__ = [
     "interleaved_join_leave_schedule",
     "generate_peers",
     "generate_peers_with_lifetimes",
+    "EventBatch",
+    "ChurnTrace",
+    "poisson_trace",
+    "flash_crowd_trace",
+    "mass_departure_trace",
+    "diurnal_trace",
 ]

@@ -4,6 +4,13 @@ The paper inserts peers one at a time and lets the overlay converge between
 insertions; Section 3 additionally reasons about departures happening in
 lifetime order.  A :class:`ChurnEvent` sequence captures both, and is what the
 simulation runner and the ablation benchmarks consume.
+
+The batched-epoch pipeline expresses churn as :class:`~repro.workloads.traces.ChurnTrace`
+values instead -- timestamped event *batches* -- and
+:meth:`~repro.workloads.traces.ChurnTrace.from_schedule` /
+:meth:`~repro.workloads.traces.ChurnTrace.to_schedule` convert between the
+two representations losslessly, so every generator here remains usable from
+either pipeline.
 """
 
 from __future__ import annotations
@@ -18,6 +25,28 @@ __all__ = [
     "poisson_churn_schedule",
     "interleaved_join_leave_schedule",
 ]
+
+#: Default workload seed of the schedule generators.  The default is an
+#: explicit ``0`` -- two unseeded calls return the *same* schedule -- so
+#: experiments are reproducible unless the caller opts out by passing
+#: ``seed=None`` (a nondeterministically seeded run) or a shared ``rng``.
+DEFAULT_SEED = 0
+
+
+def _resolve_rng(seed: Optional[int], rng: Optional[random.Random]) -> random.Random:
+    """Shared seed/rng resolution of the schedule generators.
+
+    ``rng`` wins when given (the ``seed`` keyword must stay at its default
+    or ``None``); otherwise ``seed`` is used verbatim, with ``None`` meaning
+    a nondeterministic system seed.
+    """
+    if rng is not None:
+        if seed is not None and seed != DEFAULT_SEED:
+            raise ValueError("pass either seed or rng, not both")
+        return rng
+    if seed is None:
+        return random.Random()
+    return random.Random(seed)
 
 
 @dataclass(frozen=True, order=True)
@@ -57,7 +86,7 @@ def poisson_churn_schedule(
     *,
     arrival_rate: float = 1.0,
     session_mean: float = 100.0,
-    seed: Optional[int] = None,
+    seed: Optional[int] = DEFAULT_SEED,
     rng: Optional[random.Random] = None,
 ) -> List[ChurnEvent]:
     """Poisson arrivals with exponential session lengths.
@@ -65,14 +94,16 @@ def poisson_churn_schedule(
     A generic churn model (not from the paper) used by the churn ablation to
     compare stability trees against lifetime-oblivious trees under realistic
     arrival/departure interleavings.  Every peer both joins and leaves.
+
+    ``seed`` defaults to ``0`` (unseeded calls are deterministic and
+    identical across runs); pass ``seed=None`` for a nondeterministic
+    schedule or ``rng`` to draw from shared generator state.
     """
     if arrival_rate <= 0:
         raise ValueError("arrival_rate must be positive")
     if session_mean <= 0:
         raise ValueError("session_mean must be positive")
-    if rng is not None and seed is not None:
-        raise ValueError("pass either seed or rng, not both")
-    generator = rng if rng is not None else random.Random(0 if seed is None else seed)
+    generator = _resolve_rng(seed, rng)
 
     events: List[ChurnEvent] = []
     clock = 0.0
@@ -90,7 +121,7 @@ def interleaved_join_leave_schedule(
     join_interval: float = 2.0,
     leave_fraction: float = 0.2,
     holdoff: float = 6.0,
-    seed: Optional[int] = None,
+    seed: Optional[int] = DEFAULT_SEED,
     rng: Optional[random.Random] = None,
 ) -> List[ChurnEvent]:
     """Paper-style staggered joins with a sampled fraction of leaves mixed in.
@@ -103,6 +134,10 @@ def interleaved_join_leave_schedule(
     never leaves, so a bootstrap contact is always available.  This is the
     workload the message-level churn replay runs: join-driven candidate
     gains interleaved with departure-driven losses.
+
+    ``seed`` defaults to ``0`` (unseeded calls are deterministic and
+    identical across runs); pass ``seed=None`` for a nondeterministic
+    schedule or ``rng`` to draw from shared generator state.
     """
     if count < 1:
         raise ValueError("count must be positive")
@@ -112,9 +147,7 @@ def interleaved_join_leave_schedule(
         raise ValueError("leave_fraction must be in [0, 1)")
     if holdoff < 0:
         raise ValueError("holdoff must be non-negative")
-    if rng is not None and seed is not None:
-        raise ValueError("pass either seed or rng, not both")
-    generator = rng if rng is not None else random.Random(0 if seed is None else seed)
+    generator = _resolve_rng(seed, rng)
 
     events = [
         ChurnEvent(time=index * join_interval, peer_id=index, kind="join")

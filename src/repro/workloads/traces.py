@@ -1,0 +1,400 @@
+"""Churn traces: timestamped *batches* of membership events (epochs).
+
+The flat :class:`~repro.workloads.churn.ChurnEvent` lists drive the
+one-event-at-a-time pipelines (the message-level replay, the per-event
+ablations).  At churn scale the overlay converges once per *epoch* instead
+(:meth:`repro.overlay.network.OverlayNetwork.apply_batch`), and the workload
+description that matches that execution model is a :class:`ChurnTrace`: an
+ordered sequence of :class:`EventBatch` records, each carrying the membership
+events of one epoch.
+
+Traces and schedules convert losslessly in both directions --
+:meth:`ChurnTrace.from_schedule` buckets any existing schedule into
+fixed-length epochs and :meth:`ChurnTrace.to_schedule` flattens a trace back
+into the event list every legacy consumer accepts -- so the trace layer
+subsumes the ad-hoc schedule lists without breaking them.
+
+Beyond the Poisson join/leave model the schedule generators already provide,
+batching unlocks scenarios a one-at-a-time list cannot express naturally:
+
+* :func:`poisson_trace` -- the existing Poisson arrival / exponential
+  session model, bucketed into epochs;
+* :func:`flash_crowd_trace` -- steady background arrivals, then an entire
+  crowd joining in a single epoch and departing together after a dwell;
+* :func:`mass_departure_trace` -- correlated failure: every peer inside a
+  spatial region departs in one epoch (optionally rejoining later), the
+  way a datacenter or region outage takes out co-located peers;
+* :func:`diurnal_trace` -- the alive population tracks a day/night wave,
+  departed peers rejoining on the upswing.
+
+All generators follow the :mod:`repro.workloads.churn` seeding contract:
+``seed`` defaults to an explicit ``0`` (unseeded calls are deterministic),
+``seed=None`` is nondeterministic, ``rng`` draws from shared state.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.geometry.distance import DistanceFunction, get_distance
+from repro.overlay.peer import PeerInfo
+from repro.workloads.churn import (
+    DEFAULT_SEED,
+    ChurnEvent,
+    _resolve_rng,
+    poisson_churn_schedule,
+)
+
+__all__ = [
+    "EventBatch",
+    "ChurnTrace",
+    "poisson_trace",
+    "flash_crowd_trace",
+    "mass_departure_trace",
+    "diurnal_trace",
+]
+
+
+@dataclass(frozen=True)
+class EventBatch:
+    """The membership events of one epoch, applied in order.
+
+    Within a batch the event *order* is semantic (a leave followed by a
+    rejoin of the same id is well-formed; the reverse is not), so events are
+    stored as given, not re-sorted.
+    """
+
+    time: float
+    events: Tuple[ChurnEvent, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        if not self.events:
+            raise ValueError("an event batch must contain at least one event")
+        if self.time < 0:
+            raise ValueError("batch time must be non-negative")
+
+    @property
+    def join_count(self) -> int:
+        """Number of join events in the batch."""
+        return sum(1 for event in self.events if event.kind == "join")
+
+    @property
+    def leave_count(self) -> int:
+        """Number of leave events in the batch."""
+        return len(self.events) - self.join_count
+
+
+@dataclass(frozen=True)
+class ChurnTrace:
+    """An ordered sequence of event batches (one per epoch).
+
+    The canonical workload unit of the batched-epoch pipeline: the trace
+    runner applies each batch through
+    :meth:`~repro.overlay.network.OverlayNetwork.apply_batch` and samples
+    the live tree/connectivity metrics once per batch.
+    """
+
+    batches: Tuple[EventBatch, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "batches", tuple(self.batches))
+        times = [batch.time for batch in self.batches]
+        if any(later <= earlier for earlier, later in zip(times, times[1:])):
+            raise ValueError("batch times must be strictly increasing")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def epoch_count(self) -> int:
+        """Number of batches (epochs) in the trace."""
+        return len(self.batches)
+
+    @property
+    def event_count(self) -> int:
+        """Total number of membership events across all batches."""
+        return sum(len(batch.events) for batch in self.batches)
+
+    def peer_ids(self) -> Set[int]:
+        """Every peer id the trace references (for sizing populations)."""
+        return {event.peer_id for batch in self.batches for event in batch.events}
+
+    def validate(self, *, initial: Iterable[int] = ()) -> None:
+        """Check join/leave well-formedness by replaying the membership.
+
+        Raises :class:`ValueError` on a join of an already-alive peer or a
+        leave of an absent one; ``initial`` names peers alive before the
+        trace starts.
+        """
+        alive = set(initial)
+        for batch in self.batches:
+            for event in batch.events:
+                if event.kind == "join":
+                    if event.peer_id in alive:
+                        raise ValueError(
+                            f"peer {event.peer_id} joins at t={event.time} "
+                            "but is already alive"
+                        )
+                    alive.add(event.peer_id)
+                else:
+                    if event.peer_id not in alive:
+                        raise ValueError(
+                            f"peer {event.peer_id} leaves at t={event.time} "
+                            "but is not alive"
+                        )
+                    alive.discard(event.peer_id)
+
+    # ------------------------------------------------------------------
+    # Schedule interoperability (the compat shim)
+    # ------------------------------------------------------------------
+    def to_schedule(self) -> List[ChurnEvent]:
+        """Flatten into the event list the per-event consumers accept.
+
+        Batch-internal order is preserved, so replaying the flattened
+        schedule one event at a time performs the same membership changes
+        in the same order as the batched replay.
+        """
+        return [event for batch in self.batches for event in batch.events]
+
+    @classmethod
+    def from_schedule(
+        cls, events: Sequence[ChurnEvent], *, epoch_length: float
+    ) -> "ChurnTrace":
+        """Bucket a flat schedule into fixed-length epochs.
+
+        Events are sorted by time (the schedule generators already return
+        sorted lists, and :class:`ChurnEvent` orders join before leave on
+        ties, keeping rejoins well-formed) and grouped into epochs of
+        ``epoch_length``; each batch is stamped with its epoch start time.
+        """
+        if epoch_length <= 0:
+            raise ValueError("epoch_length must be positive")
+        buckets: dict = {}
+        for event in sorted(events):
+            buckets.setdefault(int(event.time // epoch_length), []).append(event)
+        return cls(
+            batches=tuple(
+                EventBatch(time=index * epoch_length, events=tuple(buckets[index]))
+                for index in sorted(buckets)
+            )
+        )
+
+
+def poisson_trace(
+    count: int,
+    *,
+    arrival_rate: float = 1.0,
+    session_mean: float = 100.0,
+    epoch_length: float = 10.0,
+    seed: Optional[int] = DEFAULT_SEED,
+    rng: Optional[random.Random] = None,
+) -> ChurnTrace:
+    """Poisson arrivals with exponential sessions, bucketed into epochs.
+
+    The batched form of :func:`repro.workloads.churn.poisson_churn_schedule`
+    (every peer both joins and leaves); same parameters plus the epoch
+    length.
+    """
+    schedule = poisson_churn_schedule(
+        count,
+        arrival_rate=arrival_rate,
+        session_mean=session_mean,
+        seed=seed,
+        rng=rng,
+    )
+    return ChurnTrace.from_schedule(schedule, epoch_length=epoch_length)
+
+
+def flash_crowd_trace(
+    base_count: int,
+    crowd_count: int,
+    *,
+    arrival_rate: float = 1.0,
+    epoch_length: float = 10.0,
+    dwell_epochs: int = 3,
+    seed: Optional[int] = DEFAULT_SEED,
+    rng: Optional[random.Random] = None,
+) -> ChurnTrace:
+    """A steady overlay hit by a crowd that joins -- and leaves -- together.
+
+    Peers ``0 .. base_count-1`` arrive as a Poisson stream (and stay).  One
+    epoch after the last base arrival, peers
+    ``base_count .. base_count+crowd_count-1`` all join in a single batch
+    (the flash); ``dwell_epochs`` epochs later the whole crowd departs in a
+    single batch (the recede).  The scenario per-event drivers cannot
+    express: hundreds of membership events that semantically belong to one
+    instant.
+    """
+    if base_count < 1:
+        raise ValueError("base_count must be positive")
+    if crowd_count < 1:
+        raise ValueError("crowd_count must be positive")
+    if dwell_epochs < 1:
+        raise ValueError("dwell_epochs must be positive")
+    generator = _resolve_rng(seed, rng)
+
+    clock = 0.0
+    arrivals = []
+    for peer_id in range(base_count):
+        clock += generator.expovariate(arrival_rate)
+        arrivals.append(ChurnEvent(time=clock, peer_id=peer_id, kind="join"))
+    trace = ChurnTrace.from_schedule(arrivals, epoch_length=epoch_length)
+
+    flash_time = (int(clock // epoch_length) + 1) * epoch_length
+    crowd_ids = range(base_count, base_count + crowd_count)
+    flash = EventBatch(
+        time=flash_time,
+        events=tuple(
+            ChurnEvent(time=flash_time, peer_id=peer_id, kind="join")
+            for peer_id in crowd_ids
+        ),
+    )
+    recede_time = flash_time + dwell_epochs * epoch_length
+    recede = EventBatch(
+        time=recede_time,
+        events=tuple(
+            ChurnEvent(time=recede_time, peer_id=peer_id, kind="leave")
+            for peer_id in crowd_ids
+        ),
+    )
+    return ChurnTrace(batches=trace.batches + (flash, recede))
+
+
+def mass_departure_trace(
+    peers: Sequence[PeerInfo],
+    *,
+    center: Optional[Sequence[float]] = None,
+    radius: float,
+    distance: "DistanceFunction | str" = "l2",
+    arrival_rate: float = 1.0,
+    epoch_length: float = 10.0,
+    rejoin_after_epochs: Optional[int] = None,
+    seed: Optional[int] = DEFAULT_SEED,
+    rng: Optional[random.Random] = None,
+) -> ChurnTrace:
+    """Correlated failure: every peer in a spatial region departs at once.
+
+    The population arrives as a Poisson stream; one epoch after the last
+    arrival, every peer whose coordinates lie within ``radius`` of
+    ``center`` (default: the coordinates of a randomly chosen peer, so the
+    region is always populated) departs in a single batch -- the co-located
+    failure a datacenter or network-region outage causes.  With
+    ``rejoin_after_epochs`` the departed region rejoins in one batch that
+    many epochs later (the outage heals).
+
+    At least one peer must survive the departure (an overlay wiped out by
+    the outage has no bootstrap contacts to heal from); widen ``radius``
+    ranges accordingly.
+    """
+    if not peers:
+        raise ValueError("peers must not be empty")
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    if rejoin_after_epochs is not None and rejoin_after_epochs < 1:
+        raise ValueError("rejoin_after_epochs must be positive when given")
+    generator = _resolve_rng(seed, rng)
+    measure = get_distance(distance) if isinstance(distance, str) else distance
+
+    origin = tuple(
+        center if center is not None else generator.choice(peers).coordinates
+    )
+    departing = [
+        peer for peer in peers if measure(tuple(peer.coordinates), origin) <= radius
+    ]
+    if len(departing) == len(peers):
+        raise ValueError(
+            f"all {len(peers)} peers lie within radius {radius} of the region "
+            "center; at least one peer must survive the mass departure"
+        )
+    if not departing:
+        raise ValueError(f"no peer lies within radius {radius} of the region center")
+
+    clock = 0.0
+    arrivals = []
+    for peer in peers:
+        clock += generator.expovariate(arrival_rate)
+        arrivals.append(ChurnEvent(time=clock, peer_id=peer.peer_id, kind="join"))
+    trace = ChurnTrace.from_schedule(arrivals, epoch_length=epoch_length)
+
+    outage_time = (int(clock // epoch_length) + 1) * epoch_length
+    batches = trace.batches + (
+        EventBatch(
+            time=outage_time,
+            events=tuple(
+                ChurnEvent(time=outage_time, peer_id=peer.peer_id, kind="leave")
+                for peer in departing
+            ),
+        ),
+    )
+    if rejoin_after_epochs is not None:
+        rejoin_time = outage_time + rejoin_after_epochs * epoch_length
+        batches += (
+            EventBatch(
+                time=rejoin_time,
+                events=tuple(
+                    ChurnEvent(time=rejoin_time, peer_id=peer.peer_id, kind="join")
+                    for peer in departing
+                ),
+            ),
+        )
+    return ChurnTrace(batches=batches)
+
+
+def diurnal_trace(
+    peak_count: int,
+    *,
+    cycles: int = 2,
+    epochs_per_cycle: int = 12,
+    trough_fraction: float = 0.3,
+    epoch_length: float = 10.0,
+    seed: Optional[int] = DEFAULT_SEED,
+    rng: Optional[random.Random] = None,
+) -> ChurnTrace:
+    """A day/night wave: the alive population tracks a raised cosine.
+
+    Each epoch the target population moves along
+    ``trough + (peak - trough) * (1 - cos(2*pi*t / epochs_per_cycle)) / 2``;
+    the batch joins or leaves exactly the difference.  Departed peers rejoin
+    first on the upswing (exercising the leave/rejoin paths), fresh ids are
+    allocated only when the pool of departed peers runs dry; leavers are
+    sampled uniformly from the alive set.
+    """
+    if peak_count < 2:
+        raise ValueError("peak_count must be at least 2")
+    if cycles < 1:
+        raise ValueError("cycles must be positive")
+    if epochs_per_cycle < 2:
+        raise ValueError("epochs_per_cycle must be at least 2")
+    if not 0.0 < trough_fraction < 1.0:
+        raise ValueError("trough_fraction must be in (0, 1)")
+    generator = _resolve_rng(seed, rng)
+
+    trough = max(1, int(round(peak_count * trough_fraction)))
+    alive: List[int] = []
+    departed: List[int] = []
+    next_id = 0
+    batches: List[EventBatch] = []
+    for epoch in range(cycles * epochs_per_cycle + 1):
+        phase = (1.0 - math.cos(2.0 * math.pi * epoch / epochs_per_cycle)) / 2.0
+        target = trough + int(round((peak_count - trough) * phase))
+        time = epoch * epoch_length
+        events: List[ChurnEvent] = []
+        while len(alive) < target:
+            if departed:
+                peer_id = departed.pop(generator.randrange(len(departed)))
+            else:
+                peer_id = next_id
+                next_id += 1
+            alive.append(peer_id)
+            events.append(ChurnEvent(time=time, peer_id=peer_id, kind="join"))
+        while len(alive) > target:
+            peer_id = alive.pop(generator.randrange(len(alive)))
+            departed.append(peer_id)
+            events.append(ChurnEvent(time=time, peer_id=peer_id, kind="leave"))
+        if events:
+            batches.append(EventBatch(time=time, events=tuple(events)))
+    return ChurnTrace(batches=tuple(batches))

@@ -57,5 +57,14 @@ class TestExecution:
         assert "Ablation A4" in output
         assert "Ablation A5" in output
         assert "Ablation A6" in output
+        assert "Ablation A7" in output
         assert "dirty-set" in output
         assert "snapshot rebuilds" in output
+        assert "per-epoch" in output
+
+    def test_trace_prints_every_scenario(self, capsys):
+        assert main(["trace"]) == 0
+        output = capsys.readouterr().out
+        assert "Churn-trace scenarios" in output
+        for scenario in ("poisson", "flash-crowd", "mass-departure", "diurnal"):
+            assert scenario in output

@@ -8,9 +8,11 @@ from repro.experiments.ablations import (
     run_message_replay_ablation,
     run_overlay_churn_ablation,
     run_pick_strategy_ablation,
+    run_trace_convergence_ablation,
     run_tree_maintenance_ablation,
 )
 from repro.experiments.config import SCALES, ExperimentScale, resolve_scale
+from repro.experiments.trace_runner import run_trace_scenarios
 from repro.experiments.figure1a import run_figure1a
 from repro.experiments.figure1b import run_figure1b
 from repro.experiments.figure1c import run_figure1c
@@ -203,3 +205,45 @@ class TestAblations:
         assert dirty.skipped_ticks > 0
         assert "message-replay" == table.name
         assert "dirty-set" in table.to_table()
+
+    def test_trace_convergence_ablation(self):
+        rows, table = run_trace_convergence_ablation(TINY, dimension=2)
+        by_arm = {row.arm: row for row in rows}
+        assert set(by_arm) == {"per-event", "per-epoch"}
+        per_event, per_epoch = by_arm["per-event"], by_arm["per-epoch"]
+        # Same trace, same epochs and events -- only the cadence differs.
+        assert per_event.events == per_epoch.events
+        assert per_event.epochs == per_epoch.epochs
+        # Both arms land on the identical overlay fixed point and
+        # byte-identical maintained stability tree...
+        assert per_event.identical and per_epoch.identical
+        # ...while the batched arm converges once per epoch instead of once
+        # per event, for a fraction of the engine rounds.
+        assert per_epoch.convergences == per_epoch.epochs
+        assert per_event.convergences == per_event.events
+        assert per_epoch.engine_rounds < per_event.engine_rounds
+        assert "trace-convergence" == table.name
+        assert "per-epoch" in table.to_table()
+
+    def test_trace_scenarios(self):
+        rows, table = run_trace_scenarios(TINY, dimension=2)
+        by_scenario = {row.scenario: row for row in rows}
+        assert set(by_scenario) == {
+            "poisson",
+            "flash-crowd",
+            "mass-departure",
+            "diurnal",
+        }
+        for row in rows:
+            assert row.events > 0
+            assert row.epochs > 0
+            assert row.engine_rounds >= 1
+            # Every scenario keeps the overlay connected at every epoch
+            # sample (the batched path converges before sampling).
+            assert row.always_connected
+        # The flash crowd doubles the base population in one epoch.
+        assert by_scenario["flash-crowd"].peak_peers == 2 * max(
+            2, TINY.peer_count // 2
+        )
+        assert "trace-scenarios" == table.name
+        assert "diurnal" in table.to_table()

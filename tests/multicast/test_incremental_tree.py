@@ -394,3 +394,54 @@ def test_hyperplane_additive_rule_agrees_with_full_selection(peers, script_seed,
             assert expected == sorted(equilibrium[reference.peer_id])
         else:
             assert sorted(got) == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    peers=_populations(min_size=4, max_size=14),
+    selection_factory=_SELECTIONS,
+    script_seed=st.integers(min_value=0, max_value=999),
+)
+def test_multi_peer_bootstrap_joins_keep_the_maintained_tree_exact(
+    peers, selection_factory, script_seed
+):
+    """Joins wired to *several* bootstrap contacts stay on the delta contract.
+
+    ``add_peer`` installs the whole bootstrap set as the joiner's first
+    selection through the shared selection-change notification; both
+    endpoints of every bootstrap edge must land in ``touched`` or the
+    maintained tree silently diverges.  The pre-convergence check is the
+    sharp one: right after the join, the bootstrap edges are the *only*
+    adjacency the joiner has, and the bootstrap contacts' preferred parents
+    may already have changed.
+    """
+    rng = random.Random(script_seed)
+    overlay = OverlayNetwork(selection_factory())
+    maintainer = StabilityTreeMaintainer(overlay)
+    builder = StabilityTreeBuilder()
+
+    def assert_exact():
+        expected = builder.build(overlay.snapshot())
+        assert maintainer.forest().preferred == dict(expected.preferred)
+
+    alive = []
+    for peer in peers:
+        bootstrap = (
+            set(rng.sample(alive, rng.randint(1, min(3, len(alive)))))
+            if alive
+            else set()
+        )
+        overlay.add_peer(peer, bootstrap=bootstrap)
+        alive.append(peer.peer_id)
+        maintainer.refresh()
+        assert_exact()
+        overlay.converge(incremental=True)
+        maintainer.refresh()
+        assert_exact()
+        if len(alive) > 1 and rng.random() < 0.25:
+            victim = rng.choice(alive)
+            alive.remove(victim)
+            overlay.remove_and_converge(victim, incremental=True)
+            maintainer.refresh()
+            assert_exact()
+    assert maintainer.full_rebuilds == 1

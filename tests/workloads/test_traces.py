@@ -1,0 +1,200 @@
+"""Churn traces: batch structure, schedule interoperability and scenarios."""
+
+import random
+
+import pytest
+
+from repro.workloads.churn import ChurnEvent, poisson_churn_schedule
+from repro.workloads.peers import generate_peers_with_lifetimes
+from repro.workloads.traces import (
+    ChurnTrace,
+    EventBatch,
+    diurnal_trace,
+    flash_crowd_trace,
+    mass_departure_trace,
+    poisson_trace,
+)
+
+
+class TestTraceStructure:
+    def test_batches_must_not_be_empty(self):
+        with pytest.raises(ValueError):
+            EventBatch(time=0.0, events=())
+
+    def test_batch_time_must_be_non_negative(self):
+        with pytest.raises(ValueError):
+            EventBatch(
+                time=-1.0, events=(ChurnEvent(time=0.0, peer_id=0, kind="join"),)
+            )
+
+    def test_batch_times_must_strictly_increase(self):
+        batch = EventBatch(
+            time=1.0, events=(ChurnEvent(time=1.0, peer_id=0, kind="join"),)
+        )
+        with pytest.raises(ValueError):
+            ChurnTrace(batches=(batch, batch))
+
+    def test_counts_and_peer_ids(self):
+        trace = ChurnTrace(
+            batches=(
+                EventBatch(
+                    time=0.0,
+                    events=(
+                        ChurnEvent(time=0.0, peer_id=0, kind="join"),
+                        ChurnEvent(time=0.0, peer_id=1, kind="join"),
+                    ),
+                ),
+                EventBatch(
+                    time=1.0,
+                    events=(ChurnEvent(time=1.0, peer_id=1, kind="leave"),),
+                ),
+            )
+        )
+        assert trace.epoch_count == 2
+        assert trace.event_count == 3
+        assert trace.batches[0].join_count == 2
+        assert trace.batches[1].leave_count == 1
+        assert trace.peer_ids() == {0, 1}
+
+    def test_validate_rejects_join_of_alive_and_leave_of_absent(self):
+        join = ChurnEvent(time=0.0, peer_id=0, kind="join")
+        trace = ChurnTrace(
+            batches=(
+                EventBatch(time=0.0, events=(join,)),
+                EventBatch(time=1.0, events=(ChurnEvent(time=1.0, peer_id=0, kind="join"),)),
+            )
+        )
+        with pytest.raises(ValueError, match="already alive"):
+            trace.validate()
+        trace = ChurnTrace(
+            batches=(
+                EventBatch(time=0.0, events=(ChurnEvent(time=0.0, peer_id=7, kind="leave"),)),
+            )
+        )
+        with pytest.raises(ValueError, match="not alive"):
+            trace.validate()
+        trace.validate(initial=[7])
+
+    def test_leave_then_rejoin_inside_one_batch_validates(self):
+        trace = ChurnTrace(
+            batches=(
+                EventBatch(
+                    time=0.0,
+                    events=(
+                        ChurnEvent(time=0.0, peer_id=0, kind="leave"),
+                        ChurnEvent(time=0.0, peer_id=0, kind="join"),
+                    ),
+                ),
+            )
+        )
+        trace.validate(initial=[0])
+
+
+class TestScheduleInterop:
+    def test_roundtrip_preserves_the_schedule(self):
+        schedule = poisson_churn_schedule(40, seed=9)
+        trace = ChurnTrace.from_schedule(schedule, epoch_length=25.0)
+        assert trace.to_schedule() == schedule
+        assert trace.event_count == len(schedule)
+        trace.validate()
+
+    def test_epochs_are_stamped_with_their_start_time(self):
+        schedule = poisson_churn_schedule(40, seed=9)
+        trace = ChurnTrace.from_schedule(schedule, epoch_length=25.0)
+        for batch in trace.batches:
+            assert batch.time % 25.0 == 0.0
+            for event in batch.events:
+                assert batch.time <= event.time < batch.time + 25.0
+
+    def test_epoch_length_validated(self):
+        with pytest.raises(ValueError):
+            ChurnTrace.from_schedule([], epoch_length=0.0)
+
+
+class TestScenarioGenerators:
+    def test_poisson_trace_is_deterministic_by_default(self):
+        assert poisson_trace(30) == poisson_trace(30)
+        assert poisson_trace(30, seed=1) != poisson_trace(30, seed=2)
+        poisson_trace(30).validate()
+
+    def test_unseeded_runs_are_nondeterministic(self):
+        assert poisson_trace(30, seed=None) != poisson_trace(30, seed=None)
+
+    def test_flash_crowd_joins_and_recedes_in_single_batches(self):
+        trace = flash_crowd_trace(20, 50, epoch_length=5.0, dwell_epochs=2, seed=3)
+        trace.validate()
+        crowd = set(range(20, 70))
+        flash = next(
+            batch for batch in trace.batches
+            if {e.peer_id for e in batch.events} == crowd and batch.join_count == 50
+        )
+        recede = trace.batches[-1]
+        assert {e.peer_id for e in recede.events} == crowd
+        assert recede.leave_count == 50
+        assert recede.time == flash.time + 2 * 5.0
+
+    def test_mass_departure_takes_out_exactly_the_region(self):
+        peers = generate_peers_with_lifetimes(40, 3, seed=1)
+        center = tuple(peers[0].coordinates)
+        trace = mass_departure_trace(
+            peers, center=center, radius=250.0, rejoin_after_epochs=2, seed=2
+        )
+        trace.validate()
+        outage = trace.batches[-2]
+        rejoin = trace.batches[-1]
+        departed = {e.peer_id for e in outage.events}
+        assert outage.leave_count == len(outage.events)
+        assert 0 < len(departed) < len(peers)
+        # The region is spatial: exactly the peers within the radius depart.
+        from repro.geometry.distance import euclidean_distance
+
+        for peer in peers:
+            inside = euclidean_distance(tuple(peer.coordinates), center) <= 250.0
+            assert (peer.peer_id in departed) == inside
+        # The outage heals: the same region rejoins in one batch.
+        assert {e.peer_id for e in rejoin.events} == departed
+        assert rejoin.join_count == len(departed)
+
+    def test_mass_departure_region_must_be_proper(self):
+        peers = generate_peers_with_lifetimes(10, 2, seed=1)
+        with pytest.raises(ValueError, match="survive"):
+            mass_departure_trace(peers, center=(0.0, 0.0), radius=1e9, seed=1)
+        with pytest.raises(ValueError, match="no peer"):
+            mass_departure_trace(peers, center=(-1e6, -1e6), radius=1e-3, seed=1)
+
+    def test_diurnal_population_tracks_the_wave(self):
+        trace = diurnal_trace(
+            50, cycles=2, epochs_per_cycle=8, trough_fraction=0.3, seed=4
+        )
+        trace.validate()
+        sizes = []
+        alive = set()
+        for batch in trace.batches:
+            for event in batch.events:
+                if event.kind == "join":
+                    alive.add(event.peer_id)
+                else:
+                    alive.discard(event.peer_id)
+            sizes.append(len(alive))
+        assert max(sizes) == 50
+        assert min(sizes) >= 1
+        # Rejoin-first allocation keeps the id space bounded by the peak.
+        assert max(trace.peer_ids()) < 50
+        # Two cycles: the peak is visited (at least) twice.
+        assert sizes.count(50) >= 2
+
+    def test_generator_parameters_validated(self):
+        with pytest.raises(ValueError):
+            flash_crowd_trace(0, 5)
+        with pytest.raises(ValueError):
+            flash_crowd_trace(5, 5, dwell_epochs=0)
+        with pytest.raises(ValueError):
+            mass_departure_trace([], radius=1.0)
+        with pytest.raises(ValueError):
+            diurnal_trace(50, trough_fraction=0.0)
+        with pytest.raises(ValueError):
+            poisson_trace(10, seed=1, rng=random.Random(2))
+        # seed=None combined with rng stays valid: rng wins.
+        assert poisson_trace(10, seed=None, rng=random.Random(2)) == poisson_trace(
+            10, rng=random.Random(2)
+        )

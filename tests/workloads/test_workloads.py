@@ -154,6 +154,21 @@ class TestChurnSchedules:
         second = interleaved_join_leave_schedule(15, leave_fraction=0.4, seed=5)
         assert first == second
 
+    def test_default_seed_is_explicit_and_deterministic(self):
+        # The unseeded default is an explicit seed=0, not hidden state.
+        assert poisson_churn_schedule(20) == poisson_churn_schedule(20, seed=0)
+        assert interleaved_join_leave_schedule(20) == interleaved_join_leave_schedule(
+            20, seed=0
+        )
+
+    def test_seed_none_is_honoured_as_nondeterministic(self):
+        assert poisson_churn_schedule(20, seed=None) != poisson_churn_schedule(
+            20, seed=None
+        )
+        assert interleaved_join_leave_schedule(
+            20, leave_fraction=0.4, seed=None
+        ) != interleaved_join_leave_schedule(20, leave_fraction=0.4, seed=None)
+
     def test_interleaved_parameters_validated(self):
         with pytest.raises(ValueError):
             interleaved_join_leave_schedule(0)
