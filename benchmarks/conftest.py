@@ -6,13 +6,32 @@ the paper at the scale selected by the ``REPRO_SCALE`` environment variable
 ``repro.experiments.config``).  Each benchmark prints the measured table and,
 where the paper reports a series, the shape comparison against the values
 digitized from Figure 1; EXPERIMENTS.md summarizes one such run.
+
+The minutes-scale (``slow``-marked) benchmarks additionally *persist* their
+headline numbers through :func:`persist_bench_record`: one
+``benchmarks/results/BENCH_<scenario>.json`` record per scenario (scenario,
+``N``, wall-clock, measured speedup and its asserted floor), so the perf
+trajectory is machine-readable across PRs instead of living only in captured
+stdout.  Records are committed when a PR moves the numbers (the trajectory
+is diffable in-repo); the weekly CI job additionally uploads the directory
+as a build artifact.
 """
 
 from __future__ import annotations
 
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Optional
+
 import pytest
 
 from repro.experiments.config import ExperimentScale, resolve_scale
+
+#: Where the machine-readable benchmark records land (one file per scenario,
+#: overwritten per run so the newest numbers are always the file's content).
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 
 def pytest_configure(config: pytest.Config) -> None:
@@ -39,3 +58,36 @@ def print_report(title: str, table: str, *extra_lines: str) -> None:
     for line in extra_lines:
         print(line)
     print(banner)
+
+
+def persist_bench_record(
+    scenario: str,
+    *,
+    peer_count: int,
+    wall_seconds: float,
+    speedup: Optional[float] = None,
+    speedup_floor: Optional[float] = None,
+    **extra,
+) -> Path:
+    """Write one benchmark's headline numbers to ``BENCH_<scenario>.json``.
+
+    ``wall_seconds`` is the measured arm's wall-clock, ``speedup`` the
+    benchmark's headline ratio and ``speedup_floor`` the value its assertion
+    enforces; extra keyword fields (baseline wall-clocks, event counts, ...)
+    are stored verbatim.  Returns the written path.
+    """
+    record = {
+        "scenario": scenario,
+        "peer_count": peer_count,
+        "wall_seconds": round(wall_seconds, 3),
+        "speedup": None if speedup is None else round(speedup, 2),
+        "speedup_floor": speedup_floor,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        **extra,
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{scenario}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"[repro] benchmark record persisted: {path}")
+    return path

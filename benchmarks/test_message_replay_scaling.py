@@ -25,7 +25,7 @@ import time
 
 import pytest
 
-from conftest import print_report
+from conftest import persist_bench_record, print_report
 
 from repro.metrics.reporting import format_table
 from repro.overlay.selection.empty_rectangle import EmptyRectangleSelection
@@ -97,3 +97,13 @@ def test_dirty_set_reselection_matches_and_outruns_full_reselection(scale):
 
     assert ratio >= 5.0
     assert timings["dirty-set"] < timings["full-reselect"]
+    persist_bench_record(
+        "message_replay_dirty_set",
+        peer_count=count,
+        wall_seconds=timings["dirty-set"],
+        speedup=ratio,
+        speedup_floor=5.0,
+        baseline_wall_seconds=round(timings["full-reselect"], 3),
+        full_selections=fast.total_selection_invocations(),
+        baseline_full_selections=slow.total_selection_invocations(),
+    )

@@ -22,7 +22,7 @@ local runs execute it.
 """
 
 import pytest
-from conftest import print_report
+from conftest import persist_bench_record, print_report
 
 from repro.experiments.common import derive_seed
 from repro.experiments.trace_runner import TraceRunner
@@ -125,4 +125,15 @@ def test_batched_epochs_make_long_churn_traces_tractable(scale):
     assert per_epoch.wall_seconds < per_event.wall_seconds, (
         f"the batched prefix replay took {per_epoch.wall_seconds:.1f}s against "
         f"{per_event.wall_seconds:.1f}s for the per-event replay"
+    )
+    persist_bench_record(
+        "trace_convergence_batched",
+        peer_count=_PEER_COUNT,
+        wall_seconds=full.wall_seconds,
+        speedup=ratio,
+        speedup_floor=5.0,
+        trace_events=trace.event_count,
+        peak_alive=peak,
+        prefix_wall_seconds=round(per_epoch.wall_seconds, 3),
+        prefix_baseline_wall_seconds=round(per_event.wall_seconds, 3),
     )

@@ -20,7 +20,7 @@ import random
 import time
 
 import pytest
-from conftest import print_report
+from conftest import persist_bench_record, print_report
 
 from repro.experiments.common import derive_seed
 from repro.metrics.reporting import format_table
@@ -142,4 +142,15 @@ def test_event_driven_maintenance_beats_snapshot_rebuilds(scale):
         f"event-driven maintenance took {event_driven_seconds:.2f}s against "
         f"{snapshot_seconds:.2f}s for the snapshot path (only {speedup:.1f}x); "
         "expected at least 2x"
+    )
+    persist_bench_record(
+        "tree_maintenance_event_driven",
+        peer_count=_PEER_COUNT,
+        wall_seconds=event_driven_seconds,
+        speedup=speedup,
+        speedup_floor=2.0,
+        baseline_wall_seconds=round(snapshot_seconds, 3),
+        rebuild_ratio=round(ratio, 1),
+        rebuild_ratio_floor=5.0,
+        events=events,
     )

@@ -31,7 +31,7 @@ Quickstart::
     assert result.messages_sent == len(peers) - 1
 """
 
-from repro.geometry import HyperRectangle, Interval, Point
+from repro.geometry import HyperRectangle, Interval, Point, SpatialIndex
 from repro.overlay import (
     ConvergenceError,
     EmptyRectangleSelection,
@@ -79,6 +79,7 @@ __all__ = [
     "Point",
     "Interval",
     "HyperRectangle",
+    "SpatialIndex",
     # overlay
     "PeerInfo",
     "NetworkAddress",

@@ -14,6 +14,9 @@ rest of the library is written in:
   hyperplane sets, used by the Hyperplanes neighbour-selection family.
 * :mod:`repro.geometry.regions` -- orthant sign vectors (the regions of the
   Orthogonal Hyperplanes method) and their conversion to hyper-rectangles.
+* :mod:`repro.geometry.index` -- the uniform-grid + k-d tree spatial index
+  the selection fast paths and the overlay layer query instead of scanning
+  the full candidate set.
 """
 
 from repro.geometry.point import Point, as_point, validate_coordinates
@@ -31,6 +34,7 @@ from repro.geometry.regions import (
     orthant_rectangle,
     orthant_signs,
 )
+from repro.geometry.index import SpatialIndex
 
 __all__ = [
     "Point",
@@ -48,4 +52,5 @@ __all__ = [
     "orthant_signs",
     "orthant_rectangle",
     "all_sign_vectors",
+    "SpatialIndex",
 ]

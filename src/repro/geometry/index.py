@@ -1,0 +1,1072 @@
+"""Spatial index over peer coordinates: O(log N) candidate queries.
+
+Every neighbour-selection method and the stability-tree parent rule answer
+questions of the form "which peers fall in this region" or "who is closest
+to this peer".  The scan paths resolve them by walking the full candidate
+set -- ``O(N)`` per query, the last super-linear hot path between the
+convergence engine and ``N >= 10k`` populations.  :class:`SpatialIndex` is
+the shared replacement: a uniform grid plus a k-d tree over the same point
+store, with a narrow query API the selection family and the overlay layer
+build their fast paths on.
+
+Division of labour
+------------------
+
+* the **uniform grid** (a dict of occupied cells keyed by floored cell
+  coordinates) answers :meth:`SpatialIndex.range` -- axis-aligned rectangle
+  queries touch only the overlapping cells.  It is built lazily by the
+  first ``range`` call and maintained exactly on every
+  ``insert``/``remove``/``move`` from then on, so overlays that never issue
+  rectangle queries pay nothing for it;
+* the **k-d tree** answers the metric and region queries
+  (:meth:`~SpatialIndex.nearest_k`, :meth:`~SpatialIndex.halfspace_candidates`,
+  :meth:`~SpatialIndex.orthant_skyline`, :meth:`~SpatialIndex.region_top_k`)
+  by best-first branch-and-bound.  It is rebuilt lazily: mutations go into a
+  tombstone set / pending-insert buffer that every query folds in exactly,
+  and the tree is rebuilt from scratch only once the stale fraction passes a
+  threshold -- so churn costs ``O(1)`` per event amortised, and queries stay
+  exact at every moment in between.
+
+Byte-identical contract
+-----------------------
+
+The index exists to *replace* scans, so every query is defined purely in
+terms of the comparisons the scan it replaces performs -- same candidate
+keys (sign-flipped raw coordinates for skylines, per-axis deltas for
+distances), same sequential left-to-right float summation, same
+``(distance, peer id)`` and ``(L1 magnitude, peer id)`` tie-breaks, same
+non-strict dominance.  Branch-and-bound bounds are computed with monotone
+floating-point operations only (each bound is the same formula evaluated at
+a per-axis clamped coordinate), so pruning can never cut a point a scan
+would have kept.  The hypothesis suites in ``tests/geometry`` and
+``tests/overlay`` hold the index to exactly this: every query equals its
+brute-force twin, and index-backed overlays follow byte-identical
+trajectories to byte-identical fixed points.
+
+The module-level ``brute_force_*`` functions are those twins: literal
+restatements of each query over a plain id -> coordinates mapping, used by
+the property tests as ground truth.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.geometry.hyperplane import Hyperplane, HyperplaneSet
+from repro.geometry.point import CoordinateLike, Point, as_point
+from repro.geometry.rectangle import HyperRectangle
+
+__all__ = [
+    "SpatialIndex",
+    "pareto_minima",
+    "brute_force_range",
+    "brute_force_nearest_k",
+    "brute_force_halfspace",
+    "brute_force_orthant_skyline",
+    "brute_force_region_top_k",
+]
+
+_INF = float("inf")
+
+# A leaf of the k-d tree holds at most this many points; below it the
+# per-node bookkeeping costs more than the brute scan it saves.
+_LEAF_SIZE = 16
+
+# The tree is rebuilt once tombstones + buffered inserts exceed
+# max(_REBUILD_MINIMUM, population / _REBUILD_DIVISOR).
+_REBUILD_MINIMUM = 32
+_REBUILD_DIVISOR = 4
+
+
+def _point_distance(deltas: Sequence[float], order: float) -> float:
+    """Minkowski norm of a delta vector, matching the scan paths bit for bit.
+
+    The accumulation is sequential left-to-right, which is what both the
+    plain-python distance functions (:mod:`repro.geometry.distance`) and --
+    for the dimensions the paper uses -- the numpy reductions of
+    :func:`repro.overlay.selection.hyperplanes.minkowski` perform, so a
+    ranking computed here never disagrees with either scan path.
+    """
+    if order == 1.0:
+        total = 0.0
+        for value in deltas:
+            total += abs(value)
+        return total
+    if order == 2.0:
+        total = 0.0
+        for value in deltas:
+            total += value * value
+        return math.sqrt(total)
+    if order == _INF:
+        largest = 0.0
+        for value in deltas:
+            magnitude = abs(value)
+            if magnitude > largest:
+                largest = magnitude
+        return largest
+    raise ValueError(f"unsupported Minkowski order {order!r}; known: 1, 2, inf")
+
+
+class _KDNode:
+    """One node of the k-d tree: a bounding box plus children or a leaf list."""
+
+    __slots__ = ("lower", "upper", "left", "right", "ids")
+
+    def __init__(
+        self,
+        lower: Tuple[float, ...],
+        upper: Tuple[float, ...],
+        *,
+        left: "Optional[_KDNode]" = None,
+        right: "Optional[_KDNode]" = None,
+        ids: Optional[Tuple[int, ...]] = None,
+    ) -> None:
+        self.lower = lower
+        self.upper = upper
+        self.left = left
+        self.right = right
+        self.ids = ids
+
+
+def _build_kd(
+    ids: List[int], coords: Mapping[int, Point], dimension: int
+) -> Optional[_KDNode]:
+    """Recursive median build: split the widest axis, leaves of ``_LEAF_SIZE``."""
+    if not ids:
+        return None
+    lower = [min(coords[i][axis] for i in ids) for axis in range(dimension)]
+    upper = [max(coords[i][axis] for i in ids) for axis in range(dimension)]
+    node = _KDNode(tuple(lower), tuple(upper))
+    if len(ids) <= _LEAF_SIZE:
+        node.ids = tuple(ids)
+        return node
+    axis = max(range(dimension), key=lambda a: upper[a] - lower[a])
+    if upper[axis] == lower[axis]:
+        # Every point identical on every axis (duplicates): nothing to split.
+        node.ids = tuple(ids)
+        return node
+    ordered = sorted(ids, key=lambda i: (coords[i][axis], i))
+    half = len(ordered) // 2
+    node.left = _build_kd(ordered[:half], coords, dimension)
+    node.right = _build_kd(ordered[half:], coords, dimension)
+    return node
+
+
+class SpatialIndex:
+    """A uniform grid + k-d tree over an id -> coordinate point set.
+
+    Points are identified by integer ids (peer ids).  The dimension is fixed
+    by the first inserted point and retained even when the index drains back
+    to empty (a drained overlay keeps answering queries consistently).
+
+    Maintenance is exact and cheap: ``insert``/``remove``/``move`` update
+    the point store (and, once the first ``range`` query has activated the
+    grid, its cells) in ``O(1)`` and defer k-d tree work to a tombstone set
+    and an insert buffer that queries fold in; the tree itself is rebuilt
+    only when the stale fraction passes a threshold.  Queries are therefore
+    always answered against the *current* point set.
+    """
+
+    def __init__(self) -> None:
+        self._points: Dict[int, Point] = {}
+        self._dimension: Optional[int] = None
+        # Uniform grid: occupied cells only, keyed by floored cell coords.
+        # Built lazily by the first range() query; inactive until then so
+        # the membership hot path never pays for a structure nothing reads.
+        self._grid_active = False
+        self._cells: Dict[Tuple[int, ...], Set[int]] = {}
+        self._cell_of: Dict[int, Tuple[int, ...]] = {}
+        self._cell_size: float = 1.0
+        self._grid_sized_for: int = 0
+        # Loose (never shrinking) per-axis bounds, for clamping unbounded
+        # query rectangles onto finitely many grid cells.
+        self._loose_lower: List[float] = []
+        self._loose_upper: List[float] = []
+        # K-d tree + dynamisation state.
+        self._tree: Optional[_KDNode] = None
+        self._tombstones: Set[int] = set()
+        self._buffer: Dict[int, Point] = {}
+        self._rebuilds = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __contains__(self, point_id: int) -> bool:
+        return point_id in self._points
+
+    @property
+    def dimension(self) -> Optional[int]:
+        """Dimension of the indexed space (``None`` before the first insert)."""
+        return self._dimension
+
+    @property
+    def rebuilds(self) -> int:
+        """K-d tree rebuilds performed so far (amortisation observability)."""
+        return self._rebuilds
+
+    def ids(self) -> List[int]:
+        """All indexed ids, sorted."""
+        return sorted(self._points)
+
+    def point(self, point_id: int) -> Point:
+        """Coordinates of one indexed point.
+
+        :class:`~repro.geometry.point.Point` is a tuple, so the bound method
+        doubles as the ``coordinates_of`` callback of
+        :func:`repro.multicast.stability.choose_preferred_parent`.
+        """
+        return self._points[point_id]
+
+    def items(self) -> Iterator[Tuple[int, Point]]:
+        """Iterate over ``(id, coordinates)`` pairs (insertion order)."""
+        return iter(self._points.items())
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def insert(self, point_id: int, coordinates: CoordinateLike) -> None:
+        """Add one point; rejects duplicate ids and mixed dimensions."""
+        if point_id in self._points:
+            raise ValueError(f"id {point_id} is already indexed")
+        point = as_point(coordinates)
+        if self._dimension is None:
+            self._dimension = point.dimension
+            self._loose_lower = list(point)
+            self._loose_upper = list(point)
+        elif point.dimension != self._dimension:
+            raise ValueError(
+                f"point dimension {point.dimension} does not match index "
+                f"dimension {self._dimension}"
+            )
+        self._points[point_id] = point
+        for axis, value in enumerate(point):
+            if value < self._loose_lower[axis]:
+                self._loose_lower[axis] = value
+            if value > self._loose_upper[axis]:
+                self._loose_upper[axis] = value
+        self._grid_add(point_id, point)
+        if self._tree is not None:
+            # Queries read the id from the buffer; a tombstoned tree copy of
+            # the same id (a remove-then-reinsert) stays dead.
+            self._buffer[point_id] = point
+
+    def remove(self, point_id: int) -> Point:
+        """Remove one point; returns its coordinates."""
+        try:
+            point = self._points.pop(point_id)
+        except KeyError:
+            raise KeyError(f"id {point_id} is not indexed") from None
+        self._grid_remove(point_id)
+        if self._buffer.pop(point_id, None) is None and self._tree is not None:
+            self._tombstones.add(point_id)
+        return point
+
+    def move(self, point_id: int, coordinates: CoordinateLike) -> None:
+        """Update one point's coordinates in place (same id).
+
+        Validates the new coordinates *before* touching any state, so a
+        rejected move leaves the index exactly as it was.
+        """
+        if point_id not in self._points:
+            raise KeyError(f"id {point_id} is not indexed")
+        point = as_point(coordinates)
+        if point.dimension != self._dimension:
+            raise ValueError(
+                f"point dimension {point.dimension} does not match index "
+                f"dimension {self._dimension}"
+            )
+        self.remove(point_id)
+        self.insert(point_id, point)
+
+    # ------------------------------------------------------------------
+    # Grid internals
+    # ------------------------------------------------------------------
+    def _cell_index(self, point: Sequence[float]) -> Tuple[int, ...]:
+        size = self._cell_size
+        return tuple(int(math.floor(value / size)) for value in point)
+
+    def _grid_add(self, point_id: int, point: Point) -> None:
+        if not self._grid_active:
+            return
+        if not self._grid_sized_for or (
+            len(self._points) > 4 * self._grid_sized_for
+            or len(self._points) * 4 < self._grid_sized_for
+        ):
+            self._rebuild_grid()
+            return
+        cell = self._cell_index(point)
+        self._cells.setdefault(cell, set()).add(point_id)
+        self._cell_of[point_id] = cell
+
+    def _grid_remove(self, point_id: int) -> None:
+        if not self._grid_active:
+            return
+        cell = self._cell_of.pop(point_id, None)
+        if cell is None:
+            return
+        members = self._cells.get(cell)
+        if members is not None:
+            members.discard(point_id)
+            if not members:
+                del self._cells[cell]
+
+    def _rebuild_grid(self) -> None:
+        """Retune the cell size to the current population and re-bucket."""
+        self._cells = {}
+        self._cell_of = {}
+        count = len(self._points)
+        self._grid_sized_for = max(count, 1)
+        if not count or self._dimension is None:
+            self._cell_size = 1.0
+            return
+        extent = max(
+            self._loose_upper[axis] - self._loose_lower[axis]
+            for axis in range(self._dimension)
+        )
+        # Aim for a per-axis resolution around the D-th root of the count, a
+        # few points per occupied cell for uniform data.
+        per_axis = max(1, round(count ** (1.0 / self._dimension)))
+        size = extent / per_axis if extent > 0 else 1.0
+        self._cell_size = size if math.isfinite(size) and size > 0 else 1.0
+        for point_id, point in self._points.items():
+            cell = self._cell_index(point)
+            self._cells.setdefault(cell, set()).add(point_id)
+            self._cell_of[point_id] = cell
+
+    # ------------------------------------------------------------------
+    # K-d tree internals
+    # ------------------------------------------------------------------
+    def _ensure_tree(self) -> Optional[_KDNode]:
+        stale = len(self._tombstones) + len(self._buffer)
+        if self._tree is None or stale > max(
+            _REBUILD_MINIMUM, len(self._points) // _REBUILD_DIVISOR
+        ):
+            self._tombstones = set()
+            self._buffer = {}
+            self._tree = (
+                _build_kd(list(self._points), self._points, self._dimension)
+                if self._points and self._dimension is not None
+                else None
+            )
+            self._rebuilds += 1
+        return self._tree
+
+    def _alive_in_tree(self, point_id: int) -> bool:
+        return point_id not in self._tombstones and point_id not in self._buffer
+
+    def _check_dimension(self, dimension: int, what: str) -> None:
+        if self._dimension is not None and dimension != self._dimension:
+            raise ValueError(
+                f"{what} dimension {dimension} does not match index "
+                f"dimension {self._dimension}"
+            )
+
+    # ------------------------------------------------------------------
+    # Queries: rectangle range (grid-backed)
+    # ------------------------------------------------------------------
+    def range(self, rectangle: HyperRectangle) -> List[int]:
+        """Ids of the indexed points inside ``rectangle``, sorted.
+
+        Membership is :meth:`HyperRectangle.contains` verbatim (open, closed
+        and unbounded sides all honoured); the grid only narrows which cells
+        are inspected.  Unbounded sides are clamped to the loose bounds of
+        everything ever inserted, which cannot exclude a live point.  The
+        first call activates the grid (one O(N) bucketing); maintenance is
+        exact and O(1) per mutation from then on.
+        """
+        self._check_dimension(rectangle.dimension, "rectangle")
+        if not self._points:
+            return []
+        if not self._grid_active:
+            self._grid_active = True
+            self._rebuild_grid()
+        size = self._cell_size
+        spans: List[Tuple[int, int]] = []
+        expected = 1
+        for axis, interval in enumerate(rectangle.intervals):
+            if interval.is_empty():
+                return []
+            lower = max(interval.lower, self._loose_lower[axis])
+            upper = min(interval.upper, self._loose_upper[axis])
+            if lower > upper:
+                return []
+            low_cell = int(math.floor(lower / size))
+            high_cell = int(math.floor(upper / size))
+            spans.append((low_cell, high_cell))
+            expected *= high_cell - low_cell + 1
+        result: List[int] = []
+        if expected > 2 * len(self._cells) + 16:
+            # Sparser to walk the occupied cells than the cell lattice.
+            for cell, members in self._cells.items():
+                if all(
+                    low <= cell[axis] <= high
+                    for axis, (low, high) in enumerate(spans)
+                ):
+                    result.extend(
+                        point_id
+                        for point_id in members
+                        if rectangle.contains(self._points[point_id])
+                    )
+        else:
+            for cell in _lattice(spans):
+                members = self._cells.get(cell)
+                if not members:
+                    continue
+                result.extend(
+                    point_id
+                    for point_id in members
+                    if rectangle.contains(self._points[point_id])
+                )
+        return sorted(result)
+
+    # ------------------------------------------------------------------
+    # Queries: nearest-k (k-d tree)
+    # ------------------------------------------------------------------
+    def nearest_k(
+        self,
+        origin: CoordinateLike,
+        k: int,
+        *,
+        order: float = 2.0,
+        exclude: Iterable[int] = (),
+    ) -> List[int]:
+        """The ``k`` ids closest to ``origin``, ranked by ``(distance, id)``.
+
+        ``order`` is the Minkowski order (1, 2 or inf -- the named distances
+        of :mod:`repro.geometry.distance`); ``exclude`` ids never appear in
+        the result (the reference peer excludes itself by id, never by
+        position, so coordinate duplicates of the origin are still ranked).
+        """
+        if k < 1:
+            return []
+        regions = self.region_top_k(
+            origin, None, k, order=order, exclude=exclude
+        )
+        return regions.get((), [])
+
+    # ------------------------------------------------------------------
+    # Queries: halfspace membership (k-d tree)
+    # ------------------------------------------------------------------
+    def halfspace_candidates(
+        self,
+        hyperplane: Hyperplane,
+        sign: int,
+        *,
+        reference: Optional[CoordinateLike] = None,
+    ) -> List[int]:
+        """Ids on one side of a hyperplane through ``reference``, sorted.
+
+        ``sign`` is the :meth:`~repro.geometry.hyperplane.Hyperplane.side`
+        value to match: ``+1`` / ``-1`` for the open halfspaces, ``0`` for
+        points exactly on the plane.  Subtrees whose bounding box lies
+        strictly on one side are accepted or rejected wholesale; only
+        straddling boxes classify points individually -- with the exact
+        :meth:`Hyperplane.side` arithmetic, so results match a scan.
+        """
+        if sign not in (-1, 0, 1):
+            raise ValueError(f"sign must be -1, 0 or +1, got {sign}")
+        self._check_dimension(hyperplane.dimension, "hyperplane")
+        if not self._points:
+            return []
+        origin = (
+            tuple(as_point(reference)) if reference is not None else (0.0,) * self._dimension
+        )
+        if len(origin) != self._dimension:
+            raise ValueError(
+                f"reference dimension {len(origin)} does not match index "
+                f"dimension {self._dimension}"
+            )
+        coefficients = hyperplane.coefficients
+        result: List[int] = []
+
+        def classify(point_id: int) -> None:
+            if _plane_side(self._points[point_id], origin, coefficients) == sign:
+                result.append(point_id)
+
+        tree = self._ensure_tree()
+        stack = [tree] if tree is not None else []
+        while stack:
+            node = stack.pop()
+            low, high = _plane_bounds(node.lower, node.upper, origin, coefficients)
+            if low > 0.0:
+                side = 1
+            elif high < 0.0:
+                side = -1
+            else:
+                side = None
+            if side is not None:
+                if side != sign:
+                    continue
+                self._collect_alive(node, result)
+                continue
+            if node.ids is not None:
+                for point_id in node.ids:
+                    if self._alive_in_tree(point_id):
+                        classify(point_id)
+                continue
+            if node.left is not None:
+                stack.append(node.left)
+            if node.right is not None:
+                stack.append(node.right)
+        for point_id in self._buffer:
+            classify(point_id)
+        return sorted(result)
+
+    def _collect_alive(self, node: _KDNode, result: List[int]) -> None:
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.ids is not None:
+                result.extend(
+                    point_id
+                    for point_id in current.ids
+                    if self._alive_in_tree(point_id)
+                )
+                continue
+            if current.left is not None:
+                stack.append(current.left)
+            if current.right is not None:
+                stack.append(current.right)
+
+    # ------------------------------------------------------------------
+    # Queries: per-orthant skyline (k-d tree branch-and-bound)
+    # ------------------------------------------------------------------
+    def orthant_skyline(
+        self,
+        origin: CoordinateLike,
+        signs: Sequence[int],
+        *,
+        exclude: Iterable[int] = (),
+    ) -> List[int]:
+        """Pareto-minimal ids of one orthant around ``origin``.
+
+        The orthant and the dominance order are exactly the empty-rectangle
+        scan's: a point belongs to orthant ``signs`` when, on every axis,
+        ``coordinate > origin`` iff the sign is ``+1`` (ties side with
+        ``-1``); candidates are ranked by their sign-flipped *raw*
+        coordinates and a candidate survives when no other candidate of the
+        orthant dominates it component-wise (non-strict).  Candidates are
+        visited in ascending ``(L1 key magnitude, id)`` order -- the same
+        order as the scan -- so coordinate-duplicate ties resolve to the
+        same survivor.
+
+        This is the branch-and-bound skyline (BBS) walk: tree nodes enter a
+        priority queue keyed by the smallest key-sum their box can hold, and
+        a node is pruned when an already-accepted skyline member dominates
+        its per-axis minimum corner -- which dominates everything in the
+        box, so no survivor is ever cut.
+        """
+        point = as_point(origin)
+        self._check_dimension(point.dimension, "origin")
+        dimension = point.dimension
+        if len(signs) != dimension:
+            raise ValueError(
+                f"expected {dimension} orthant signs, got {len(signs)}"
+            )
+        if any(s not in (-1, 1) for s in signs):
+            raise ValueError("orthant signs must be -1 or +1")
+        if not self._points:
+            return []
+        excluded = frozenset(exclude)
+        origin_t = tuple(point)
+        signs_t = tuple(signs)
+
+        def member_key(coords: Point) -> Optional[Tuple[float, ...]]:
+            """Sign-flipped raw coordinates, or ``None`` outside the orthant."""
+            key = []
+            for axis in range(dimension):
+                value = coords[axis]
+                greater = value > origin_t[axis]
+                if (1 if greater else -1) != signs_t[axis]:
+                    return None
+                key.append(value if greater else -value)
+            return tuple(key)
+
+        # Flat heap entries (key-sum, kind, tiebreak, payload): nodes (kind
+        # 0, tiebreak = an insertion counter) surface before points (kind 1,
+        # tiebreak = the id) at equal priority, so a potential dominator is
+        # always accepted before anything it might dominate is judged, and
+        # equal-key duplicates resolve in id order exactly like the scan.
+        heap: List[tuple] = []
+        counter = 0
+        tree = self._ensure_tree()
+        skyline_keys: List[Tuple[float, ...]] = []
+        skyline_ids: List[int] = []
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        points = self._points
+
+        def dominated(key: Tuple[float, ...]) -> bool:
+            for kept in skyline_keys:
+                for kept_value, value in zip(kept, key):
+                    if kept_value > value:
+                        break
+                else:
+                    return True
+            return False
+
+        if tree is not None:
+            corner = self._orthant_min_corner(tree, origin_t, signs_t)
+            if corner is not None:
+                total = 0.0
+                for value in corner:
+                    total += value
+                heap.append((total, 0, counter, tree))
+                counter += 1
+        while heap:
+            _priority, kind, _tick, payload = heappop(heap)
+            if kind == 1:
+                point_id, key = payload
+                # Re-check: the skyline may have grown since the push.
+                if not dominated(key):
+                    skyline_keys.append(key)
+                    skyline_ids.append(point_id)
+                continue
+            node = payload
+            # Re-check the box too: members accepted since the push may now
+            # dominate its whole extent.
+            if dominated(self._orthant_min_corner(node, origin_t, signs_t)):
+                continue
+            if node.ids is not None:
+                for point_id in node.ids:
+                    if point_id in excluded or not self._alive_in_tree(point_id):
+                        continue
+                    key = member_key(points[point_id])
+                    if key is None or dominated(key):
+                        continue
+                    key_sum = 0.0
+                    for value in key:
+                        key_sum += value
+                    heappush(heap, (key_sum, 1, point_id, (point_id, key)))
+                continue
+            for child in (node.left, node.right):
+                if child is None:
+                    continue
+                corner = self._orthant_min_corner(child, origin_t, signs_t)
+                if corner is None or dominated(corner):
+                    continue
+                total = 0.0
+                for value in corner:
+                    total += value
+                heappush(heap, (total, 0, counter, child))
+                counter += 1
+
+        # Fold the pending-insert buffer in: the Pareto minima of the union
+        # equal the Pareto minima of (tree skyline + buffer members).
+        entries: List[Tuple[Tuple[float, ...], int]] = [
+            (key, point_id) for key, point_id in zip(skyline_keys, skyline_ids)
+        ]
+        for point_id, coords in self._buffer.items():
+            if point_id in excluded:
+                continue
+            key = member_key(coords)
+            if key is not None:
+                entries.append((key, point_id))
+        if len(entries) != len(skyline_ids):
+            return [point_id for _, point_id in pareto_minima(entries)]
+        return list(skyline_ids)
+
+    @staticmethod
+    def _orthant_min_corner(
+        node: _KDNode,
+        origin: Tuple[float, ...],
+        signs: Tuple[int, ...],
+    ) -> Optional[Tuple[float, ...]]:
+        """Per-axis minimum of the sign-flipped key over ``box ∩ orthant``.
+
+        Pure selections and negations of stored floats -- no rounding -- so
+        the corner is an exact componentwise lower bound of every member
+        key, and dominance of the corner implies dominance of the box.
+        """
+        corner = []
+        for axis, sign in enumerate(signs):
+            low, high, bound = node.lower[axis], node.upper[axis], origin[axis]
+            if sign == 1:
+                if high <= bound:
+                    return None
+                corner.append(low if low > bound else bound)
+            else:
+                if low > bound:
+                    return None
+                corner.append(-(high if high <= bound else bound))
+        return tuple(corner)
+
+    # ------------------------------------------------------------------
+    # Queries: per-region top-k (k-d tree branch-and-bound)
+    # ------------------------------------------------------------------
+    def region_top_k(
+        self,
+        origin: CoordinateLike,
+        hyperplane_set: Optional[HyperplaneSet],
+        k: int,
+        *,
+        order: float = 2.0,
+        exclude: Iterable[int] = (),
+    ) -> Dict[Tuple[int, ...], List[int]]:
+        """The ``k`` closest ids of every non-empty hyperplane region.
+
+        This is the Hyperplanes-family selection rule as one index query:
+        points are conceptually translated so ``origin`` is at the origin,
+        ``hyperplane_set`` splits space into regions (``None`` or an empty
+        set: the single region ``()``), and within every region the ``k``
+        candidates closest to the origin win, ranked by ``(distance, id)``.
+        Returns only non-empty regions, each list in rank order -- exactly
+        the per-region structure the scan selection builds.
+
+        Best-first by a monotone distance lower bound: a subtree is pruned
+        once every hyperplane side is determined for its whole box *and*
+        that region already holds ``k`` members strictly closer than the
+        box can offer.  Region signatures of individual points use
+        :meth:`HyperplaneSet.signature` verbatim (points exactly on a plane
+        form their own ``0``-signature regions, as in the scan).
+        """
+        if k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        point = as_point(origin)
+        self._check_dimension(point.dimension, "origin")
+        if not self._points:
+            return {}
+        dimension = point.dimension
+        if hyperplane_set is not None and hyperplane_set.dimension != dimension:
+            raise ValueError(
+                f"hyperplane set dimension {hyperplane_set.dimension} does not "
+                f"match origin dimension {dimension}"
+            )
+        excluded = frozenset(exclude)
+        origin_t = tuple(point)
+        planes = hyperplane_set.hyperplanes if hyperplane_set is not None else ()
+
+        def signature_of(coords: Point) -> Tuple[int, ...]:
+            if hyperplane_set is None:
+                return ()
+            return hyperplane_set.signature(coords, reference=origin_t)
+
+        def distance_of(coords: Point) -> float:
+            return _point_distance(
+                tuple(value - base for value, base in zip(coords, origin_t)), order
+            )
+
+        regions: Dict[Tuple[int, ...], List[Tuple[float, int]]] = {}
+
+        def offer(point_id: int, coords: Point) -> None:
+            signature = signature_of(coords)
+            members = regions.setdefault(signature, [])
+            if len(members) < k:
+                members.append((distance_of(coords), point_id))
+
+        # Flat heap entries (priority, kind, tiebreak, payload); see
+        # orthant_skyline for the ordering rationale.
+        heap: List[tuple] = []
+        counter = 0
+        tree = self._ensure_tree()
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        if tree is not None:
+            heap.append((self._box_mindist(tree, origin_t, order), 0, counter, tree))
+            counter += 1
+        while heap:
+            priority, kind, _tick, payload = heappop(heap)
+            if kind == 1:
+                point_id, coords = payload
+                offer(point_id, coords)
+                continue
+            node = payload
+            side_signature = _box_signature(node, origin_t, planes)
+            if side_signature is not None:
+                members = regions.get(side_signature)
+                if members is not None and len(members) >= k and members[-1][0] < priority:
+                    continue
+            if node.ids is not None:
+                for point_id in node.ids:
+                    if point_id in excluded or not self._alive_in_tree(point_id):
+                        continue
+                    coords = self._points[point_id]
+                    heappush(
+                        heap, (distance_of(coords), 1, point_id, (point_id, coords))
+                    )
+                continue
+            for child in (node.left, node.right):
+                if child is None:
+                    continue
+                heappush(
+                    heap,
+                    (self._box_mindist(child, origin_t, order), 0, counter, child),
+                )
+                counter += 1
+
+        # Merge the pending-insert buffer: per region, the union's top-k is
+        # the top-k of (tree top-k + buffer members of the region).
+        if self._buffer:
+            merged: Dict[Tuple[int, ...], List[Tuple[float, int]]] = {
+                signature: list(members) for signature, members in regions.items()
+            }
+            for point_id, coords in self._buffer.items():
+                if point_id in excluded:
+                    continue
+                merged.setdefault(signature_of(coords), []).append(
+                    (distance_of(coords), point_id)
+                )
+            regions = {
+                signature: sorted(members)[:k]
+                for signature, members in merged.items()
+            }
+        return {
+            signature: [point_id for _, point_id in members]
+            for signature, members in regions.items()
+        }
+
+    @staticmethod
+    def _box_mindist(
+        node: _KDNode, origin: Tuple[float, ...], order: float
+    ) -> float:
+        """Distance from ``origin`` to the box: the point formula at the clamp.
+
+        Each per-axis delta is the exact delta of a coordinate inside the
+        box (the clamped one), and every operation downstream of it is
+        monotone in float arithmetic, so the bound never exceeds the true
+        distance of any point in the box.
+        """
+        deltas = []
+        for axis, value in enumerate(origin):
+            low, high = node.lower[axis], node.upper[axis]
+            if value < low:
+                deltas.append(low - value)
+            elif value > high:
+                deltas.append(value - high)
+            else:
+                deltas.append(0.0)
+        return _point_distance(deltas, order)
+
+
+def _box_signature(
+    node: _KDNode,
+    origin: Tuple[float, ...],
+    planes: Tuple[Hyperplane, ...],
+) -> Optional[Tuple[int, ...]]:
+    """Region signature shared by the whole box, or ``None`` if straddling."""
+    signature = []
+    for plane in planes:
+        low, high = _plane_bounds(node.lower, node.upper, origin, plane.coefficients)
+        if low > 0.0:
+            signature.append(1)
+        elif high < 0.0:
+            signature.append(-1)
+        else:
+            return None
+    return tuple(signature)
+
+
+def _plane_bounds(
+    lower: Tuple[float, ...],
+    upper: Tuple[float, ...],
+    origin: Tuple[float, ...],
+    coefficients: Tuple[float, ...],
+) -> Tuple[float, float]:
+    """Bounds of ``a · (x - origin)`` over a box, monotone in float arithmetic.
+
+    Each per-axis term is evaluated with the same two operations the exact
+    point evaluation performs (subtract, multiply) at the box corners, and
+    the sequential sums are monotone, so the interval always contains every
+    point's evaluated side value.
+    """
+    low_total = 0.0
+    high_total = 0.0
+    for axis, coefficient in enumerate(coefficients):
+        at_lower = coefficient * (lower[axis] - origin[axis])
+        at_upper = coefficient * (upper[axis] - origin[axis])
+        if at_lower <= at_upper:
+            low_total += at_lower
+            high_total += at_upper
+        else:
+            low_total += at_upper
+            high_total += at_lower
+    return low_total, high_total
+
+
+def _plane_side(
+    point: Point, origin: Tuple[float, ...], coefficients: Tuple[float, ...]
+) -> int:
+    """``Hyperplane.side(point - origin)`` with the exact same arithmetic."""
+    total = 0.0
+    for axis, coefficient in enumerate(coefficients):
+        total += coefficient * (point[axis] - origin[axis])
+    if total > 0:
+        return 1
+    if total < 0:
+        return -1
+    return 0
+
+
+def _lattice(spans: Sequence[Tuple[int, int]]) -> Iterator[Tuple[int, ...]]:
+    """All integer cell coordinates of a per-axis range product."""
+    if not spans:
+        yield ()
+        return
+    (low, high), rest = spans[0], spans[1:]
+    for value in range(low, high + 1):
+        for tail in _lattice(rest):
+            yield (value,) + tail
+
+
+def pareto_minima(
+    entries: List[Tuple[Tuple[float, ...], int]]
+) -> List[Tuple[Tuple[float, ...], int]]:
+    """Pareto-minimal ``(key, id)`` entries under non-strict dominance.
+
+    THE canonical statement of the empty-rectangle tie-break rule, shared by
+    the scan selection (:mod:`repro.overlay.selection.empty_rectangle`), the
+    index's buffer merge and the brute-force reference: entries are visited
+    in increasing ``(L1 key magnitude, id)`` order -- an entry already kept
+    can never be dominated by a later one, so one pass with dominance checks
+    against the kept set suffices -- and an entry survives when no kept
+    entry is component-wise ``<=`` its key.  Keeping one implementation is
+    what makes "byte-identical to the scan" a structural property rather
+    than a maintenance burden.
+    """
+    ordered = sorted(entries, key=lambda entry: (sum(entry[0]), entry[1]))
+    kept: List[Tuple[Tuple[float, ...], int]] = []
+    for key, point_id in ordered:
+        if any(
+            all(a <= b for a, b in zip(kept_key, key)) for kept_key, _ in kept
+        ):
+            continue
+        kept.append((key, point_id))
+    return kept
+
+
+# ----------------------------------------------------------------------
+# Brute-force reference twins (ground truth for the property tests)
+# ----------------------------------------------------------------------
+def brute_force_range(
+    points: Mapping[int, CoordinateLike], rectangle: HyperRectangle
+) -> List[int]:
+    """Literal rectangle query: every id whose point the rectangle contains."""
+    return sorted(
+        point_id
+        for point_id, coords in points.items()
+        if rectangle.contains(coords)
+    )
+
+
+def brute_force_nearest_k(
+    points: Mapping[int, CoordinateLike],
+    origin: CoordinateLike,
+    k: int,
+    *,
+    order: float = 2.0,
+    exclude: Iterable[int] = (),
+) -> List[int]:
+    """Literal nearest-k: rank every candidate by ``(distance, id)``."""
+    origin_t = tuple(as_point(origin))
+    excluded = frozenset(exclude)
+    ranked = sorted(
+        (
+            _point_distance(
+                tuple(value - base for value, base in zip(as_point(coords), origin_t)),
+                order,
+            ),
+            point_id,
+        )
+        for point_id, coords in points.items()
+        if point_id not in excluded
+    )
+    return [point_id for _, point_id in ranked[: max(k, 0)]]
+
+
+def brute_force_halfspace(
+    points: Mapping[int, CoordinateLike],
+    hyperplane: Hyperplane,
+    sign: int,
+    *,
+    reference: Optional[CoordinateLike] = None,
+) -> List[int]:
+    """Literal halfspace query via :meth:`Hyperplane.side` on every point."""
+    result = []
+    for point_id, coords in points.items():
+        value = as_point(coords)
+        if reference is not None:
+            value = value.relative_to(reference)
+        if hyperplane.side(value) == sign:
+            result.append(point_id)
+    return sorted(result)
+
+
+def brute_force_orthant_skyline(
+    points: Mapping[int, CoordinateLike],
+    origin: CoordinateLike,
+    signs: Sequence[int],
+    *,
+    exclude: Iterable[int] = (),
+) -> List[int]:
+    """Literal per-orthant skyline with the empty-rectangle scan's rule."""
+    origin_t = tuple(as_point(origin))
+    excluded = frozenset(exclude)
+    entries: List[Tuple[Tuple[float, ...], int]] = []
+    for point_id, coords in points.items():
+        if point_id in excluded:
+            continue
+        point = as_point(coords)
+        member_signs = tuple(
+            1 if value > base else -1 for value, base in zip(point, origin_t)
+        )
+        if member_signs != tuple(signs):
+            continue
+        entries.append(
+            (
+                tuple(s * value for s, value in zip(member_signs, point)),
+                point_id,
+            )
+        )
+    return [point_id for _, point_id in pareto_minima(entries)]
+
+
+def brute_force_region_top_k(
+    points: Mapping[int, CoordinateLike],
+    origin: CoordinateLike,
+    hyperplane_set: Optional[HyperplaneSet],
+    k: int,
+    *,
+    order: float = 2.0,
+    exclude: Iterable[int] = (),
+) -> Dict[Tuple[int, ...], List[int]]:
+    """Literal per-region top-k with the Hyperplanes scan's rule."""
+    origin_t = tuple(as_point(origin))
+    excluded = frozenset(exclude)
+    regions: Dict[Tuple[int, ...], List[Tuple[float, int]]] = {}
+    for point_id, coords in points.items():
+        if point_id in excluded:
+            continue
+        point = as_point(coords)
+        signature = (
+            hyperplane_set.signature(point, reference=origin_t)
+            if hyperplane_set is not None
+            else ()
+        )
+        regions.setdefault(signature, []).append(
+            (
+                _point_distance(
+                    tuple(value - base for value, base in zip(point, origin_t)),
+                    order,
+                ),
+                point_id,
+            )
+        )
+    return {
+        signature: [point_id for _, point_id in sorted(members)[: max(k, 0)]]
+        for signature, members in regions.items()
+    }

@@ -494,6 +494,13 @@ class StabilityTreeMaintainer:
 
         # Re-derive the preferred parent of every possibly-affected peer
         # with the snapshot builder's rule; only actual changes are applied.
+        # The overlay's spatial index, when owned, doubles as the coordinate
+        # source -- the same structure the selection fast paths query --
+        # so the geometric tie-breaks never walk the overlay's peer map.
+        index = overlay.index
+        coordinates_of = (
+            None if index is not None else (lambda n: overlay.peer(n).coordinates)
+        )
         lifetimes = _LifetimeView(self._engine, joined)
         reparented: Dict[int, Optional[int]] = {}
         for peer_id in recheck:
@@ -503,8 +510,9 @@ class StabilityTreeMaintainer:
                 adjacency,
                 lifetimes,
                 tie_break=self._tie_break,
-                coordinates_of=lambda n: overlay.peer(n).coordinates,
+                coordinates_of=coordinates_of,
                 distance=self._distance,
+                index=index,
             )
             if peer_id in joined:
                 if parent is not None:

@@ -17,9 +17,22 @@ of the remaining tree and departures never disconnect the multicast tree.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.geometry.distance import DistanceFunction, get_distance
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.geometry.index import SpatialIndex
 from repro.multicast.tree import MulticastTree, TreeValidationError
 from repro.overlay.peer import PeerInfo
 from repro.overlay.topology import TopologySnapshot
@@ -58,6 +71,7 @@ def choose_preferred_parent(
     tie_break: str = "largest-lifetime",
     coordinates_of: Optional[Callable[[int], Sequence[float]]] = None,
     distance: Optional[DistanceFunction] = None,
+    index: "Optional[SpatialIndex]" = None,
 ) -> Optional[int]:
     """The Section 3 preferred-neighbour rule for one peer.
 
@@ -67,8 +81,14 @@ def choose_preferred_parent(
     it, so the two paths provably pick the identical parent for identical
     inputs (the seeded equivalence tests rely on exactly this).
 
-    ``coordinates_of`` and ``distance`` are only consulted by the
-    ``"closest"`` tie-break.
+    The geometric data (only consulted by the ``"closest"`` tie-break) comes
+    from ``coordinates_of`` or, when the caller owns one, directly from a
+    :class:`~repro.geometry.index.SpatialIndex` over the population --
+    :meth:`~repro.geometry.index.SpatialIndex.point` serves the lookup, so a
+    live consumer like the tree maintainer reads coordinates from the same
+    structure the selection fast paths query instead of re-deriving a
+    per-peer view of the overlay.  An explicit ``coordinates_of`` wins when
+    both are given; ``distance`` is required either way for ``"closest"``.
     """
     own_lifetime = lifetimes[peer_id]
     candidates = [n for n in neighbours if lifetimes[n] > own_lifetime]
@@ -83,8 +103,12 @@ def choose_preferred_parent(
             f"unknown tie_break {tie_break!r}; expected one of "
             f"{StabilityTreeBuilder.TIE_BREAKS}"
         )
+    if coordinates_of is None and index is not None:
+        coordinates_of = index.point
     if coordinates_of is None or distance is None:
-        raise ValueError("the 'closest' tie_break needs coordinates_of and distance")
+        raise ValueError(
+            "the 'closest' tie_break needs coordinates_of (or an index) and distance"
+        )
     own_coordinates = coordinates_of(peer_id)
     return min(candidates, key=lambda n: (distance(own_coordinates, coordinates_of(n)), n))
 

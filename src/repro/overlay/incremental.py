@@ -420,7 +420,18 @@ class IncrementalReselectionEngine:
             return False
 
         selection = overlay.selection
+        # Under full knowledge with an owned index, full recomputations are
+        # answered from the index: the O(N) candidate scan inside the
+        # selection disappears.  (The index only exists when the population
+        # is every peer's candidate set, so the two paths are byte-identical
+        # by the selection methods' indexed-path contract.)  The
+        # last_candidates bookkeeping below still materialises an O(N) id
+        # set per full recompute -- cheap C-level set work next to the
+        # selection itself, but the remaining super-linear term; see the
+        # ROADMAP open item about an implicit full-knowledge representation.
+        index = overlay._selection_index()  # noqa: SLF001
         references: List[PeerInfo] = []
+        indexed_references: List[PeerInfo] = []
         candidates_by_peer: Dict[int, List[PeerInfo]] = {}
         additive_updates: List = []
         new_last: Dict[int, FrozenSet[int]] = {}
@@ -460,10 +471,13 @@ class IncrementalReselectionEngine:
                         current_ids = overlay._candidate_ids(  # noqa: SLF001
                             peer_id, self._known.get(peer_id, ())
                         )
-                candidates_by_peer[peer_id] = [
-                    peers[other] for other in sorted(current_ids)
-                ]
-                references.append(peers[peer_id])
+                if index is not None:
+                    indexed_references.append(peers[peer_id])
+                else:
+                    candidates_by_peer[peer_id] = [
+                        peers[other] for other in sorted(current_ids)
+                    ]
+                    references.append(peers[peer_id])
                 new_last[peer_id] = frozenset(current_ids)
             elif verdict == RESELECT_SKIP:
                 # Only never-selected candidates were lost (or nothing changed
@@ -493,11 +507,16 @@ class IncrementalReselectionEngine:
                     )
                     references.append(reference)
 
-        results = (
-            selection.select_many(references, candidates_by_peer)
-            if references
-            else {}
-        )
+        results: Dict[int, List[int]] = {}
+        if references:
+            results.update(selection.select_many(references, candidates_by_peer))
+        if indexed_references:
+            # The additive fallback above may have appended scan references
+            # with *reduced* candidate sets, so the indexed batch is kept
+            # separate: only full-candidate recomputations may consult the
+            # index.
+            results.update(selection.select_many(indexed_references, {}, index=index))
+            references = references + indexed_references
         changed = False
         for reference in references:
             selected = set(results[reference.peer_id])

@@ -51,6 +51,7 @@ from typing import (
     Union,
 )
 
+from repro.geometry.index import SpatialIndex
 from repro.overlay.gossip import knowledge_sets
 from repro.overlay.incremental import IncrementalReselectionEngine, OverlayDeltaRecorder
 from repro.overlay.peer import PeerInfo
@@ -127,6 +128,16 @@ class OverlayNetwork:
         ``BR``, the number of overlay hops existence announcements travel.
         ``None`` (the default) models the full-knowledge steady state in
         which every peer eventually hears about every other peer.
+    use_index:
+        Whether the overlay owns a :class:`~repro.geometry.index.SpatialIndex`
+        over the alive peers' coordinates.  ``None`` (the default) enables
+        it exactly under full knowledge, where the population *is* every
+        peer's candidate set, so selection methods with an index fast path
+        answer from the index instead of scanning -- byte-identically.
+        Under a bounded gossip radius candidate sets are per-peer subsets
+        the shared index cannot answer, so convergence always falls back to
+        scans (the index, if forced on, is still maintained).  Pass
+        ``False`` to pin the scan path (the benchmark baselines do).
     """
 
     def __init__(
@@ -134,11 +145,18 @@ class OverlayNetwork:
         selection: NeighbourSelectionMethod,
         *,
         gossip_radius: Optional[int] = None,
+        use_index: Optional[bool] = None,
     ) -> None:
         if gossip_radius is not None and gossip_radius < 1:
             raise ValueError("gossip_radius must be at least 1 when given")
         self._selection = selection
         self._gossip_radius = gossip_radius
+        if use_index is None:
+            use_index = gossip_radius is None
+        # Maintained across every membership path (add_peer / remove_peer /
+        # apply_batch / the bulk builders); convergence failures never touch
+        # coordinates, so the index stays exact through them.
+        self._index: Optional[SpatialIndex] = SpatialIndex() if use_index else None
         self._peers: Dict[int, PeerInfo] = {}
         self._neighbours: Dict[int, Set[int]] = {}
         # Created lazily by the first converge(incremental=True); kept in
@@ -162,6 +180,27 @@ class OverlayNetwork:
     def gossip_radius(self) -> Optional[int]:
         """``BR`` when gossip-limited, ``None`` for full knowledge."""
         return self._gossip_radius
+
+    @property
+    def index(self) -> Optional[SpatialIndex]:
+        """The owned spatial index over alive peers (``None`` when disabled)."""
+        return self._index
+
+    def _selection_index(self) -> Optional[SpatialIndex]:
+        """The index, when this overlay's selections may be answered from it.
+
+        Three conditions gate the fast path: an index is owned, knowledge is
+        full (the index contents equal every peer's candidate set plus the
+        peer itself), and the selection method implements an index-backed
+        selection.  Everything else scans -- which is always correct.
+        """
+        if (
+            self._index is not None
+            and self._gossip_radius is None
+            and self._selection.supports_index
+        ):
+            return self._index
+        return None
 
     @property
     def peer_ids(self) -> List[int]:
@@ -206,6 +245,16 @@ class OverlayNetwork:
                 raise KeyError(f"bootstrap peers {sorted(unknown)} are not in the overlay")
         self._peers[peer.peer_id] = peer
         self._neighbours[peer.peer_id] = set(bootstrap_ids)
+        if self._index is not None:
+            if len(self._peers) == 1 and self._index.dimension not in (
+                None,
+                peer.dimension,
+            ):
+                # A drained index retains its dimension, but an empty overlay
+                # legitimately accepts a population of any dimension -- start
+                # the index over rather than rejecting the first joiner.
+                self._index = SpatialIndex()
+            self._index.insert(peer.peer_id, peer.coordinates)
         if self._engine is not None:
             self._engine.note_join(peer.peer_id)
         if self._delta_recorders:
@@ -226,6 +275,8 @@ class OverlayNetwork:
         except KeyError:
             raise KeyError(f"unknown peer {peer_id}") from None
         selected = self._neighbours.pop(peer_id, set())
+        if self._index is not None:
+            self._index.remove(peer_id)
         selectors = [
             other
             for other, neighbours in self._neighbours.items()
@@ -340,8 +391,33 @@ class OverlayNetwork:
 
         This is the reference path the incremental engine is cross-checked
         against; running it rewrites every neighbour set, so any live engine
-        state is discarded.
+        state is discarded.  With an owned index under full knowledge, every
+        selection is answered from the index instead of a materialised
+        candidate list -- the indexed and scan sweeps install byte-identical
+        neighbour sets (property-tested), so the cross-check contract holds
+        either way.
         """
+        index = self._selection_index()
+        if index is not None:
+            # The batched entry point is the one every supports_index method
+            # guarantees (select's index= keyword is a convenience the
+            # in-repo methods add on top).
+            results = self._selection.select_many(
+                list(self._peers.values()), {}, index=index
+            )
+            changed = False
+            new_neighbours: Dict[int, Set[int]] = {}
+            for peer_id in self._peers:
+                selected = set(results[peer_id])
+                new_neighbours[peer_id] = selected
+                if selected != self._neighbours[peer_id]:
+                    self._notify_selection_change(
+                        peer_id, self._neighbours[peer_id], selected
+                    )
+                    changed = True
+            self._neighbours = new_neighbours
+            self._engine = None
+            return changed
         if self._gossip_radius is None:
             candidates_by_peer = {
                 peer_id: [info for other, info in self._peers.items() if other != peer_id]
@@ -487,6 +563,8 @@ class OverlayNetwork:
         cls,
         peers: Sequence[PeerInfo],
         selection: NeighbourSelectionMethod,
+        *,
+        use_index: Optional[bool] = None,
     ) -> "OverlayNetwork":
         """Full-knowledge equilibrium overlay for a fixed population.
 
@@ -499,7 +577,7 @@ class OverlayNetwork:
         :class:`ValueError` up front instead of crashing deep inside the
         vectorised equilibrium code.
         """
-        overlay = cls(selection, gossip_radius=None)
+        overlay = cls(selection, gossip_radius=None, use_index=use_index)
         dimension: Optional[int] = None
         for peer in peers:
             if peer.peer_id in overlay._peers:
@@ -509,6 +587,8 @@ class OverlayNetwork:
             else:
                 _validate_dimension(peer, dimension)
             overlay._peers[peer.peer_id] = peer
+            if overlay._index is not None:
+                overlay._index.insert(peer.peer_id, peer.coordinates)
         equilibrium = selection.compute_equilibrium(peers)
         overlay._neighbours = {
             peer_id: set(equilibrium.get(peer_id, set())) for peer_id in overlay._peers
@@ -525,6 +605,7 @@ class OverlayNetwork:
         max_rounds: int = 50,
         rng: Optional[random.Random] = None,
         incremental: bool = True,
+        use_index: Optional[bool] = None,
     ) -> "OverlayNetwork":
         """Insert peers one at a time, converging after every insertion.
 
@@ -540,7 +621,7 @@ class OverlayNetwork:
         ``incremental=False`` to cross-check against full sweeps.
         """
         generator = rng if rng is not None else random.Random(0)
-        overlay = cls(selection, gossip_radius=gossip_radius)
+        overlay = cls(selection, gossip_radius=gossip_radius, use_index=use_index)
         for peer in peers:
             if overlay.peer_count == 0:
                 overlay.add_peer(peer, bootstrap=())

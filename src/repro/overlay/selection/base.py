@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.overlay.peer import PeerInfo
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.geometry.index import SpatialIndex
 
 __all__ = ["NeighbourSelectionMethod"]
 
@@ -42,6 +45,20 @@ class NeighbourSelectionMethod(abc.ABC):
     #: recomputation, which is always correct.
     path_independent: bool = False
 
+    #: ``True`` when the method implements ``_select_indexed`` -- an
+    #: index-backed fast path producing *byte-identical* selections to the
+    #: candidate-list scan.  Callers may then pass a
+    #: :class:`repro.geometry.index.SpatialIndex` whose contents are exactly
+    #: the candidate set (the reference peer itself may also be indexed; it
+    #: is excluded by id) to the batched entry points :meth:`select_many` /
+    #: :meth:`select_many_additive` -- the surface opting in guarantees.
+    #: (The in-repo methods additionally accept ``index=`` on per-call
+    #: :meth:`select` as a convenience.)  Methods that do not opt in never
+    #: receive an ``index`` -- the overlay layer checks this flag before
+    #: taking the indexed path, so third-party subclasses keep working
+    #: unchanged.
+    supports_index: bool = False
+
     @abc.abstractmethod
     def select(
         self, reference: PeerInfo, candidates: Sequence[PeerInfo]
@@ -75,6 +92,8 @@ class NeighbourSelectionMethod(abc.ABC):
         self,
         references: Sequence[PeerInfo],
         candidates_by_peer: Mapping[int, Sequence[PeerInfo]],
+        *,
+        index: "Optional[SpatialIndex]" = None,
     ) -> Dict[int, List[int]]:
         """Batched :meth:`select`: one selection per reference peer.
 
@@ -85,7 +104,15 @@ class NeighbourSelectionMethod(abc.ABC):
         a whole batch of dirty peers.  Overrides must return exactly what the
         per-peer loop would (same ids per reference, order irrelevant to
         callers that treat the result as a set).
+
+        When ``index`` is given (only valid on methods with
+        :attr:`supports_index`), every reference is answered from the index
+        instead and ``candidates_by_peer`` is ignored -- the index contents
+        *are* the candidate set by the caller's contract, so entries need
+        not (and for the churn-scale hot path deliberately do not) exist.
         """
+        if index is not None:
+            return self._select_many_indexed(references, index)
         return {
             reference.peer_id: self.select(
                 reference, candidates_by_peer[reference.peer_id]
@@ -93,19 +120,51 @@ class NeighbourSelectionMethod(abc.ABC):
             for reference in references
         }
 
+    def _check_index_support(self) -> None:
+        """Reject ``index=`` on methods that never opted in (shared guard)."""
+        if not self.supports_index:
+            raise TypeError(
+                f"{type(self).__name__} has no index-backed selection path; "
+                "check supports_index before passing index="
+            )
+
+    def _select_many_indexed(
+        self, references: Sequence[PeerInfo], index: "SpatialIndex"
+    ) -> Dict[int, List[int]]:
+        """Shared indexed :meth:`select_many` body (supporting methods only)."""
+        self._check_index_support()
+        return {
+            reference.peer_id: self._select_indexed(reference, index)
+            for reference in references
+        }
+
+    def _select_indexed(
+        self, reference: PeerInfo, index: "SpatialIndex"
+    ) -> List[int]:
+        """Index-backed :meth:`select` body; provided by supporting methods."""
+        raise TypeError(
+            f"{type(self).__name__} has no index-backed selection path; "
+            "check supports_index before passing index="
+        )
+
     def _select_many_dispatch(
         self,
         references: Sequence[PeerInfo],
         candidates_by_peer: Mapping[int, Sequence[PeerInfo]],
         threshold: int,
         vectorised,
+        *,
+        index: "Optional[SpatialIndex]" = None,
     ) -> Dict[int, List[int]]:
         """Shared :meth:`select_many` body for methods with a numpy path.
 
         Per reference: candidate sets below ``threshold`` go through the
         plain-python :meth:`select` (array construction would dominate),
-        larger ones through ``vectorised(reference, candidates)``.
+        larger ones through ``vectorised(reference, candidates)``.  With an
+        ``index`` every reference goes through the indexed path instead.
         """
+        if index is not None:
+            return self._select_many_indexed(references, index)
         results: Dict[int, List[int]] = {}
         for reference in references:
             candidates = candidates_by_peer[reference.peer_id]
@@ -118,6 +177,8 @@ class NeighbourSelectionMethod(abc.ABC):
     def select_many_additive(
         self,
         updates: Sequence[Tuple[PeerInfo, Sequence[PeerInfo], Sequence[PeerInfo]]],
+        *,
+        index: "Optional[SpatialIndex]" = None,
     ) -> Optional[Dict[int, List[int]]]:
         """Batched re-selection for purely additive candidate-set deltas.
 
@@ -134,7 +195,17 @@ class NeighbourSelectionMethod(abc.ABC):
         The default returns ``None``, meaning "no specialised path": callers
         fall back to :meth:`select_many` over rebuilt candidate sets.  Only
         meaningful for methods with ``path_independent = True``.
+
+        ``index`` mirrors the :meth:`select_many` parameter for signature
+        uniformity across the batched APIs.  An additive update already
+        touches only ``O(|selection| + |gained|)`` candidates -- the delta
+        rules never scan the population -- so no override consults the index
+        today; it is accepted (and validated against :attr:`supports_index`,
+        here and in every override) so callers can thread one source of
+        truth through every batched call.
         """
+        if index is not None:
+            self._check_index_support()
         return None
 
     def select_additive(

@@ -32,13 +32,21 @@ distinct-coordinate assumption; the workload generators enforce it.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from itertools import product
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.geometry.rectangle import HyperRectangle
+# The canonical (L1 magnitude, id)-ordered non-strict dominance rule, shared
+# with the spatial index and the brute-force reference so the three paths
+# cannot drift apart.
+from repro.geometry.index import pareto_minima as _pareto_minima
 from repro.overlay.peer import PeerInfo
 from repro.overlay.selection.base import NeighbourSelectionMethod
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.geometry.index import SpatialIndex
 
 __all__ = ["EmptyRectangleSelection", "brute_force_empty_rectangle_neighbours"]
 
@@ -55,9 +63,19 @@ class EmptyRectangleSelection(NeighbourSelectionMethod):
     # selected) candidates cannot change the Pareto minima of the orthant.
     path_independent = True
 
+    # The per-orthant skyline is exactly the spatial index's branch-and-bound
+    # skyline query, so the indexed path is byte-identical to the scan.
+    supports_index = True
+
     def select(
-        self, reference: PeerInfo, candidates: Sequence[PeerInfo]
+        self,
+        reference: PeerInfo,
+        candidates: Sequence[PeerInfo],
+        *,
+        index: "Optional[SpatialIndex]" = None,
     ) -> List[int]:
+        if index is not None:
+            return self._select_indexed(reference, index)
         others = self._exclude_reference(reference, candidates)
         if not others:
             return []
@@ -86,21 +104,50 @@ class EmptyRectangleSelection(NeighbourSelectionMethod):
         self,
         references: Sequence[PeerInfo],
         candidates_by_peer: Mapping[int, Sequence[PeerInfo]],
+        *,
+        index: "Optional[SpatialIndex]" = None,
     ) -> Dict[int, List[int]]:
         """Batched selection, vectorising each large candidate set in numpy.
 
         The incremental convergence engine mixes tiny candidate sets (a
         peer's previous selection plus the few newly learned peers) with
         occasional full-knowledge recomputations; each reference uses the
-        implementation that is faster at its candidate count.
+        implementation that is faster at its candidate count.  With an
+        ``index`` every reference goes through the branch-and-bound skyline
+        instead of any scan.
         """
         return self._select_many_dispatch(
-            references, candidates_by_peer, _VECTORISE_THRESHOLD, self._select_vectorised
+            references,
+            candidates_by_peer,
+            _VECTORISE_THRESHOLD,
+            self._select_vectorised,
+            index=index,
         )
+
+    def _select_indexed(
+        self, reference: PeerInfo, index: "SpatialIndex"
+    ) -> List[int]:
+        """Per-orthant branch-and-bound skylines over the spatial index.
+
+        One :meth:`~repro.geometry.index.SpatialIndex.orthant_skyline` query
+        per orthant around the reference peer, each output-sensitive in the
+        skyline size instead of linear in the candidate count.  The index
+        contents are the candidate set by the caller's contract; the
+        reference excludes itself by id (never by position, matching
+        ``_exclude_reference``).
+        """
+        origin = reference.coordinates
+        exclude = (reference.peer_id,)
+        selected: List[int] = []
+        for signs in product((-1, 1), repeat=reference.dimension):
+            selected.extend(index.orthant_skyline(origin, signs, exclude=exclude))
+        return sorted(selected)
 
     def select_many_additive(
         self,
         updates: Sequence[Tuple[PeerInfo, Sequence[PeerInfo], Sequence[PeerInfo]]],
+        *,
+        index: "Optional[SpatialIndex]" = None,
     ) -> Optional[Dict[int, List[int]]]:
         """Vectorised skyline update for candidate sets that only gained peers.
 
@@ -124,7 +171,13 @@ class EmptyRectangleSelection(NeighbourSelectionMethod):
         which path independence makes exact.  Like the fast ``select`` path,
         the vectorised rule relies on the paper's distinct-coordinate
         assumption.
+
+        ``index`` is accepted for batched-API uniformity; the delta rule
+        already touches only the selection and the gained peers, so it never
+        consults the index.
         """
+        if index is not None:
+            self._check_index_support()
         results: Dict[int, List[int]] = {}
         singles = []
         for reference, selected, gained in updates:
@@ -276,27 +329,6 @@ def _skyline_ids(member_keys: np.ndarray, member_ids: np.ndarray) -> List[int]:
         kept_rows.append(row)
         kept_ids.append(int(member_ids[position]))
     return kept_ids
-
-
-def _pareto_minima(
-    entries: List[Tuple[Tuple[float, ...], int]]
-) -> List[Tuple[Tuple[float, ...], int]]:
-    """Pareto-minimal entries (component-wise) of ``(|delta|, peer_id)`` pairs.
-
-    Entries are processed in increasing order of the L1 magnitude; an entry
-    already kept can never be dominated by a later one, so a single pass with
-    dominance checks against the kept set is sufficient.
-    """
-    ordered = sorted(entries, key=lambda entry: (sum(entry[0]), entry[1]))
-    kept: List[Tuple[Tuple[float, ...], int]] = []
-    for deltas, peer_id in ordered:
-        dominated = any(
-            all(k <= d for k, d in zip(kept_deltas, deltas))
-            for kept_deltas, _ in kept
-        )
-        if not dominated:
-            kept.append((deltas, peer_id))
-    return kept
 
 
 def brute_force_empty_rectangle_neighbours(

@@ -16,7 +16,7 @@ specialisations:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,6 +24,9 @@ from repro.geometry.distance import DistanceFunction, get_distance
 from repro.geometry.hyperplane import HyperplaneSet
 from repro.overlay.peer import PeerInfo
 from repro.overlay.selection.base import NeighbourSelectionMethod
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.geometry.index import SpatialIndex
 
 __all__ = ["HyperplanesSelection", "minkowski"]
 
@@ -76,6 +79,18 @@ class HyperplanesSelection(NeighbourSelectionMethod):
     # region never changes any region's top K.
     path_independent = True
 
+    @property
+    def supports_index(self) -> bool:  # type: ignore[override]
+        """Indexed selection needs a distance with box lower bounds.
+
+        The spatial index prunes subtrees through monotone Minkowski
+        distance bounds, so the index-backed path exists exactly when the
+        configured distance is one of the named Minkowski norms -- the same
+        condition that gates the numpy fast paths.  Arbitrary distance
+        callables fall back to the candidate-list scan.
+        """
+        return self._distance_order is not None
+
     def __init__(
         self,
         hyperplane_factory: HyperplaneSetFactory,
@@ -126,8 +141,14 @@ class HyperplanesSelection(NeighbourSelectionMethod):
     # Selection
     # ------------------------------------------------------------------
     def select(
-        self, reference: PeerInfo, candidates: Sequence[PeerInfo]
+        self,
+        reference: PeerInfo,
+        candidates: Sequence[PeerInfo],
+        *,
+        index: "Optional[SpatialIndex]" = None,
     ) -> List[int]:
+        if index is not None:
+            return self._select_indexed(reference, index)
         others = self._exclude_reference(reference, candidates)
         if not others:
             return []
@@ -152,9 +173,39 @@ class HyperplanesSelection(NeighbourSelectionMethod):
             selected.extend(peer.peer_id for peer in region_candidates[: self._k])
         return selected
 
+    def _select_indexed(
+        self, reference: PeerInfo, index: "SpatialIndex"
+    ) -> List[int]:
+        """Per-region top-``K`` over the spatial index.
+
+        One :meth:`~repro.geometry.index.SpatialIndex.region_top_k` query
+        answers the whole selection: the index discovers the non-empty
+        regions and their ``K`` closest members by best-first traversal,
+        output-sensitive in ``regions x K`` instead of linear in the
+        candidate count.  The emission order matches the scan exactly --
+        regions in sorted signature order, members in ``(distance, peer
+        id)`` rank order.  Shared by the whole Hyperplanes family
+        (orthogonal, sign-coefficient and the ``H = 0`` K-closest instance,
+        whose single region makes this the classic nearest-``K`` query).
+        """
+        hyperplane_set = self.hyperplane_set(reference.dimension)
+        regions = index.region_top_k(
+            reference.coordinates,
+            hyperplane_set,
+            self._k,
+            order=self._distance_order,
+            exclude=(reference.peer_id,),
+        )
+        selected: List[int] = []
+        for signature in sorted(regions):
+            selected.extend(regions[signature])
+        return selected
+
     def select_many_additive(
         self,
         updates: Sequence[Tuple[PeerInfo, Sequence[PeerInfo], Sequence[PeerInfo]]],
+        *,
+        index: "Optional[SpatialIndex]" = None,
     ) -> Optional[Dict[int, List[int]]]:
         """Per-region top-``K`` delta rule for candidate sets that only gained.
 
@@ -175,7 +226,13 @@ class HyperplanesSelection(NeighbourSelectionMethod):
         + gained``, which path independence makes exact.  The rule is shared
         by the whole Hyperplanes family -- orthogonal, sign-coefficient and
         the degenerate ``H = 0`` (K-closest, one region) instance.
+
+        ``index`` is accepted for batched-API uniformity; the delta rule
+        already touches only the selection and the gained peers, so it never
+        consults the index.
         """
+        if index is not None:
+            self._check_index_support()
         results: Dict[int, List[int]] = {}
         for reference, selected, gained in updates:
             gained_others = self._exclude_reference(reference, gained)

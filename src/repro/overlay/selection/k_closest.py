@@ -10,7 +10,7 @@ quantify that difference.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -22,6 +22,9 @@ from repro.overlay.selection.hyperplanes import (
     HyperplanesSelection,
     minkowski,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.geometry.index import SpatialIndex
 
 __all__ = ["KClosestSelection"]
 
@@ -36,17 +39,25 @@ class KClosestSelection(HyperplanesSelection):
         self,
         references: Sequence[PeerInfo],
         candidates_by_peer: Mapping[int, Sequence[PeerInfo]],
+        *,
+        index: "Optional[SpatialIndex]" = None,
     ) -> Dict[int, List[int]]:
         """Batched selection; a numpy top-``K`` when the distance is Minkowski.
 
         The numpy path assumes the well-formed inputs the overlay layer
         provides and is only taken for large candidate sets where it pays
-        off; everything else goes through the generic per-peer loop.
+        off; everything else goes through the generic per-peer loop.  With
+        an ``index`` the query is the classic nearest-``K`` over the k-d
+        tree (the single-region instance of ``region_top_k``).
         """
         if self._distance_order is None:
-            return super().select_many(references, candidates_by_peer)
+            return super().select_many(references, candidates_by_peer, index=index)
         return self._select_many_dispatch(
-            references, candidates_by_peer, VECTORISE_THRESHOLD, self._select_vectorised
+            references,
+            candidates_by_peer,
+            VECTORISE_THRESHOLD,
+            self._select_vectorised,
+            index=index,
         )
 
     def _select_vectorised(

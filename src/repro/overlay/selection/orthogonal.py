@@ -12,7 +12,7 @@ vectorised equilibrium path keeps that sweep tractable.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence, Set
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Set
 
 import numpy as np
 
@@ -24,6 +24,9 @@ from repro.overlay.selection.hyperplanes import (
     HyperplanesSelection,
     minkowski,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.geometry.index import SpatialIndex
 
 __all__ = ["OrthogonalHyperplanesSelection"]
 
@@ -38,12 +41,18 @@ class OrthogonalHyperplanesSelection(HyperplanesSelection):
         self,
         references: Sequence[PeerInfo],
         candidates_by_peer: Mapping[int, Sequence[PeerInfo]],
+        *,
+        index: "Optional[SpatialIndex]" = None,
     ) -> Dict[int, List[int]]:
         """Batched per-orthant top-``K``; numpy for named Minkowski distances."""
         if self._distance_order is None:
-            return super().select_many(references, candidates_by_peer)
+            return super().select_many(references, candidates_by_peer, index=index)
         return self._select_many_dispatch(
-            references, candidates_by_peer, VECTORISE_THRESHOLD, self._select_vectorised
+            references,
+            candidates_by_peer,
+            VECTORISE_THRESHOLD,
+            self._select_vectorised,
+            index=index,
         )
 
     def _select_vectorised(

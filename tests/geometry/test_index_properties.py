@@ -1,0 +1,364 @@
+"""Property-based equivalence: every spatial-index query vs its brute-force twin.
+
+The index's load-bearing contract (see :mod:`repro.geometry.index`) is that
+every query returns exactly what the scan it replaces would -- same
+comparisons, same tie-breaks -- at every moment of an arbitrary
+``insert`` / ``remove`` / ``move`` history.  These tests let hypothesis hunt
+for counterexamples: random mutation scripts over coordinates drawn from a
+deliberately small lattice (so duplicate coordinates, collinear
+configurations, and points exactly on query boundaries all occur), with the
+tree rebuilt, tombstoned and buffered states all reachable, then every query
+cross-checked against the literal ``brute_force_*`` reference over a plain
+dict mirror.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.geometry.hyperplane import Hyperplane, HyperplaneSet
+from repro.geometry.index import (
+    SpatialIndex,
+    brute_force_halfspace,
+    brute_force_nearest_k,
+    brute_force_orthant_skyline,
+    brute_force_range,
+    brute_force_region_top_k,
+)
+from repro.geometry.rectangle import HyperRectangle, Interval
+
+# A small lattice provokes the degenerate geometry the paper assumes away:
+# duplicate points, shared per-axis values, points exactly on boundaries.
+_COORDINATE = st.integers(min_value=0, max_value=10).map(lambda v: v / 2.0)
+
+_ORDERS = st.sampled_from([1.0, 2.0, float("inf")])
+
+
+@st.composite
+def _histories(draw, max_dimension=3, max_operations=40):
+    """A mutation script and the resulting live ``id -> coords`` mirror."""
+    dimension = draw(st.integers(min_value=1, max_value=max_dimension))
+    coords = st.tuples(*([_COORDINATE] * dimension))
+    operations = []
+    alive = []
+    next_id = 0
+    for _ in range(draw(st.integers(min_value=1, max_value=max_operations))):
+        kind = draw(st.sampled_from(["insert", "insert", "insert", "remove", "move"]))
+        if kind == "insert" or not alive:
+            operations.append(("insert", next_id, draw(coords)))
+            alive.append(next_id)
+            next_id += 1
+        elif kind == "remove":
+            victim = draw(st.sampled_from(alive))
+            operations.append(("remove", victim, None))
+            alive.remove(victim)
+        else:
+            victim = draw(st.sampled_from(alive))
+            operations.append(("move", victim, draw(coords)))
+    return dimension, operations
+
+
+def _replay(operations):
+    """Apply a script to a fresh index and a plain dict mirror.
+
+    A query is poked in periodically *during* the history: the k-d tree is
+    built lazily on first query, so without this every final query would run
+    against a freshly built tree and the tombstone/buffer dynamisation --
+    the riskiest code in the index -- would never be on the hook.  With it,
+    mutations after the poke land in the tombstone set and the insert
+    buffer, and the final cross-checked queries must fold them in exactly.
+    """
+    index = SpatialIndex()
+    mirror = {}
+    for step, (kind, point_id, coords) in enumerate(operations):
+        if kind == "insert":
+            index.insert(point_id, coords)
+            mirror[point_id] = coords
+        elif kind == "remove":
+            index.remove(point_id)
+            del mirror[point_id]
+        else:
+            index.move(point_id, coords)
+            mirror[point_id] = coords
+        if step % 7 == 2 and mirror:
+            some_id = next(iter(mirror))
+            assert index.nearest_k(index.point(some_id), 1) == (
+                brute_force_nearest_k(mirror, mirror[some_id], 1)
+            )
+    return index, mirror
+
+
+@st.composite
+def _rectangles(draw, dimension):
+    intervals = []
+    for _ in range(dimension):
+        bounds = sorted((draw(_COORDINATE), draw(_COORDINATE)))
+        style = draw(st.sampled_from(["closed", "open", "above", "below", "all"]))
+        if style == "closed":
+            intervals.append(Interval.closed(*bounds))
+        elif style == "open":
+            intervals.append(Interval.open(*bounds))
+        elif style == "above":
+            intervals.append(Interval.greater_than(bounds[0]))
+        elif style == "below":
+            intervals.append(Interval.less_than(bounds[1]))
+        else:
+            intervals.append(Interval.unbounded())
+    return HyperRectangle(intervals)
+
+
+@settings(max_examples=60, deadline=None)
+@given(history=_histories(), data=st.data())
+def test_range_matches_brute_force(history, data):
+    dimension, operations = history
+    index, mirror = _replay(operations)
+    rectangle = data.draw(_rectangles(dimension))
+    assert index.range(rectangle) == brute_force_range(mirror, rectangle)
+
+
+@settings(max_examples=60, deadline=None)
+@given(history=_histories(), data=st.data())
+def test_nearest_k_matches_brute_force(history, data):
+    dimension, operations = history
+    index, mirror = _replay(operations)
+    origin = tuple(data.draw(_COORDINATE) for _ in range(dimension))
+    k = data.draw(st.integers(min_value=1, max_value=6))
+    order = data.draw(_ORDERS)
+    exclude = (
+        set(data.draw(st.sets(st.sampled_from(sorted(mirror)), max_size=2)))
+        if mirror
+        else set()
+    )
+    assert index.nearest_k(origin, k, order=order, exclude=exclude) == (
+        brute_force_nearest_k(mirror, origin, k, order=order, exclude=exclude)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(history=_histories(), data=st.data())
+def test_halfspace_matches_brute_force(history, data):
+    dimension, operations = history
+    index, mirror = _replay(operations)
+    coefficients = data.draw(
+        st.tuples(*([st.sampled_from([-1.0, 0.0, 1.0, 0.5])] * dimension)).filter(
+            lambda c: any(v != 0.0 for v in c)
+        )
+    )
+    plane = Hyperplane(coefficients)
+    sign = data.draw(st.sampled_from([-1, 0, 1]))
+    reference = (
+        tuple(data.draw(_COORDINATE) for _ in range(dimension))
+        if data.draw(st.booleans())
+        else None
+    )
+    assert index.halfspace_candidates(plane, sign, reference=reference) == (
+        brute_force_halfspace(mirror, plane, sign, reference=reference)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(history=_histories(), data=st.data())
+def test_orthant_skyline_matches_brute_force(history, data):
+    dimension, operations = history
+    index, mirror = _replay(operations)
+    origin = tuple(data.draw(_COORDINATE) for _ in range(dimension))
+    signs = tuple(
+        data.draw(st.sampled_from([-1, 1])) for _ in range(dimension)
+    )
+    exclude = (
+        set(data.draw(st.sets(st.sampled_from(sorted(mirror)), max_size=2)))
+        if mirror
+        else set()
+    )
+    assert index.orthant_skyline(origin, signs, exclude=exclude) == (
+        brute_force_orthant_skyline(mirror, origin, signs, exclude=exclude)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(history=_histories(max_dimension=2), data=st.data())
+def test_region_top_k_matches_brute_force(history, data):
+    dimension, operations = history
+    index, mirror = _replay(operations)
+    origin = tuple(data.draw(_COORDINATE) for _ in range(dimension))
+    k = data.draw(st.integers(min_value=1, max_value=4))
+    order = data.draw(_ORDERS)
+    hyperplane_set = data.draw(
+        st.sampled_from(
+            [
+                None,
+                HyperplaneSet.empty(dimension),
+                HyperplaneSet.orthogonal(dimension),
+                HyperplaneSet.sign_coefficients(dimension),
+            ]
+        )
+    )
+    assert index.region_top_k(origin, hyperplane_set, k, order=order) == (
+        brute_force_region_top_k(mirror, origin, hyperplane_set, k, order=order)
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(history=_histories(max_operations=60), data=st.data())
+def test_queries_stay_exact_after_drain_and_regrowth(history, data):
+    """Drain the index to empty, regrow it, and cross-check again.
+
+    This walks the full dynamisation surface in one script: tombstones from
+    the drain, a rebuilt (possibly empty) tree, then buffered re-inserts --
+    and the degenerate empty-index state in the middle, where every query
+    must return nothing rather than fail.
+    """
+    dimension, operations = history
+    index, mirror = _replay(operations)
+    whole = HyperRectangle.whole_space(dimension)
+    for point_id in sorted(mirror):
+        index.remove(point_id)
+    assert len(index) == 0
+    assert index.dimension == dimension  # retained across the drain
+    assert index.range(whole) == []
+    assert index.nearest_k((0.0,) * dimension, 3) == []
+    assert index.orthant_skyline((0.0,) * dimension, (1,) * dimension) == []
+    assert index.region_top_k((0.0,) * dimension, None, 2) == {}
+    regrown = {}
+    for offset in range(data.draw(st.integers(min_value=0, max_value=8))):
+        coords = tuple(data.draw(_COORDINATE) for _ in range(dimension))
+        index.insert(1000 + offset, coords)
+        regrown[1000 + offset] = coords
+    assert index.range(whole) == brute_force_range(regrown, whole)
+    origin = tuple(data.draw(_COORDINATE) for _ in range(dimension))
+    assert index.nearest_k(origin, 4) == brute_force_nearest_k(regrown, origin, 4)
+
+
+def test_duplicate_coordinates_are_first_class():
+    """Several ids at the identical point: all indexed, ties resolved by id."""
+    index = SpatialIndex()
+    for point_id in (5, 1, 9, 3):
+        index.insert(point_id, (2.0, 2.0))
+    index.insert(7, (4.0, 2.0))
+    mirror = {5: (2.0, 2.0), 1: (2.0, 2.0), 9: (2.0, 2.0), 3: (2.0, 2.0), 7: (4.0, 2.0)}
+    assert index.range(HyperRectangle.bounding_box((2.0, 2.0), (2.0, 2.0))) == [1, 3, 5, 9]
+    # (distance, id) ranking: duplicates of the origin come first, id order.
+    assert index.nearest_k((2.0, 2.0), 3) == [1, 3, 5]
+    assert index.nearest_k((2.0, 2.0), 3, exclude={1, 3}) == [5, 9, 7]
+    # Mutual non-strict dominance between identical points: the scan keeps
+    # the first in (L1 magnitude, id) order, and so must the index.
+    got = index.orthant_skyline((1.0, 1.0), (1, 1))
+    assert got == brute_force_orthant_skyline(mirror, (1.0, 1.0), (1, 1))
+    assert got == [1]
+
+
+def test_collinear_points_skyline_and_regions():
+    """All points on one axis-parallel line -- zero-extent boxes everywhere."""
+    index = SpatialIndex()
+    mirror = {}
+    for point_id in range(24):
+        coords = (float(point_id), 3.0)
+        index.insert(point_id, coords)
+        mirror[point_id] = coords
+    origin = (10.5, 3.0)
+    for signs in ((1, 1), (-1, -1), (1, -1), (-1, 1)):
+        assert index.orthant_skyline(origin, signs) == (
+            brute_force_orthant_skyline(mirror, origin, signs)
+        )
+    hyperplane_set = HyperplaneSet.orthogonal(2)
+    assert index.region_top_k(origin, hyperplane_set, 2) == (
+        brute_force_region_top_k(mirror, origin, hyperplane_set, 2)
+    )
+    plane = Hyperplane((0.0, 1.0))
+    # Every point is exactly on this plane through (anything, 3.0).
+    assert index.halfspace_candidates(plane, 0, reference=(0.0, 3.0)) == list(range(24))
+    assert index.halfspace_candidates(plane, 1, reference=(0.0, 3.0)) == []
+
+
+def test_maintenance_error_paths():
+    index = SpatialIndex()
+    index.insert(1, (0.0, 0.0))
+    with pytest.raises(ValueError, match="already indexed"):
+        index.insert(1, (1.0, 1.0))
+    with pytest.raises(ValueError, match="dimension"):
+        index.insert(2, (1.0, 1.0, 1.0))
+    with pytest.raises(KeyError):
+        index.remove(99)
+    with pytest.raises(KeyError):
+        index.move(99, (1.0, 1.0))
+    with pytest.raises(ValueError, match="dimension"):
+        index.move(1, (1.0, 1.0, 1.0))
+    assert 1 in index and index.point(1) == (0.0, 0.0)  # rejected move is a no-op
+    with pytest.raises(ValueError, match="dimension"):
+        index.range(HyperRectangle.whole_space(3))
+    with pytest.raises(ValueError, match="orthant signs"):
+        index.orthant_skyline((0.0, 0.0), (1, 0))
+    with pytest.raises(ValueError, match="k must be"):
+        index.region_top_k((0.0, 0.0), None, 0)
+    with pytest.raises(ValueError, match="Minkowski"):
+        index.nearest_k((0.0, 0.0), 1, order=3.0)
+    assert index.point(1) == (0.0, 0.0)
+    assert 1 in index and 99 not in index
+
+
+def test_stale_tree_answers_through_tombstones_and_buffer():
+    """Below the rebuild threshold, queries must fold stale state in exactly.
+
+    After the tree is built, a small wave of removes/inserts/moves stays
+    under the rebuild threshold -- so every query here is answered by a
+    *stale* tree plus the tombstone set and insert buffer, the merge paths
+    a lazy rebuild would silently paper over.  ``rebuilds`` staying at 1
+    proves no rebuild bailed them out.
+    """
+    index = SpatialIndex()
+    mirror = {}
+    for point_id in range(60):
+        coords = (float(point_id % 11), float(point_id % 7), float(point_id) / 3)
+        index.insert(point_id, coords)
+        mirror[point_id] = coords
+    index.nearest_k((0.0, 0.0, 0.0), 1)  # builds the tree
+    assert index.rebuilds == 1
+    for point_id in range(0, 20, 2):  # 10 tombstones
+        index.remove(point_id)
+        del mirror[point_id]
+    for offset in range(10):  # 10 buffered inserts
+        coords = (float(offset) / 2, 3.5, float(offset))
+        index.insert(100 + offset, coords)
+        mirror[100 + offset] = coords
+    for point_id in (1, 3, 5):  # moves: tombstone + buffer for one id
+        coords = (9.25, float(point_id), 0.75)
+        index.move(point_id, coords)
+        mirror[point_id] = coords
+    origin = (4.0, 3.0, 2.0)
+    assert index.nearest_k(origin, 7) == brute_force_nearest_k(mirror, origin, 7)
+    for signs in ((1, 1, 1), (-1, 1, -1)):
+        assert index.orthant_skyline(origin, signs) == (
+            brute_force_orthant_skyline(mirror, origin, signs)
+        )
+    hyperplane_set = HyperplaneSet.orthogonal(3)
+    assert index.region_top_k(origin, hyperplane_set, 2) == (
+        brute_force_region_top_k(mirror, origin, hyperplane_set, 2)
+    )
+    plane = Hyperplane((1.0, -1.0, 0.5))
+    assert index.halfspace_candidates(plane, 1, reference=origin) == (
+        brute_force_halfspace(mirror, plane, 1, reference=origin)
+    )
+    assert index.range(HyperRectangle.whole_space(3)) == sorted(mirror)
+    assert index.rebuilds == 1  # everything above ran against the stale tree
+
+
+def test_rebuild_amortisation_is_observable():
+    """Churn past the stale threshold forces a rebuild; queries stay exact."""
+    index = SpatialIndex()
+    mirror = {}
+    for point_id in range(200):
+        coords = (float(point_id % 17), float(point_id % 13))
+        index.insert(point_id, coords)
+        mirror[point_id] = coords
+    index.nearest_k((0.0, 0.0), 1)  # builds the tree
+    built = index.rebuilds
+    for point_id in range(100):
+        index.remove(point_id)
+        del mirror[point_id]
+    origin = (8.0, 6.0)
+    assert index.nearest_k(origin, 5) == brute_force_nearest_k(mirror, origin, 5)
+    assert index.rebuilds > built  # the deletion wave crossed the threshold
+    assert not math.isnan(index.point(150)[0])
