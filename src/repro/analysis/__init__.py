@@ -1,0 +1,66 @@
+"""reprolint: mechanical enforcement of the repo's load-bearing contracts.
+
+The ROADMAP carries three "MUST" contracts that, until this package existed,
+were enforced only by hypothesis suites catching divergence *after* it
+shipped:
+
+* every mutation of ``OverlayNetwork._neighbours`` must notify the attached
+  delta recorders (the delta-stream contract of
+  :mod:`repro.overlay.incremental`),
+* every membership or coordinate mutation must keep the overlay's owned
+  :class:`~repro.geometry.index.SpatialIndex` in sync,
+* byte-identity-critical code (the spatial index and the selection family)
+  must preserve exact float summation order and tie-breaks, and all of
+  ``src/repro`` must stay deterministic under a fixed seed.
+
+``repro.analysis`` turns each contract into an AST-level rule with a
+machine-readable id:
+
+========  ==============================================================
+RPL001    delta-stream: ``_neighbours`` mutations must notify recorders
+RPL002    index-sync: peer/coordinate mutations must maintain the index
+RPL003    byte-identity: no unordered float accumulation in guarded modules
+RPL004    determinism: no global RNG, unseeded RNG, or wall-clock reads
+RPL000    a suppression pragma without a justification is itself an error
+========  ==============================================================
+
+Run it as ``python -m repro.analysis [paths...]`` (exit status 0 iff clean),
+through the ``lint`` CLI subcommand (``python -m repro.cli lint``), or from
+pytest via the self-check in ``tests/analysis/test_self_check.py``.  A rule
+is suppressed per line with an *explained* inline pragma::
+
+    acc = sum(block)  # reprolint: disable=RPL003 reason=block is a sorted list
+
+Bare suppressions (no ``reason=``) are reported as RPL000 and are not
+themselves suppressible.
+"""
+
+from repro.analysis.bench_schema import (
+    BENCH_RECORD_SCHEMA,
+    validate_bench_directory,
+    validate_bench_record,
+)
+from repro.analysis.core import (
+    ModuleContext,
+    Pragma,
+    Rule,
+    Violation,
+    analyze_source,
+    parse_pragmas,
+)
+from repro.analysis.runner import all_rules, lint_paths, main
+
+__all__ = [
+    "BENCH_RECORD_SCHEMA",
+    "ModuleContext",
+    "Pragma",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "analyze_source",
+    "lint_paths",
+    "main",
+    "parse_pragmas",
+    "validate_bench_directory",
+    "validate_bench_record",
+]

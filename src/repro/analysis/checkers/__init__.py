@@ -1,0 +1,26 @@
+"""The concrete contract checkers and the rule registry.
+
+Each submodule contributes one :class:`~repro.analysis.core.Rule`; the
+ordered tuple below is what the driver runs.  New contracts register here.
+"""
+
+from repro.analysis.checkers.byte_identity import BYTE_IDENTITY_RULE
+from repro.analysis.checkers.delta_stream import DELTA_STREAM_RULE
+from repro.analysis.checkers.determinism import DETERMINISM_RULE
+from repro.analysis.checkers.index_sync import INDEX_SYNC_RULE
+from repro.analysis.core import Rule
+
+ALL_RULES: "tuple[Rule, ...]" = (
+    DELTA_STREAM_RULE,
+    INDEX_SYNC_RULE,
+    BYTE_IDENTITY_RULE,
+    DETERMINISM_RULE,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "BYTE_IDENTITY_RULE",
+    "DELTA_STREAM_RULE",
+    "DETERMINISM_RULE",
+    "INDEX_SYNC_RULE",
+]

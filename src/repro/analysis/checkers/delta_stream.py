@@ -1,0 +1,201 @@
+"""RPL001 -- the delta-stream contract.
+
+Every mutation of ``OverlayNetwork._neighbours`` (direct attribute rebind,
+subscript assignment or deletion, in-place set mutators on the map or on
+one of its entries, through the attribute itself or a same-scope alias)
+must be paired, in the same function scope, with a notification of the
+attached delta recorders: a call to
+:meth:`~repro.overlay.network.OverlayNetwork.notify_selection_change` (or
+its private alias) or direct ``note_touch`` / ``note_leave`` recorder
+calls.  ``note_join`` alone does *not* satisfy the contract -- it records
+membership but not the bootstrap edges' adjacency touch, which is exactly
+the drift PR 4 fixed in ``add_peer``.
+
+Ownership is resolved syntactically: ``self`` inside ``class
+OverlayNetwork``, any name or attribute containing ``overlay``, any
+parameter annotated ``OverlayNetwork``, and names assigned from any of
+those.  The ``PeerProcess`` simulator keeps its own private
+``_neighbours`` set and is intentionally out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from repro.analysis.checkers.common import (
+    SET_MUTATORS,
+    dotted_name,
+    iter_functions,
+    own_nodes,
+)
+from repro.analysis.core import ModuleContext, Rule
+
+RULE_ID = "RPL001"
+
+#: Calls that count as notifying the delta recorders.
+NOTIFIERS = frozenset(
+    {"notify_selection_change", "_notify_selection_change", "note_touch", "note_leave"}
+)
+
+#: ``Class.function`` names the checker never inspects: the notifier itself
+#: (both spellings) is where the recorder fan-out lives.
+ALLOWLIST = frozenset(
+    {
+        "OverlayNetwork.notify_selection_change",
+        "OverlayNetwork._notify_selection_change",
+    }
+)
+
+
+class _FunctionScope:
+    """Alias and ownership bookkeeping for one function body."""
+
+    def __init__(self, function: ast.AST, class_name: Optional[str]) -> None:
+        self.overlay_names: Set[str] = set()
+        self.neighbour_aliases: Set[str] = set()
+        args = getattr(function, "args", None)
+        if args is not None:
+            for arg in [
+                *args.posonlyargs,
+                *args.args,
+                *args.kwonlyargs,
+                *filter(None, [args.vararg, args.kwarg]),
+            ]:
+                if arg.arg == "self" and class_name == "OverlayNetwork":
+                    self.overlay_names.add("self")
+                elif "overlay" in arg.arg.lower():
+                    self.overlay_names.add(arg.arg)
+                elif arg.annotation is not None and "OverlayNetwork" in ast.dump(
+                    arg.annotation
+                ):
+                    self.overlay_names.add(arg.arg)
+
+    def is_overlay(self, node: ast.AST) -> bool:
+        """Whether an expression denotes (our heuristic of) an overlay."""
+        if isinstance(node, ast.Name):
+            return node.id in self.overlay_names or "overlay" in node.id.lower()
+        if isinstance(node, ast.Attribute):
+            return "overlay" in node.attr.lower()
+        name = dotted_name(node)
+        return name is not None and "overlay" in name.lower()
+
+    def is_neighbour_map(self, node: ast.AST) -> bool:
+        """``<overlay>._neighbours`` or a local alias of it."""
+        if isinstance(node, ast.Attribute) and node.attr == "_neighbours":
+            return self.is_overlay(node.value)
+        if isinstance(node, ast.Name):
+            return node.id in self.neighbour_aliases
+        return False
+
+    def record_assignment(self, node: ast.Assign) -> None:
+        """Track ``overlay = ...`` and ``neighbours = <overlay>._neighbours``."""
+        if len(node.targets) != 1 or not isinstance(node.targets[0], ast.Name):
+            return
+        target = node.targets[0].id
+        value = node.value
+        if self.is_neighbour_map(value):
+            self.neighbour_aliases.add(target)
+        elif self.is_overlay(value):
+            self.overlay_names.add(target)
+        elif isinstance(value, ast.Call):
+            callee = dotted_name(value.func)
+            if callee is not None and callee.split(".")[-1] == "OverlayNetwork":
+                self.overlay_names.add(target)
+
+
+def _check_function(
+    context: ModuleContext, function: ast.AST, class_name: Optional[str]
+) -> None:
+    qualified = f"{class_name}.{function.name}" if class_name else function.name
+    if qualified in ALLOWLIST:
+        return
+    scope = _FunctionScope(function, class_name)
+    mutations = []
+    notified = False
+    # Single ordered pass: Python builds aliases before using them, and a
+    # notification anywhere in the scope satisfies the contract, so order
+    # of discovery does not matter for the verdict.
+    for node in _ordered_own_nodes(function):
+        if isinstance(node, ast.Assign):
+            if (
+                len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and (scope.is_neighbour_map(node.value) or scope.is_overlay(node.value))
+            ):
+                # Creating a local alias reads the map, it does not mutate it.
+                scope.record_assignment(node)
+                continue
+            scope.record_assignment(node)
+            for target in node.targets:
+                if scope.is_neighbour_map(target):
+                    mutations.append((node.lineno, "rebinds the neighbour map"))
+                elif isinstance(target, ast.Subscript) and scope.is_neighbour_map(
+                    target.value
+                ):
+                    mutations.append((node.lineno, "assigns a neighbour-map entry"))
+        elif isinstance(node, ast.AugAssign):
+            target = node.target
+            if scope.is_neighbour_map(target) or (
+                isinstance(target, ast.Subscript)
+                and scope.is_neighbour_map(target.value)
+            ):
+                mutations.append((node.lineno, "augments the neighbour map"))
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript) and scope.is_neighbour_map(
+                    target.value
+                ):
+                    mutations.append((node.lineno, "deletes a neighbour-map entry"))
+        elif isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Attribute):
+                if node.func.attr in NOTIFIERS:
+                    notified = True
+                elif node.func.attr in SET_MUTATORS:
+                    owner = node.func.value
+                    if scope.is_neighbour_map(owner) or (
+                        isinstance(owner, ast.Subscript)
+                        and scope.is_neighbour_map(owner.value)
+                    ):
+                        mutations.append(
+                            (node.lineno, f"calls .{node.func.attr}() on neighbour state")
+                        )
+    if notified or not mutations:
+        return
+    for line, what in mutations:
+        context.report(
+            RULE_ID,
+            line,
+            f"'{qualified}' {what} without notifying the delta stream; call "
+            "OverlayNetwork.notify_selection_change (or note_touch/note_leave "
+            "on every recorder) in the same scope",
+        )
+
+
+def _ordered_own_nodes(function: ast.AST) -> List[ast.AST]:
+    """Own-scope nodes in source order (aliases must precede their uses)."""
+    nodes = list(own_nodes(function))
+    nodes.sort(key=lambda node: (getattr(node, "lineno", 0), getattr(node, "col_offset", 0)))
+    return nodes
+
+
+class DeltaStreamChecker(ast.NodeVisitor):
+    """Module-level driver: inspect every function scope independently."""
+
+    def __init__(self, context: ModuleContext) -> None:
+        self._context = context
+
+    def visit_Module(self, node: ast.Module) -> None:
+        for function, class_name in iter_functions(node):
+            _check_function(self._context, function, class_name)
+
+
+DELTA_STREAM_RULE = Rule(
+    rule_id=RULE_ID,
+    name="delta-stream",
+    invariant=(
+        "every OverlayNetwork._neighbours mutation notifies the attached "
+        "delta recorders in the same scope"
+    ),
+    factory=DeltaStreamChecker,
+)

@@ -1,0 +1,126 @@
+"""RPL004 -- the determinism contract.
+
+Everything under ``src/repro`` must be a deterministic function of its
+inputs and an explicit seed (the seeding contract fixed in PR 4: ``seed``
+defaults to an explicit ``0``, ``seed=None`` is honoured as
+nondeterministic *by documented choice*, ``rng`` parameters draw from
+shared state).  This rule flags the three ways code drifts off that:
+
+* module-level ``random.*`` calls (``random.random()``,
+  ``random.choice()``, ``random.seed()`` ...), which draw from the
+  interpreter-global generator any import can perturb;
+* unseeded generator construction -- ``random.Random()`` with no
+  arguments, and ``np.random.*`` without an explicit seed
+  (``np.random.default_rng(seed)`` / ``RandomState(seed)`` with an
+  argument are the sanctioned spellings; bare ``np.random.shuffle`` etc.
+  always flag);
+* wall-clock reads (``time.time()``, ``time.time_ns()``,
+  ``datetime.now()`` and friends) whose value changes run to run.
+  ``time.perf_counter`` / ``monotonic`` are *not* flagged: measuring how
+  long something took is fine, feeding the clock into results is not.
+
+The sanctioned pattern is an ``rng`` parameter resolved as ``rng if rng is
+not None else random.Random(<seed>)`` -- seeded construction never flags,
+so conforming code needs no pragmas.  The one documented nondeterministic
+path (``workloads.churn`` honouring ``seed=None``) carries a justified
+pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.analysis.checkers.common import dotted_name
+from repro.analysis.core import ModuleContext, Rule
+
+RULE_ID = "RPL004"
+
+#: ``random`` module attributes that construct generators (fine when seeded).
+_GENERATOR_FACTORIES = frozenset({"Random", "SystemRandom"})
+#: Seeded-construction entry points of ``numpy.random``.
+_NUMPY_FACTORIES = frozenset(
+    {"default_rng", "RandomState", "SeedSequence", "Generator", "PCG64", "Philox"}
+)
+#: Wall-clock reads (dotted-name suffixes checked against the call).
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+    }
+)
+
+
+def _wall_clock_name(name: str) -> Optional[str]:
+    for clock in _WALL_CLOCK:
+        if name == clock or name.endswith("." + clock):
+            return clock
+    return None
+
+
+class DeterminismChecker(ast.NodeVisitor):
+    """Flag global-RNG, unseeded-RNG and wall-clock call sites."""
+
+    def __init__(self, context: ModuleContext) -> None:
+        self._context = context
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is not None:
+            self._check_name(node, name)
+        self.generic_visit(node)
+
+    def _check_name(self, node: ast.Call, name: str) -> None:
+        parts = name.split(".")
+        if parts[0] == "random" and len(parts) == 2:
+            if parts[1] in _GENERATOR_FACTORIES:
+                if not node.args and not node.keywords:
+                    self._context.report(
+                        RULE_ID,
+                        node.lineno,
+                        "random.Random() without a seed is nondeterministic; "
+                        "pass an explicit seed (the rng-parameter contract "
+                        "defaults to 0)",
+                    )
+            else:
+                self._context.report(
+                    RULE_ID,
+                    node.lineno,
+                    f"{name}() draws from the interpreter-global generator; "
+                    "accept an rng parameter and draw from it instead",
+                )
+            return
+        if len(parts) >= 2 and parts[-2] == "random" and parts[0] in {"np", "numpy"}:
+            if parts[-1] in _NUMPY_FACTORIES and (node.args or node.keywords):
+                return
+            self._context.report(
+                RULE_ID,
+                node.lineno,
+                f"{name}() is unseeded numpy randomness; construct "
+                "np.random.default_rng(seed) and thread it through",
+            )
+            return
+        clock = _wall_clock_name(name)
+        if clock is not None:
+            self._context.report(
+                RULE_ID,
+                node.lineno,
+                f"{clock}() reads the wall clock, which varies run to run; "
+                "take timestamps as parameters (perf_counter is fine for "
+                "measuring durations)",
+            )
+
+
+DETERMINISM_RULE = Rule(
+    rule_id=RULE_ID,
+    name="determinism",
+    invariant=(
+        "src/repro is deterministic under explicit seeds: no global RNG, "
+        "no unseeded generators, no wall-clock reads"
+    ),
+    factory=DeterminismChecker,
+)

@@ -1,0 +1,141 @@
+"""RPL002 -- the index-sync contract.
+
+The spatial-index subsystem (ROADMAP, PR 5) is exact only while every
+membership or coordinate mutation maintains the overlay's owned
+:class:`~repro.geometry.index.SpatialIndex`.  The sanctioned mutation
+paths are ``add_peer`` / ``remove_peer`` / ``apply_batch`` /
+``build_equilibrium``; any *other* function that mutates peer state --
+the ``_peers`` map (or an alias of it), or a peer's ``coordinates``
+attribute -- must touch the index in the same scope (an
+``insert``/``remove``/``move``/``rebuild``/``clear`` call on an
+index-named object, or a rebind of an ``_index`` attribute), or indexed
+selections silently diverge from the scans they must stay byte-identical
+with.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set, Tuple
+
+from repro.analysis.checkers.common import (
+    SET_MUTATORS,
+    dotted_name,
+    iter_functions,
+    own_nodes,
+)
+from repro.analysis.core import ModuleContext, Rule
+
+RULE_ID = "RPL002"
+
+#: Functions allowed to mutate peer state (they own the sync obligation and
+#: are covered by the hypothesis equivalence suites directly).
+SANCTIONED_MUTATORS = frozenset(
+    {"add_peer", "remove_peer", "apply_batch", "build_equilibrium"}
+)
+
+#: Method calls that count as maintaining the index.
+INDEX_MAINTENANCE = frozenset({"insert", "remove", "move", "rebuild", "clear"})
+
+
+def _is_peer_map(node: ast.AST, aliases: Set[str]) -> bool:
+    if isinstance(node, ast.Attribute) and node.attr == "_peers":
+        return True
+    return isinstance(node, ast.Name) and node.id in aliases
+
+
+def _is_index_touch(node: ast.Call) -> bool:
+    if not isinstance(node.func, ast.Attribute):
+        return False
+    if node.func.attr not in INDEX_MAINTENANCE:
+        return False
+    owner = dotted_name(node.func.value)
+    return owner is not None and "index" in owner.lower()
+
+
+def _check_function(
+    context: ModuleContext, function: ast.AST, class_name: Optional[str]
+) -> None:
+    if function.name in SANCTIONED_MUTATORS:
+        return
+    aliases: Set[str] = set()
+    mutations: List[Tuple[int, str]] = []
+    index_touched = False
+    nodes = sorted(
+        own_nodes(function),
+        key=lambda node: (getattr(node, "lineno", 0), getattr(node, "col_offset", 0)),
+    )
+    for node in nodes:
+        if isinstance(node, ast.Assign):
+            if (
+                len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and _is_peer_map(node.value, aliases)
+            ):
+                # Creating a local alias reads the map, it does not mutate it.
+                aliases.add(node.targets[0].id)
+                continue
+            for target in node.targets:
+                if _is_peer_map(target, aliases):
+                    mutations.append((node.lineno, "rebinds the peer map"))
+                elif isinstance(target, ast.Subscript) and _is_peer_map(
+                    target.value, aliases
+                ):
+                    mutations.append((node.lineno, "assigns a peer-map entry"))
+                elif (
+                    isinstance(target, ast.Attribute)
+                    and target.attr == "coordinates"
+                ):
+                    mutations.append((node.lineno, "rebinds peer coordinates"))
+            if any(
+                isinstance(target, ast.Attribute) and "index" in target.attr.lower()
+                for target in node.targets
+            ):
+                index_touched = True
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript) and _is_peer_map(
+                    target.value, aliases
+                ):
+                    mutations.append((node.lineno, "deletes a peer-map entry"))
+        elif isinstance(node, ast.Call):
+            if _is_index_touch(node):
+                index_touched = True
+            elif isinstance(node.func, ast.Attribute) and node.func.attr in SET_MUTATORS:
+                if _is_peer_map(node.func.value, aliases):
+                    mutations.append(
+                        (node.lineno, f"calls .{node.func.attr}() on the peer map")
+                    )
+    if index_touched or not mutations:
+        return
+    qualified = f"{class_name}.{function.name}" if class_name else function.name
+    for line, what in mutations:
+        context.report(
+            RULE_ID,
+            line,
+            f"'{qualified}' {what} outside add_peer/remove_peer/apply_batch/"
+            "build_equilibrium without maintaining the owned SpatialIndex "
+            "(insert/remove/move in the same scope)",
+        )
+
+
+class IndexSyncChecker(ast.NodeVisitor):
+    """Module-level driver: inspect every function scope independently."""
+
+    def __init__(self, context: ModuleContext) -> None:
+        self._context = context
+
+    def visit_Module(self, node: ast.Module) -> None:
+        for function, class_name in iter_functions(node):
+            _check_function(self._context, function, class_name)
+
+
+INDEX_SYNC_RULE = Rule(
+    rule_id=RULE_ID,
+    name="index-sync",
+    invariant=(
+        "peer membership/coordinate mutations outside the sanctioned "
+        "methods keep the owned SpatialIndex in sync"
+    ),
+    factory=IndexSyncChecker,
+)

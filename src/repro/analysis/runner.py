@@ -1,0 +1,141 @@
+"""The lint driver: walk paths, run every rule, render the report.
+
+Importable surface (used by the ``lint`` CLI subcommand and the pytest
+self-check) plus the ``python -m repro.analysis`` argument parsing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.bench_schema import validate_bench_directory
+from repro.analysis.checkers import ALL_RULES
+from repro.analysis.core import PRAGMA_RULE_ID, Rule, Violation, analyze_file
+
+__all__ = ["all_rules", "iter_python_files", "lint_paths", "main"]
+
+
+def all_rules() -> Tuple[Rule, ...]:
+    """Every registered contract rule, in reporting order."""
+    return ALL_RULES
+
+
+def iter_python_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    seen = set()
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            candidates = []
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                files.append(candidate)
+    return files
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]], *, rules: Optional[Sequence[Rule]] = None
+) -> List[Violation]:
+    """Analyze every Python file under ``paths``; returns all violations."""
+    active = tuple(rules) if rules is not None else ALL_RULES
+    violations: List[Violation] = []
+    for path in iter_python_files(paths):
+        violations.extend(analyze_file(path, active))
+    return violations
+
+
+def _render_rules() -> str:
+    lines = [f"{PRAGMA_RULE_ID}  pragma-hygiene: suppressions must carry reason=..."]
+    for rule in ALL_RULES:
+        lines.append(f"{rule.rule_id}  {rule.name}: {rule.invariant}")
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.analysis`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "reprolint: mechanically enforce the delta-stream, index-sync, "
+            "byte-identity and determinism contracts (exit 0 iff clean)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule id and the invariant it guards, then exit",
+    )
+    parser.add_argument(
+        "--bench-schema",
+        nargs="+",
+        metavar="PATH",
+        help=(
+            "additionally validate BENCH_*.json benchmark records under "
+            "these files/directories against the record schema"
+        ),
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the exit status (0 iff everything is clean)."""
+    args = build_parser().parse_args(list(argv) if argv is not None else None)
+    if args.list_rules:
+        print(_render_rules())
+        return 0
+    violations = lint_paths(args.paths)
+    failed = bool(violations)
+    if args.format == "json":
+        print(
+            json.dumps(
+                [
+                    {
+                        "rule": violation.rule_id,
+                        "path": violation.path,
+                        "line": violation.line,
+                        "message": violation.message,
+                    }
+                    for violation in violations
+                ],
+                indent=2,
+            )
+        )
+    else:
+        for violation in violations:
+            print(violation.render())
+        count = len(violations)
+        if count:
+            print(f"reprolint: {count} contract violation{'s' if count != 1 else ''}")
+        else:
+            print("reprolint: clean")
+    if args.bench_schema:
+        errors = validate_bench_directory(args.bench_schema)
+        for error in errors:
+            print(f"bench-schema: {error}", file=sys.stderr)
+        if errors:
+            failed = True
+        else:
+            print("bench-schema: clean")
+    return 1 if failed else 0

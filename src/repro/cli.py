@@ -13,7 +13,11 @@ one-to-one onto the experiment drivers:
 * ``trace`` -- the churn-trace scenarios (Poisson, flash crowd, mass
   departure, diurnal wave) replayed through the batched-epoch path with
   live tree and connectivity metrics,
-* ``all`` -- everything above in sequence.
+* ``lint`` -- the reprolint contract checkers (``repro.analysis``) over the
+  given paths (default ``src/repro``); exit status 0 iff every delta-stream,
+  index-sync, byte-identity and determinism contract holds,
+* ``all`` -- every experiment above in sequence (``lint`` is not an
+  experiment and runs only when named explicitly).
 
 Every command accepts ``--scale smoke|bench|paper`` (default: the
 ``REPRO_SCALE`` environment variable, then ``bench``) and prints plain-text
@@ -35,6 +39,7 @@ from repro.experiments.ablations import (
     run_trace_convergence_ablation,
     run_tree_maintenance_ablation,
 )
+from repro.analysis import main as lint_main
 from repro.experiments.trace_runner import run_trace_scenarios
 from repro.experiments.config import SCALES, resolve_scale
 from repro.experiments.figure1a import run_figure1a
@@ -68,9 +73,15 @@ def build_parser() -> argparse.ArgumentParser:
             "figure1e",
             "ablations",
             "trace",
+            "lint",
             "all",
         ],
         help="which experiment to run",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="paths for the 'lint' command (default: src/repro); ignored otherwise",
     )
     return parser
 
@@ -144,9 +155,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     arguments = parser.parse_args(argv)
-    scale = resolve_scale(arguments.scale)
 
     command = arguments.command
+    if command == "lint":
+        # Contract checking is scale-independent; delegate to the analysis
+        # driver (same argument surface as ``python -m repro.analysis``).
+        return lint_main(arguments.paths)
+    scale = resolve_scale(arguments.scale)
     if command in ("figure1a", "all"):
         _run_figure1a(scale)
     if command in ("figure1b", "all"):

@@ -938,6 +938,7 @@ def pareto_minima(
     what makes "byte-identical to the scan" a structural property rather
     than a maintenance burden.
     """
+    # reprolint: disable=RPL003 reason=entry[0] is a coordinate tuple of fixed arity; left-to-right summation order is the canonical L1 key shared with the scans
     ordered = sorted(entries, key=lambda entry: (sum(entry[0]), entry[1]))
     kept: List[Tuple[Tuple[float, ...], int]] = []
     for key, point_id in ordered:

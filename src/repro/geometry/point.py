@@ -11,7 +11,7 @@ ties are either rejected or resolved through an explicit, documented rule.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence, Tuple, Union
+from typing import Iterable, Sequence, Union
 
 __all__ = ["Point", "as_point", "validate_coordinates"]
 

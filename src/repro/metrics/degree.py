@@ -9,7 +9,6 @@ mapping.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, Mapping, Union
 

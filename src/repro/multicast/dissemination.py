@@ -18,7 +18,7 @@ trees.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import List, Sequence, Set, Tuple
 
 from repro.multicast.tree import MulticastTree
 

@@ -28,7 +28,7 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.geometry.distance import DistanceFunction, get_distance
 from repro.geometry.rectangle import HyperRectangle

@@ -14,7 +14,7 @@ zone algebra plus the validation predicates the paper states as requirements:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence
 
 from repro.geometry.point import CoordinateLike, as_point
 from repro.geometry.rectangle import HyperRectangle

@@ -523,9 +523,7 @@ class IncrementalReselectionEngine:
             previous = neighbours[reference.peer_id]
             if selected != previous:
                 neighbours[reference.peer_id] = selected
-                overlay._notify_selection_change(  # noqa: SLF001
-                    reference.peer_id, previous, selected
-                )
+                overlay.notify_selection_change(reference.peer_id, previous, selected)
                 changed = True
         if additive_results:
             for peer_id, selected_ids in additive_results.items():
@@ -533,7 +531,7 @@ class IncrementalReselectionEngine:
                 previous = neighbours[peer_id]
                 if selected != previous:
                     neighbours[peer_id] = selected
-                    overlay._notify_selection_change(peer_id, previous, selected)  # noqa: SLF001
+                    overlay.notify_selection_change(peer_id, previous, selected)
                     changed = True
         for peer_id, ids in new_last.items():
             self._last_candidates[peer_id] = ids

@@ -44,7 +44,6 @@ from typing import (
     FrozenSet,
     Iterable,
     List,
-    Mapping,
     Optional,
     Sequence,
     Set,
@@ -333,7 +332,7 @@ class OverlayNetwork:
         self._delta_recorders.append(recorder)
         return recorder
 
-    def _notify_selection_change(
+    def notify_selection_change(
         self, peer_id: int, previous: Set[int], selected: Set[int]
     ) -> None:
         """Record one installed selection change into every delta recorder.
@@ -341,6 +340,13 @@ class OverlayNetwork:
         The undirected adjacency of the selecting peer and of both the
         gained and lost targets may have changed; everything else provably
         kept its adjacency.
+
+        This is the public half of the delta-stream contract: *every* code
+        path that mutates ``_neighbours`` -- the membership methods, both
+        convergence paths, and the incremental engine (a friend class that
+        installs selections directly) -- must route the change through here,
+        or downstream consumers silently diverge.  Mechanically enforced by
+        reprolint rule RPL001 (``python -m repro.analysis``).
         """
         if not self._delta_recorders:
             return
@@ -348,6 +354,10 @@ class OverlayNetwork:
         touched.update(previous ^ selected)
         for recorder in self._delta_recorders:
             recorder.note_touch(touched)
+
+    #: Thin alias: the notifier predates the public API and internal call
+    #: sites (plus external consumers of the private name) keep working.
+    _notify_selection_change = notify_selection_change
 
     # ------------------------------------------------------------------
     # Knowledge sets and convergence
@@ -590,6 +600,7 @@ class OverlayNetwork:
             if overlay._index is not None:
                 overlay._index.insert(peer.peer_id, peer.coordinates)
         equilibrium = selection.compute_equilibrium(peers)
+        # reprolint: disable=RPL001 reason=fresh overlay under construction; delta_stream() cannot have been called before this returns
         overlay._neighbours = {
             peer_id: set(equilibrium.get(peer_id, set())) for peer_id in overlay._peers
         }

@@ -14,7 +14,7 @@ the protocol itself uses is the identifier (coordinates) and the address.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.geometry.point import CoordinateLike, Point, as_point

@@ -319,6 +319,7 @@ def _skyline_ids(member_keys: np.ndarray, member_ids: np.ndarray) -> List[int]:
     a later one and one pass with dominance checks against the kept set
     suffices.
     """
+    # reprolint: disable=RPL003 reason=row-wise reduction over a fixed-arity dimension axis; byte-identity with the scan's L1 key is property-tested (test_indexed_selection)
     order = np.lexsort((member_ids, member_keys.sum(axis=1)))
     kept_rows: List[np.ndarray] = []
     kept_ids: List[int] = []

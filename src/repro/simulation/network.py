@@ -12,7 +12,7 @@ by-product of the tree data structure.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict
 
 from repro.simulation.engine import SimulationEngine
 

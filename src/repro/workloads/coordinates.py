@@ -10,7 +10,7 @@ point draws never collide.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from repro.geometry.point import Point
 

@@ -1,0 +1,6 @@
+"""Known-bad: a suppression without a justification is itself an error."""
+
+
+def innocuous():
+    marker = 1  # reprolint: disable=RPL003  # expect: RPL000
+    return marker

@@ -1,0 +1,12 @@
+"""Known-bad: mutates the neighbour map through a same-scope alias."""
+
+
+def drop_edge(overlay, peer_id, target):
+    """The alias does not launder the mutation."""
+    neighbours = overlay._neighbours
+    neighbours[peer_id].discard(target)  # expect: RPL001
+
+
+def purge(overlay, peer_id):
+    neighbours = overlay._neighbours
+    del neighbours[peer_id]  # expect: RPL001

@@ -1,0 +1,17 @@
+"""Known-bad: mutates OverlayNetwork._neighbours without notifying.
+
+Every ``# expect: RPL00x`` marker names the rule and line the corpus test
+asserts; these files are parsed by reprolint, never imported.
+"""
+
+
+class OverlayNetwork:
+    def rewire(self, peer_id, targets):
+        """Installs a selection but never tells the delta recorders."""
+        self._neighbours[peer_id] = set(targets)  # expect: RPL001
+
+    def grow(self, peer_id, target):
+        self._neighbours[peer_id].add(target)  # expect: RPL001
+
+    def shrink_all(self, peer_id):
+        self._neighbours.pop(peer_id)  # expect: RPL001

@@ -1,0 +1,11 @@
+"""Known-bad: evicts membership through an alias, index untouched."""
+
+
+def evict(overlay, peer_id):
+    overlay._peers.pop(peer_id)  # expect: RPL002
+
+
+def evict_many(overlay, peer_ids):
+    peers = overlay._peers
+    for peer_id in peer_ids:
+        del peers[peer_id]  # expect: RPL002

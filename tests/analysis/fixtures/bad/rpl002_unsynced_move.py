@@ -1,0 +1,10 @@
+"""Known-bad: rewrites peer coordinate/membership state, index untouched."""
+
+
+class OverlayNetwork:
+    def teleport(self, peer_id, replacement):
+        """Swaps a peer record outside the sanctioned membership methods."""
+        self._peers[peer_id] = replacement  # expect: RPL002
+
+    def drift(self, peer, coordinates):
+        peer.coordinates = coordinates  # expect: RPL002

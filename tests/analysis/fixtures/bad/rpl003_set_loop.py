@@ -1,0 +1,15 @@
+"""Known-bad: set/dict iteration feeding an accumulator or tie-break."""
+
+
+def accumulate(ids):
+    total = 0.0
+    for value in {float(peer_id) for peer_id in ids}:  # expect: RPL003
+        total += value
+    return total
+
+
+def closest(distances):
+    best = (float("inf"), -1)
+    for peer_id, distance in distances.items():  # expect: RPL003
+        best = min(best, (distance, peer_id))
+    return best

@@ -1,0 +1,15 @@
+"""Known-bad: interpreter-global and unseeded randomness."""
+
+import random
+
+
+def jitter():
+    return random.random()  # expect: RPL004
+
+
+def pick(items):
+    return random.choice(items)  # expect: RPL004
+
+
+def fresh_generator():
+    return random.Random()  # expect: RPL004

@@ -1,0 +1,17 @@
+"""Known-bad: wall-clock reads and unseeded numpy randomness."""
+
+import time
+
+import numpy as np
+
+
+def stamp():
+    return time.time()  # expect: RPL004
+
+
+def shuffle_in_place(values):
+    np.random.shuffle(values)  # expect: RPL004
+
+
+def unseeded_rng():
+    return np.random.default_rng()  # expect: RPL004

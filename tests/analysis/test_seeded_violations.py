@@ -1,0 +1,158 @@
+"""Seeded-violation proofs: each rule catches a *real* regression.
+
+For every rule id, these tests copy the actual guarded module into a
+scratch ``src/repro`` mirror (so module-scoped rules resolve exactly as
+they do in the repo), seed one realistic violation -- dropping the
+notification ``add_peer`` gained in PR 4, bypassing the index maintenance
+in a renamed ``remove_peer``, deleting the justified pragma over a real
+accumulation -- and prove the checker reports it with the right rule id at
+the right line.  The pristine copy is checked clean first, so a pass can
+only come from the seeded delta.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src" / "repro"
+
+
+def _mirror(tmp_path: Path, relative: str, source: str) -> Path:
+    """Write a module copy under a ``src/repro`` mirror, preserving its name."""
+    target = tmp_path / "src" / "repro" / relative
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source, encoding="utf-8")
+    return target
+
+
+def _line_of(source: str, needle: str) -> int:
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if needle in line:
+            return lineno
+    raise AssertionError(f"needle {needle!r} not found")
+
+
+def _seed(source: str, needle: str, replacement: str) -> str:
+    assert needle in source, f"module drifted: {needle!r} no longer present"
+    return source.replace(needle, replacement, 1)
+
+
+@pytest.fixture()
+def network_source() -> str:
+    return (SRC / "overlay" / "network.py").read_text(encoding="utf-8")
+
+
+def test_pristine_copies_are_clean(tmp_path, network_source):
+    for relative, source_path in [
+        ("overlay/network.py", None),
+        ("geometry/index.py", SRC / "geometry" / "index.py"),
+        ("workloads/churn.py", SRC / "workloads" / "churn.py"),
+    ]:
+        source = network_source if source_path is None else source_path.read_text()
+        copy = _mirror(tmp_path, relative, source)
+        assert lint_paths([copy]) == []
+
+
+def test_rpl001_catches_a_dropped_add_peer_notification(tmp_path, network_source):
+    """Re-introduces the exact drift PR 4 fixed: a silent bootstrap install."""
+    seeded = _seed(
+        network_source,
+        "self._notify_selection_change(peer.peer_id, set(), bootstrap_ids)",
+        "pass  # seeded violation: bootstrap edges installed silently",
+    )
+    copy = _mirror(tmp_path, "overlay/network.py", seeded)
+    violations = lint_paths([copy])
+    expected_line = _line_of(
+        seeded, "self._neighbours[peer.peer_id] = set(bootstrap_ids)"
+    )
+    assert [(v.rule_id, v.line) for v in violations] == [("RPL001", expected_line)]
+
+
+def test_rpl001_catches_a_rogue_rewire_helper(tmp_path, network_source):
+    seeded = network_source + (
+        "\n\ndef rebalance(overlay, peer_id, targets):\n"
+        '    """Seeded violation: installs a selection behind the recorders."""\n'
+        "    overlay._neighbours[peer_id] = set(targets)\n"
+    )
+    copy = _mirror(tmp_path, "overlay/network.py", seeded)
+    violations = lint_paths([copy])
+    expected_line = _line_of(seeded, "overlay._neighbours[peer_id] = set(targets)")
+    assert [(v.rule_id, v.line) for v in violations] == [("RPL001", expected_line)]
+
+
+def test_rpl002_catches_membership_mutation_bypassing_the_index(
+    tmp_path, network_source
+):
+    """Renaming remove_peer off the sanctioned list and dropping the index
+    maintenance must flag every peer-map mutation in it."""
+    seeded = _seed(network_source, "def remove_peer(", "def evict_peer(")
+    seeded = _seed(
+        seeded,
+        "self._index.remove(peer_id)",
+        "pass  # seeded violation: index maintenance dropped",
+    )
+    copy = _mirror(tmp_path, "overlay/network.py", seeded)
+    violations = lint_paths([copy])
+    expected_line = _line_of(seeded, "info = self._peers.pop(peer_id)")
+    assert [(v.rule_id, v.line) for v in violations] == [("RPL002", expected_line)]
+
+
+def test_rpl003_catches_unsuppressed_accumulation_in_the_index(tmp_path):
+    """Deleting the justification over pareto_minima's L1 key re-flags it."""
+    source = (SRC / "geometry" / "index.py").read_text(encoding="utf-8")
+    pragma_line = next(
+        line
+        for line in source.splitlines()
+        if "reprolint: disable=RPL003" in line
+    )
+    seeded = _seed(source, pragma_line + "\n", "")
+    copy = _mirror(tmp_path, "geometry/index.py", seeded)
+    violations = lint_paths([copy])
+    expected_line = _line_of(seeded, "ordered = sorted(entries")
+    assert [(v.rule_id, v.line) for v in violations] == [("RPL003", expected_line)]
+
+
+def test_rpl003_catches_a_seeded_numpy_reduction(tmp_path):
+    source = (SRC / "geometry" / "index.py").read_text(encoding="utf-8")
+    seeded = source + (
+        "\n\ndef _fast_l1(keys):\n"
+        '    """Seeded violation: pairwise reduction in byte-identity code."""\n'
+        "    return keys.sum(axis=1)\n"
+    )
+    copy = _mirror(tmp_path, "geometry/index.py", seeded)
+    violations = lint_paths([copy])
+    expected_line = _line_of(seeded, "return keys.sum(axis=1)")
+    assert [(v.rule_id, v.line) for v in violations] == [("RPL003", expected_line)]
+
+
+def test_rpl004_catches_the_unseeded_fallback_without_its_pragma(tmp_path):
+    source = (SRC / "workloads" / "churn.py").read_text(encoding="utf-8")
+    pragma_line = next(
+        line
+        for line in source.splitlines()
+        if "reprolint: disable=RPL004" in line
+    )
+    seeded = _seed(source, pragma_line + "\n", "")
+    copy = _mirror(tmp_path, "workloads/churn.py", seeded)
+    violations = lint_paths([copy])
+    expected_line = _line_of(seeded, "return random.Random()")
+    assert [(v.rule_id, v.line) for v in violations] == [("RPL004", expected_line)]
+
+
+def test_rpl004_catches_a_seeded_wall_clock_read(tmp_path, network_source):
+    seeded = network_source.replace(
+        "import random\n",
+        "import random\nimport time\n",
+        1,
+    ) + (
+        "\n\ndef _stamp_join(overlay, peer):\n"
+        '    """Seeded violation: wall-clock timestamp in overlay state."""\n'
+        "    return (peer.peer_id, time.time())\n"
+    )
+    copy = _mirror(tmp_path, "overlay/network.py", seeded)
+    violations = lint_paths([copy])
+    expected_line = _line_of(seeded, "time.time())")
+    assert [(v.rule_id, v.line) for v in violations] == [("RPL004", expected_line)]
