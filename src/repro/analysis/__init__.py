@@ -14,20 +14,38 @@ shipped:
   ``src/repro`` must stay deterministic under a fixed seed.
 
 ``repro.analysis`` turns each contract into an AST-level rule with a
-machine-readable id:
+machine-readable id.  Since reprolint v2 the rules run against a
+whole-program call graph (:mod:`repro.analysis.flow`), so RPL001/RPL002
+obligations may be satisfied by a *provably called* helper any number of
+call levels down, and three flow-powered rules guard the ROADMAP's next
+invariants:
 
 ========  ==============================================================
 RPL001    delta-stream: ``_neighbours`` mutations must notify recorders
+          (directly or via a transitively-called function)
 RPL002    index-sync: peer/coordinate mutations must maintain the index
+          (directly or via a transitively-called function)
 RPL003    byte-identity: no unordered float accumulation in guarded modules
 RPL004    determinism: no global RNG, unseeded RNG, or wall-clock reads
+RPL005    hot-path complexity: no O(population) work reachable from a
+          ``@hot_path`` entry (:func:`repro.contracts.hot_path`)
+RPL006    purity: ``path_independent`` selection classes never write
+          attributes outside ``__init__`` nor read mutable module globals
+          on select paths
+RPL007    exception-safety: ``ConvergenceError`` handlers around an
+          incremental converge invalidate the engine before resuming
 RPL000    a suppression pragma without a justification is itself an error
 ========  ==============================================================
 
-Run it as ``python -m repro.analysis [paths...]`` (exit status 0 iff clean),
-through the ``lint`` CLI subcommand (``python -m repro.cli lint``), or from
-pytest via the self-check in ``tests/analysis/test_self_check.py``.  A rule
-is suppressed per line with an *explained* inline pragma::
+Run it as ``python -m repro.analysis [paths...]`` or through the ``lint``
+CLI subcommand (``python -m repro.cli lint``, same flags), or from pytest
+via the self-check in ``tests/analysis/test_self_check.py``.  Exit codes:
+0 clean, 1 findings (contract violations and/or bench-schema errors),
+2 parse-or-config error (an analyzed file does not parse, or an unknown
+rule id was passed to ``--select``/``--ignore``).  ``--format`` renders
+``text``, ``json`` or ``sarif`` (SARIF 2.1.0, for code-scanning upload);
+``--select``/``--ignore`` filter rules by id.  A rule is suppressed per
+line with an *explained* inline pragma::
 
     acc = sum(block)  # reprolint: disable=RPL003 reason=block is a sorted list
 
@@ -45,22 +63,29 @@ from repro.analysis.core import (
     Pragma,
     Rule,
     Violation,
+    analyze_project,
     analyze_source,
     parse_pragmas,
 )
-from repro.analysis.runner import all_rules, lint_paths, main
+from repro.analysis.flow import FlowAnalysis
+from repro.analysis.runner import all_rules, lint_paths, main, resolve_selection
+from repro.analysis.sarif import render_sarif
 
 __all__ = [
     "BENCH_RECORD_SCHEMA",
+    "FlowAnalysis",
     "ModuleContext",
     "Pragma",
     "Rule",
     "Violation",
     "all_rules",
+    "analyze_project",
     "analyze_source",
     "lint_paths",
     "main",
     "parse_pragmas",
+    "render_sarif",
+    "resolve_selection",
     "validate_bench_directory",
     "validate_bench_record",
 ]

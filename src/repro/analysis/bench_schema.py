@@ -79,24 +79,32 @@ def _check_value(value: Any, schema: Dict[str, Any], where: str) -> List[str]:
     return errors
 
 
-def validate_bench_record(record: Any) -> List[str]:
-    """Validate one decoded record; returns human-readable error strings."""
-    errors = _check_value(record, BENCH_RECORD_SCHEMA, "record")
+def validate_bench_record(record: Any, *, label: str = "record") -> List[str]:
+    """Validate one decoded record; returns human-readable error strings.
+
+    ``label`` prefixes every message -- the directory walker passes
+    ``record[i]`` for the i-th entry of a list-shaped file, so an error
+    always names exactly which record (and, one level up, which file) it
+    came from.
+    """
+    errors = _check_value(record, BENCH_RECORD_SCHEMA, label)
     if errors:
         return errors
     for key in BENCH_RECORD_SCHEMA["required"]:
         if key not in record:
-            errors.append(f"record: required key '{key}' is missing")
+            errors.append(f"{label}: required key '{key}' is missing")
     for key, schema in BENCH_RECORD_SCHEMA["properties"].items():
         if key in record:
-            errors.extend(_check_value(record[key], schema, key))
+            errors.extend(_check_value(record[key], schema, f"{label}: {key}"))
     return errors
 
 
 def validate_bench_directory(paths: Sequence[Union[str, Path]]) -> List[str]:
     """Validate every ``BENCH_*.json`` under the given files/directories.
 
-    Returns ``path: message`` strings; an empty list means every record is
+    A file may hold one record object or a list of them.  Returns
+    ``path: record[...]: message`` strings, so a failing key is traceable
+    to its file and record index; an empty list means every record is
     well-formed.  A directory with no records is *not* an error (a fresh
     clone has none until the weekly job runs).
     """
@@ -114,7 +122,17 @@ def validate_bench_directory(paths: Sequence[Union[str, Path]]) -> List[str]:
         except (OSError, json.JSONDecodeError) as error:
             errors.append(f"{record_path}: unreadable record ({error})")
             continue
-        errors.extend(
-            f"{record_path}: {message}" for message in validate_bench_record(decoded)
-        )
+        if isinstance(decoded, list):
+            for index, entry in enumerate(decoded):
+                errors.extend(
+                    f"{record_path}: {message}"
+                    for message in validate_bench_record(
+                        entry, label=f"record[{index}]"
+                    )
+                )
+        else:
+            errors.extend(
+                f"{record_path}: {message}"
+                for message in validate_bench_record(decoded)
+            )
     return errors

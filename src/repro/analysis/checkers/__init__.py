@@ -7,7 +7,10 @@ ordered tuple below is what the driver runs.  New contracts register here.
 from repro.analysis.checkers.byte_identity import BYTE_IDENTITY_RULE
 from repro.analysis.checkers.delta_stream import DELTA_STREAM_RULE
 from repro.analysis.checkers.determinism import DETERMINISM_RULE
+from repro.analysis.checkers.exception_safety import EXCEPTION_SAFETY_RULE
+from repro.analysis.checkers.hot_path import HOT_PATH_RULE
 from repro.analysis.checkers.index_sync import INDEX_SYNC_RULE
+from repro.analysis.checkers.purity import PURITY_RULE
 from repro.analysis.core import Rule
 
 ALL_RULES: "tuple[Rule, ...]" = (
@@ -15,6 +18,9 @@ ALL_RULES: "tuple[Rule, ...]" = (
     INDEX_SYNC_RULE,
     BYTE_IDENTITY_RULE,
     DETERMINISM_RULE,
+    HOT_PATH_RULE,
+    PURITY_RULE,
+    EXCEPTION_SAFETY_RULE,
 )
 
 __all__ = [
@@ -22,5 +28,8 @@ __all__ = [
     "BYTE_IDENTITY_RULE",
     "DELTA_STREAM_RULE",
     "DETERMINISM_RULE",
+    "EXCEPTION_SAFETY_RULE",
+    "HOT_PATH_RULE",
     "INDEX_SYNC_RULE",
+    "PURITY_RULE",
 ]

@@ -1,16 +1,19 @@
 """Shared AST plumbing for the contract checkers.
 
-The checkers are deliberately *syntactic*: they track names, attribute
-chains and same-scope aliases rather than attempting type inference.  The
-helpers here keep those heuristics in one place so every checker draws the
-same line between "provably fine", "needs a justified pragma" and
-"violation".
+The implementations live in :mod:`repro.analysis.astutils` (a dependency
+leaf the flow engine also imports); this module re-exports them under the
+historical name so the checkers keep one import site.
 """
 
 from __future__ import annotations
 
-import ast
-from typing import Iterator, List, Optional, Set, Tuple
+from repro.analysis.astutils import (
+    SET_MUTATORS,
+    dotted_name,
+    is_setlike,
+    iter_functions,
+    own_nodes,
+)
 
 __all__ = [
     "SET_MUTATORS",
@@ -19,108 +22,3 @@ __all__ = [
     "iter_functions",
     "is_setlike",
 ]
-
-#: Method names that mutate a ``set`` / ``dict`` in place.
-SET_MUTATORS = frozenset(
-    {
-        "add",
-        "discard",
-        "remove",
-        "update",
-        "clear",
-        "pop",
-        "popitem",
-        "setdefault",
-        "difference_update",
-        "intersection_update",
-        "symmetric_difference_update",
-    }
-)
-
-_SCOPE_BOUNDARIES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
-
-
-def dotted_name(node: ast.AST) -> Optional[str]:
-    """``a.b.c`` for a Name/Attribute chain, ``None`` for anything else."""
-    if isinstance(node, ast.Name):
-        return node.id
-    if isinstance(node, ast.Attribute):
-        base = dotted_name(node.value)
-        if base is None:
-            return None
-        return f"{base}.{node.attr}"
-    return None
-
-
-def own_nodes(function: ast.AST) -> Iterator[ast.AST]:
-    """Every node of a function's own body, not descending into nested defs.
-
-    Nested functions and classes are separate scopes with their own
-    notification obligations, so a mutation inside a closure never borrows
-    an outer scope's notification call (and vice versa).
-    """
-    stack: List[ast.AST] = list(ast.iter_child_nodes(function))
-    while stack:
-        node = stack.pop()
-        if isinstance(node, _SCOPE_BOUNDARIES):
-            continue
-        yield node
-        stack.extend(ast.iter_child_nodes(node))
-
-
-def iter_functions(
-    tree: ast.Module,
-) -> Iterator[Tuple[ast.AST, Optional[str]]]:
-    """Yield ``(function, enclosing_class_name)`` for every def in a module."""
-    stack: List[Tuple[ast.AST, Optional[str]]] = [(tree, None)]
-    while stack:
-        node, class_name = stack.pop()
-        for child in ast.iter_child_nodes(node):
-            if isinstance(child, ast.ClassDef):
-                stack.append((child, child.name))
-            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                yield child, class_name
-                stack.append((child, class_name))
-            else:
-                stack.append((child, class_name))
-
-
-def is_setlike(node: ast.AST, setlike_names: Set[str]) -> bool:
-    """Whether an expression syntactically produces a ``set`` or ``dict``.
-
-    Covers literals and comprehensions, ``set()``/``frozenset()``/``dict()``
-    constructor calls, ``.keys()``/``.values()``/``.items()`` views, set
-    algebra over any of those, and local names recorded in
-    ``setlike_names`` (maintained by the caller from same-scope
-    assignments).  Lists and tuples are ordered, hence never set-like.
-    """
-    if isinstance(node, (ast.Set, ast.SetComp, ast.Dict, ast.DictComp)):
-        return True
-    if isinstance(node, ast.Name):
-        return node.id in setlike_names
-    if isinstance(node, ast.Call):
-        name = dotted_name(node.func)
-        if name in {"set", "frozenset", "dict"}:
-            return True
-        if isinstance(node.func, ast.Attribute) and node.func.attr in {
-            "keys",
-            "values",
-            "items",
-        }:
-            return True
-        if isinstance(node.func, ast.Attribute) and node.func.attr in {
-            "union",
-            "intersection",
-            "difference",
-            "symmetric_difference",
-            "copy",
-        }:
-            return is_setlike(node.func.value, setlike_names)
-        return False
-    if isinstance(node, ast.BinOp) and isinstance(
-        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
-    ):
-        return is_setlike(node.left, setlike_names) or is_setlike(
-            node.right, setlike_names
-        )
-    return False

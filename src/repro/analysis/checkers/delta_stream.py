@@ -3,13 +3,25 @@
 Every mutation of ``OverlayNetwork._neighbours`` (direct attribute rebind,
 subscript assignment or deletion, in-place set mutators on the map or on
 one of its entries, through the attribute itself or a same-scope alias)
-must be paired, in the same function scope, with a notification of the
+must be paired, in the same call context, with a notification of the
 attached delta recorders: a call to
 :meth:`~repro.overlay.network.OverlayNetwork.notify_selection_change` (or
 its private alias) or direct ``note_touch`` / ``note_leave`` recorder
 calls.  ``note_join`` alone does *not* satisfy the contract -- it records
 membership but not the bootstrap edges' adjacency touch, which is exactly
 the drift PR 4 fixed in ``add_peer``.
+
+Since reprolint v2 the obligation is *interprocedural*: a mutation is also
+satisfied when any function the scope provably calls (through the
+:mod:`repro.analysis.flow` call graph -- direct calls, ``self.`` dispatch,
+imported names) transitively notifies.  Unresolved calls never satisfy it.
+Two escape hatches are proven, not pragma'd:
+
+* *fresh overlays*: a local constructed in-scope via ``cls(...)`` /
+  ``OverlayNetwork(...)`` that never escapes (never passed to a call,
+  never stored, no ``delta_stream`` access) cannot have recorders
+  attached, so mutating its map needs no notification;
+* notifications made one call level below the mutation.
 
 Ownership is resolved syntactically: ``self`` inside ``class
 OverlayNetwork``, any name or attribute containing ``overlay``, any
@@ -21,7 +33,7 @@ those.  The ``PeerProcess`` simulator keeps its own private
 from __future__ import annotations
 
 import ast
-from typing import List, Optional, Set
+from typing import Dict, List, Optional, Set
 
 from repro.analysis.checkers.common import (
     SET_MUTATORS,
@@ -104,6 +116,76 @@ class _FunctionScope:
                 self.overlay_names.add(target)
 
 
+def _root_name(node: ast.AST) -> Optional[str]:
+    """The base ``Name`` of an attribute/subscript chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _fresh_overlay_locals(function: ast.AST) -> Set[str]:
+    """Locals provably holding a freshly constructed, non-escaping overlay.
+
+    A name qualifies when it is assigned exactly once, from a direct
+    ``cls(...)`` or ``OverlayNetwork(...)`` construction, and every other
+    occurrence is an attribute/subscript base, a rebind target, or a
+    ``return`` value.  Passing the name to any call, storing it anywhere,
+    or touching ``.delta_stream`` on it disqualifies -- those are the only
+    ways a recorder could observe the object.
+    """
+    constructed: Dict[str, int] = {}
+    assigned: Dict[str, int] = {}
+    nodes = list(own_nodes(function))
+    parents: Dict[int, ast.AST] = {}
+    for node in nodes:
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    for node in nodes:
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                assigned[target.id] = assigned.get(target.id, 0) + 1
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name) and isinstance(node.value, ast.Call):
+                callee = dotted_name(node.value.func)
+                if callee is not None and callee.split(".")[-1] in {
+                    "cls",
+                    "OverlayNetwork",
+                }:
+                    constructed[target.id] = node.value.lineno
+    candidates = {name for name in constructed if assigned.get(name) == 1}
+    if not candidates:
+        return set()
+    for node in nodes:
+        if not isinstance(node, ast.Name) or node.id not in candidates:
+            continue
+        parent = parents.get(id(node))
+        if isinstance(parent, ast.Attribute) and parent.value is node:
+            if parent.attr == "delta_stream":
+                candidates.discard(node.id)
+            continue
+        if isinstance(parent, ast.Subscript) and parent.value is node:
+            continue
+        if isinstance(parent, ast.Return):
+            continue
+        if isinstance(parent, ast.Assign) and node in parent.targets:
+            continue
+        if isinstance(parent, ast.Call) and isinstance(node.ctx, ast.Load):
+            # The construction call itself is the value of the defining
+            # assignment; the name cannot occur inside it.  Any other call
+            # touching the name means escape.
+            candidates.discard(node.id)
+            continue
+        if isinstance(node.ctx, ast.Load):
+            candidates.discard(node.id)
+    return candidates
+
+
 def _check_function(
     context: ModuleContext, function: ast.AST, class_name: Optional[str]
 ) -> None:
@@ -111,8 +193,14 @@ def _check_function(
     if qualified in ALLOWLIST:
         return
     scope = _FunctionScope(function, class_name)
+    fresh = _fresh_overlay_locals(function)
     mutations = []
     notified = False
+    def add_mutation(line: int, what: str, owner: ast.AST) -> None:
+        if _root_name(owner) in fresh:
+            return  # proven fresh overlay: no recorder can be attached
+        mutations.append((line, what))
+
     # Single ordered pass: Python builds aliases before using them, and a
     # notification anywhere in the scope satisfies the contract, so order
     # of discovery does not matter for the verdict.
@@ -129,24 +217,24 @@ def _check_function(
             scope.record_assignment(node)
             for target in node.targets:
                 if scope.is_neighbour_map(target):
-                    mutations.append((node.lineno, "rebinds the neighbour map"))
+                    add_mutation(node.lineno, "rebinds the neighbour map", target)
                 elif isinstance(target, ast.Subscript) and scope.is_neighbour_map(
                     target.value
                 ):
-                    mutations.append((node.lineno, "assigns a neighbour-map entry"))
+                    add_mutation(node.lineno, "assigns a neighbour-map entry", target)
         elif isinstance(node, ast.AugAssign):
             target = node.target
             if scope.is_neighbour_map(target) or (
                 isinstance(target, ast.Subscript)
                 and scope.is_neighbour_map(target.value)
             ):
-                mutations.append((node.lineno, "augments the neighbour map"))
+                add_mutation(node.lineno, "augments the neighbour map", target)
         elif isinstance(node, ast.Delete):
             for target in node.targets:
                 if isinstance(target, ast.Subscript) and scope.is_neighbour_map(
                     target.value
                 ):
-                    mutations.append((node.lineno, "deletes a neighbour-map entry"))
+                    add_mutation(node.lineno, "deletes a neighbour-map entry", target)
         elif isinstance(node, ast.Call):
             if isinstance(node.func, ast.Attribute):
                 if node.func.attr in NOTIFIERS:
@@ -157,10 +245,16 @@ def _check_function(
                         isinstance(owner, ast.Subscript)
                         and scope.is_neighbour_map(owner.value)
                     ):
-                        mutations.append(
-                            (node.lineno, f"calls .{node.func.attr}() on neighbour state")
+                        add_mutation(
+                            node.lineno,
+                            f"calls .{node.func.attr}() on neighbour state",
+                            owner,
                         )
     if notified or not mutations:
+        return
+    if context.flow.transitively_notifies(function):
+        # Interprocedural satisfaction: some function this scope provably
+        # calls (any call level down) notifies the recorders.
         return
     for line, what in mutations:
         context.report(

@@ -1,0 +1,126 @@
+"""RPL007 -- convergence exception-safety.
+
+When an incremental convergence (``converge`` / ``insert_and_converge`` /
+``remove_and_converge`` / ``apply_batch``, or any resolved callee that
+transitively raises) aborts with ``ConvergenceError``, the engine's
+internal worklists are mid-transaction: PR 4's bug class was exactly a
+caller that swallowed the error and kept using the stale engine.  This
+rule therefore requires every ``except`` clause catching
+``ConvergenceError`` around a converge call to *invalidate before
+resuming*: the handler must call ``invalidate_engine()`` (directly or via
+a resolved callee that transitively does), assign ``..._engine = None``,
+or re-raise (any ``raise``, bare or transformed).  Handlers that merely
+log and continue are flagged at the handler line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Sequence
+
+from repro.analysis.checkers.common import dotted_name, iter_functions
+from repro.analysis.core import ModuleContext, Rule
+from repro.analysis.flow.summaries import CONVERGE_CALLS, catches_convergence_error
+
+RULE_ID = "RPL007"
+
+_SCOPE_BOUNDARIES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+def _scoped_walk(statements: Sequence[ast.AST]) -> Iterator[ast.AST]:
+    """Walk statement subtrees without descending into nested defs."""
+    stack: List[ast.AST] = list(statements)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _SCOPE_BOUNDARIES):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _call_name(call: ast.Call) -> str:
+    name = dotted_name(call.func)
+    return name.split(".")[-1] if name else ""
+
+
+class ExceptionSafetyChecker(ast.NodeVisitor):
+    """Flag ConvergenceError handlers that resume with a stale engine."""
+
+    def __init__(self, context: ModuleContext) -> None:
+        self._context = context
+
+    def visit_Module(self, node: ast.Module) -> None:
+        for function, _class_name in iter_functions(node):
+            for statement in _scoped_walk(getattr(function, "body", [])):
+                if isinstance(statement, ast.Try):
+                    self._check_try(function, statement)
+
+    def _check_try(self, function: ast.AST, statement: ast.Try) -> None:
+        if not self._body_converges(function, statement.body):
+            return
+        for handler in statement.handlers:
+            if not catches_convergence_error(handler):
+                continue
+            if self._handler_invalidates(function, handler):
+                continue
+            self._context.report(
+                RULE_ID,
+                handler.lineno,
+                "catches ConvergenceError around an incremental converge "
+                "without invalidating the engine; call invalidate_engine() "
+                "(or re-raise) before resuming, or the next converge runs "
+                "against mid-transaction worklists",
+            )
+
+    def _body_converges(self, function: ast.AST, body: Sequence[ast.AST]) -> bool:
+        flow = self._context.flow
+        for node in _scoped_walk(body):
+            if not isinstance(node, ast.Call):
+                continue
+            if _call_name(node) in CONVERGE_CALLS:
+                return True
+            resolved = flow.resolve_call_site(function, node)
+            if resolved is not None and flow.transitively_raises_convergence(resolved):
+                return True
+        return False
+
+    def _handler_invalidates(
+        self, function: ast.AST, handler: ast.ExceptHandler
+    ) -> bool:
+        flow = self._context.flow
+        for node in _scoped_walk(handler.body):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Call):
+                if _call_name(node) == "invalidate_engine":
+                    return True
+                resolved = flow.resolve_call_site(function, node)
+                if resolved is not None and flow.transitively_invalidates_engine(
+                    resolved
+                ):
+                    return True
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                value = node.value
+                assigns_none = isinstance(value, ast.Constant) and value.value is None
+                for target in targets:
+                    if (
+                        assigns_none
+                        and isinstance(target, ast.Attribute)
+                        and target.attr == "_engine"
+                    ):
+                        return True
+        return False
+
+
+EXCEPTION_SAFETY_RULE = Rule(
+    rule_id=RULE_ID,
+    name="convergence-exception-safety",
+    invariant=(
+        "ConvergenceError handlers around incremental converges invalidate "
+        "the engine (or re-raise) before resuming"
+    ),
+    factory=ExceptionSafetyChecker,
+)

@@ -1,0 +1,71 @@
+"""RPL005 -- the hot-path complexity sentinel.
+
+The ROADMAP's "Road to N>=100k" item rests on the incremental layers
+(:mod:`repro.overlay.incremental`, :mod:`repro.multicast.incremental`)
+doing work proportional to the *change set*, never the peer population.
+The entry points carrying that promise are marked ``@hot_path``
+(:func:`repro.contracts.hot_path`); this rule walks the
+:mod:`repro.analysis.flow` call graph from every marked function and flags,
+anywhere in the closure:
+
+* iteration over the full peer population (``for p in overlay._peers`` and
+  spelling variants),
+* population-shaped accessor calls (zero-argument ``.adjacency()`` /
+  ``.snapshot()`` / ``.directed_neighbour_map()`` / ``.peers()``, any-arity
+  ``.knowledge_set(s)()``),
+* O(N) id-set materialisation (``set(self._peers)`` and kin).
+
+Reachability follows *proven* edges only -- an unresolved call never
+extends the hot region, so the rule under-approximates reachability but
+never flags code that provably is not on a hot path.  A flagged construct
+needs a restructure or a pragma with a scaling justification.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.checkers.common import iter_functions
+from repro.analysis.core import ModuleContext, Rule
+
+RULE_ID = "RPL005"
+
+
+class HotPathChecker(ast.NodeVisitor):
+    """Report population-sized constructs inside the hot-path closure."""
+
+    def __init__(self, context: ModuleContext) -> None:
+        self._context = context
+
+    def visit_Module(self, node: ast.Module) -> None:
+        flow = self._context.flow
+        hot_region = flow.hot_reachable()
+        for function, class_name in iter_functions(node):
+            info = flow.function(function)
+            if info is None:
+                continue
+            entry = hot_region.get(info.key)
+            if entry is None:
+                continue
+            qualified = (
+                f"{class_name}.{function.name}" if class_name else function.name
+            )
+            for site in info.summary.population_sites:
+                self._context.report(
+                    RULE_ID,
+                    site.line,
+                    f"'{qualified}' {site.what} but is reachable from the "
+                    f"@hot_path entry '{entry}', which must stay O(changes); "
+                    "restructure, or suppress with a scaling justification",
+                )
+
+
+HOT_PATH_RULE = Rule(
+    rule_id=RULE_ID,
+    name="hot-path-complexity",
+    invariant=(
+        "functions reachable from @hot_path entries never iterate the full "
+        "peer population or materialise O(N) id sets"
+    ),
+    factory=HotPathChecker,
+)

@@ -6,11 +6,16 @@ membership or coordinate mutation maintains the overlay's owned
 paths are ``add_peer`` / ``remove_peer`` / ``apply_batch`` /
 ``build_equilibrium``; any *other* function that mutates peer state --
 the ``_peers`` map (or an alias of it), or a peer's ``coordinates``
-attribute -- must touch the index in the same scope (an
+attribute -- must touch the index in the same call context (an
 ``insert``/``remove``/``move``/``rebuild``/``clear`` call on an
 index-named object, or a rebind of an ``_index`` attribute), or indexed
 selections silently diverge from the scans they must stay byte-identical
 with.
+
+Since reprolint v2 the obligation is *interprocedural*: maintenance done
+by any function the mutating scope provably calls (through the
+:mod:`repro.analysis.flow` call graph) also satisfies it.  Unresolved
+calls never do.
 """
 
 from __future__ import annotations
@@ -107,6 +112,10 @@ def _check_function(
                         (node.lineno, f"calls .{node.func.attr}() on the peer map")
                     )
     if index_touched or not mutations:
+        return
+    if context.flow.transitively_maintains_index(function):
+        # Interprocedural satisfaction: a provably-called function (any
+        # call level down) maintains the index for this mutation.
         return
     qualified = f"{class_name}.{function.name}" if class_name else function.name
     for line, what in mutations:

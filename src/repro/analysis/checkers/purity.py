@@ -1,0 +1,97 @@
+"""RPL006 -- path-independence purity.
+
+A selection class declaring ``path_independent = True`` promises that
+``select*`` answers depend only on the arguments and construction-time
+configuration -- the precondition for the additive-delta shortcut and for
+sharded convergence (ROADMAP).  This rule enforces the two ways a class
+can silently break that promise:
+
+* writing instance/class attributes outside ``__init__`` (any rebind,
+  augmented assign, delete, or ``setattr(self, ...)`` in any method; a
+  *subscript store* into an ``__init__``-created container, e.g. a lazy
+  per-dimension cache, is deliberately allowed -- it memoises, it does not
+  change what is computed),
+* reading *mutable* module globals (dict/list/set literals or factory
+  calls at module level) from ``select*`` or anything it transitively
+  calls through the :mod:`repro.analysis.flow` call graph.
+
+The ``path_independent`` marker itself is resolved through the class MRO,
+so subclasses of a marked base are checked too.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Set
+
+from repro.analysis.core import ModuleContext, Rule
+from repro.analysis.flow.symbols import ClassDecl, ModuleSymbols
+
+RULE_ID = "RPL006"
+
+
+class PurityChecker(ast.NodeVisitor):
+    """Check every path_independent class declared in this module."""
+
+    def __init__(self, context: ModuleContext) -> None:
+        self._context = context
+
+    def visit_Module(self, node: ast.Module) -> None:
+        flow = self._context.flow
+        for symbols, decl in flow.path_independent_classes():
+            if symbols.key != self._context.flow_key:
+                continue
+            self._check_attr_writes(decl)
+            self._check_global_reads(symbols, decl)
+
+    def _check_attr_writes(self, decl: ClassDecl) -> None:
+        seen: Set[int] = set()
+        for method_name, method_node in decl.methods.items():
+            if method_name == "__init__" or id(method_node) in seen:
+                continue
+            seen.add(id(method_node))
+            info = self._context.flow.function(method_node)
+            if info is None:
+                continue
+            for write in info.summary.attr_writes:
+                self._context.report(
+                    RULE_ID,
+                    write.line,
+                    f"'{decl.name}.{method_name}' {write.what} outside "
+                    "__init__, but the class declares path_independent=True; "
+                    "selection results must not depend on call history",
+                )
+
+    def _check_global_reads(self, symbols: ModuleSymbols, decl: ClassDecl) -> None:
+        flow = self._context.flow
+        for key in sorted(flow.select_closure(symbols, decl)):
+            info = flow.function_by_key(key)
+            if info is None:
+                continue
+            for line, name in flow.mutable_global_reads(info):
+                if info.module_key == self._context.flow_key:
+                    where, at = f"'{info.qualified}'", line
+                else:
+                    where, at = (
+                        f"'{info.qualified}' (reached from "
+                        f"'{decl.name}.select*')",
+                        decl.node.lineno,
+                    )
+                self._context.report(
+                    RULE_ID,
+                    at,
+                    f"{where} reads the mutable module global '{name}' on a "
+                    f"select path of path-independent '{decl.name}'; pass it "
+                    "as construction-time configuration instead",
+                )
+
+
+PURITY_RULE = Rule(
+    rule_id=RULE_ID,
+    name="path-independence-purity",
+    invariant=(
+        "path_independent selection classes never write attributes outside "
+        "__init__ nor read mutable module globals on select paths"
+    ),
+    factory=PurityChecker,
+)

@@ -25,7 +25,9 @@ import re
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.flow.engine import FlowAnalysis, ProjectModule
 
 __all__ = [
     "PRAGMA_RULE_ID",
@@ -38,6 +40,7 @@ __all__ = [
     "infer_module",
     "analyze_source",
     "analyze_file",
+    "analyze_project",
 ]
 
 #: Rule id reported for malformed (reason-less) suppression pragmas.
@@ -97,12 +100,20 @@ class Rule:
 
 @dataclass
 class ModuleContext:
-    """Everything a checker may need about the module under analysis."""
+    """Everything a checker may need about the module under analysis.
+
+    ``flow`` is the whole-program :class:`FlowAnalysis` shared by every
+    module of the run; when analyzing a single source string it still holds
+    a one-module analysis, so checkers can query it unconditionally.
+    ``flow_key`` is this module's key inside it.
+    """
 
     path: str
     module: Optional[str]
     source: str
     tree: ast.Module
+    flow: FlowAnalysis
+    flow_key: str
     violations: List[Violation] = field(default_factory=list)
 
     def report(self, rule_id: str, line: int, message: str) -> None:
@@ -191,6 +202,28 @@ def _apply_pragmas(
     return results
 
 
+def _parse_violation(path: str, error: SyntaxError) -> Violation:
+    return Violation(
+        PARSE_RULE_ID,
+        f"file does not parse: {error.msg}",
+        path,
+        error.lineno or 1,
+    )
+
+
+def _run_rules(
+    context: ModuleContext, rules: Sequence[Rule]
+) -> List[Violation]:
+    for rule in rules:
+        if not rule.applies_to(context.module):
+            continue
+        rule.factory(context).visit(context.tree)
+    violations = _apply_pragmas(
+        context.violations, parse_pragmas(context.source), context.path
+    )
+    return sorted(violations, key=lambda v: (v.line, v.rule_id))
+
+
 def analyze_source(
     source: str,
     rules: Sequence[Rule],
@@ -198,25 +231,65 @@ def analyze_source(
     path: str = "<string>",
     module: Optional[str] = None,
 ) -> List[Violation]:
-    """Run every applicable rule over one module's source text."""
+    """Run every applicable rule over one module's source text.
+
+    The flow analysis here covers just this module, so interprocedural
+    queries resolve same-module calls and degrade (conservatively) on
+    anything imported.  ``analyze_project`` is the whole-program entry.
+    """
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as error:
-        return [
-            Violation(
-                PARSE_RULE_ID,
-                f"file does not parse: {error.msg}",
-                path,
-                error.lineno or 1,
-            )
-        ]
-    context = ModuleContext(path=path, module=module, source=source, tree=tree)
-    for rule in rules:
-        if not rule.applies_to(module):
+        return [_parse_violation(path, error)]
+    project_module = ProjectModule(path=path, module=module, tree=tree)
+    flow = FlowAnalysis([project_module])
+    context = ModuleContext(
+        path=path,
+        module=module,
+        source=source,
+        tree=tree,
+        flow=flow,
+        flow_key=project_module.key,
+    )
+    return _run_rules(context, rules)
+
+
+def analyze_project(
+    paths: Sequence[Path], rules: Sequence[Rule]
+) -> List[Violation]:
+    """Analyze many files against ONE whole-program flow analysis.
+
+    Every file is parsed exactly once; the union of the parseable modules
+    forms the call graph, so a notification made one call level below a
+    mutation -- even in a different module -- satisfies RPL001/RPL002.
+    Unparseable files report :data:`PARSE_RULE_ID` and simply do not
+    contribute symbols (their callers degrade to "may call anything").
+    """
+    violations: List[Violation] = []
+    parsed: List[Tuple[Path, str, Optional[str], ast.Module]] = []
+    modules: List[ProjectModule] = []
+    for path in paths:
+        source = path.read_text(encoding="utf-8")
+        module = infer_module(path)
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as error:
+            violations.append(_parse_violation(str(path), error))
             continue
-        rule.factory(context).visit(tree)
-    violations = _apply_pragmas(context.violations, parse_pragmas(source), path)
-    return sorted(violations, key=lambda v: (v.line, v.rule_id))
+        parsed.append((path, source, module, tree))
+        modules.append(ProjectModule(path=str(path), module=module, tree=tree))
+    flow = FlowAnalysis(modules)
+    for (path, source, module, tree), project_module in zip(parsed, modules):
+        context = ModuleContext(
+            path=str(path),
+            module=module,
+            source=source,
+            tree=tree,
+            flow=flow,
+            flow_key=project_module.key,
+        )
+        violations.extend(_run_rules(context, rules))
+    return violations
 
 
 def analyze_file(path: Path, rules: Sequence[Rule]) -> List[Violation]:

@@ -1,0 +1,59 @@
+"""Whole-program dataflow layer behind reprolint's interprocedural rules.
+
+The package splits into three parts:
+
+* :mod:`repro.analysis.flow.summaries` -- the per-function effect lattice
+  and the shared contract vocabulary (what counts as a notification, an
+  index maintenance call, a population-sized construct, ...),
+* :mod:`repro.analysis.flow.symbols` -- per-module symbol tables (classes,
+  methods, imports, module-global mutability),
+* :mod:`repro.analysis.flow.engine` -- the call graph and the memoized
+  transitive queries the rules consume.
+
+Unresolved calls degrade conservatively: they never satisfy an RPL001 /
+RPL002 obligation and never extend RPL005 hot-path reachability.
+"""
+
+from repro.analysis.flow.engine import FlowAnalysis, FunctionNode, ProjectModule
+from repro.analysis.flow.summaries import (
+    CONVERGE_CALLS,
+    FunctionSummary,
+    HOT_PATH_MARKER,
+    INDEX_MAINTENANCE_CALLS,
+    KNOWLEDGE_ACCESSORS,
+    MATERIALISERS,
+    NOTIFIER_CALLS,
+    POPULATION_ACCESSORS,
+    POPULATION_NAMES,
+    catches_convergence_error,
+    is_hot_marked,
+    summarize_function,
+)
+from repro.analysis.flow.symbols import (
+    ClassDecl,
+    ImportTarget,
+    ModuleSymbols,
+    build_module_symbols,
+)
+
+__all__ = [
+    "FlowAnalysis",
+    "FunctionNode",
+    "ProjectModule",
+    "FunctionSummary",
+    "ClassDecl",
+    "ImportTarget",
+    "ModuleSymbols",
+    "build_module_symbols",
+    "summarize_function",
+    "is_hot_marked",
+    "catches_convergence_error",
+    "NOTIFIER_CALLS",
+    "INDEX_MAINTENANCE_CALLS",
+    "POPULATION_ACCESSORS",
+    "KNOWLEDGE_ACCESSORS",
+    "POPULATION_NAMES",
+    "MATERIALISERS",
+    "CONVERGE_CALLS",
+    "HOT_PATH_MARKER",
+]

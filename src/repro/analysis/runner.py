@@ -2,6 +2,15 @@
 
 Importable surface (used by the ``lint`` CLI subcommand and the pytest
 self-check) plus the ``python -m repro.analysis`` argument parsing.
+
+Exit-code contract (shared by ``python -m repro.analysis`` and the
+``lint`` CLI subcommand)::
+
+    0  clean -- no findings after --select/--ignore filtering
+    1  findings -- contract violations and/or bench-schema errors
+    2  parse-or-config error -- a file failed to parse (RPL999 survived
+       filtering) or the invocation itself is invalid (unknown rule id,
+       bad flag value)
 """
 
 from __future__ import annotations
@@ -9,19 +18,40 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import FrozenSet, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.bench_schema import validate_bench_directory
 from repro.analysis.checkers import ALL_RULES
-from repro.analysis.core import PRAGMA_RULE_ID, Rule, Violation, analyze_file
+from repro.analysis.core import (
+    PARSE_RULE_ID,
+    PRAGMA_RULE_ID,
+    Rule,
+    Violation,
+    analyze_project,
+)
+from repro.analysis.sarif import render_sarif
 
-__all__ = ["all_rules", "iter_python_files", "lint_paths", "main"]
+__all__ = [
+    "all_rules",
+    "iter_python_files",
+    "lint_paths",
+    "resolve_selection",
+    "main",
+]
 
 
 def all_rules() -> Tuple[Rule, ...]:
     """Every registered contract rule, in reporting order."""
     return ALL_RULES
+
+
+def known_rule_ids() -> FrozenSet[str]:
+    """Every id ``--select``/``--ignore`` accepts (rules + framework ids)."""
+    return frozenset(
+        {rule.rule_id for rule in ALL_RULES} | {PRAGMA_RULE_ID, PARSE_RULE_ID}
+    )
 
 
 def iter_python_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
@@ -46,12 +76,47 @@ def iter_python_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
 def lint_paths(
     paths: Sequence[Union[str, Path]], *, rules: Optional[Sequence[Rule]] = None
 ) -> List[Violation]:
-    """Analyze every Python file under ``paths``; returns all violations."""
+    """Analyze every Python file under ``paths`` against one call graph.
+
+    All files are parsed once and share a single whole-program
+    :class:`~repro.analysis.flow.FlowAnalysis`, which is what makes the
+    RPL001/RPL002 obligations and RPL005 reachability interprocedural
+    across module boundaries.
+    """
     active = tuple(rules) if rules is not None else ALL_RULES
-    violations: List[Violation] = []
-    for path in iter_python_files(paths):
-        violations.extend(analyze_file(path, active))
-    return violations
+    return analyze_project(iter_python_files(paths), active)
+
+
+def resolve_selection(
+    select: Optional[Sequence[str]], ignore: Optional[Sequence[str]]
+) -> Tuple[Tuple[Rule, ...], FrozenSet[str]]:
+    """Turn ``--select``/``--ignore`` values into (active rules, kept ids).
+
+    Values are comma-separable and repeatable.  Raises :class:`ValueError`
+    on an id that is neither a registered rule nor a framework id
+    (RPL000 pragma hygiene, RPL999 parse failure).
+    """
+    known = known_rule_ids()
+
+    def expand(values: Optional[Sequence[str]], flag: str) -> FrozenSet[str]:
+        ids = set()
+        for value in values or []:
+            for piece in value.split(","):
+                piece = piece.strip().upper()
+                if not piece:
+                    continue
+                if piece not in known:
+                    choices = ", ".join(sorted(known))
+                    raise ValueError(
+                        f"unknown rule id '{piece}' for {flag} (choose from {choices})"
+                    )
+                ids.add(piece)
+        return frozenset(ids)
+
+    selected = expand(select, "--select") or known
+    kept = selected - expand(ignore, "--ignore")
+    active = tuple(rule for rule in ALL_RULES if rule.rule_id in kept)
+    return active, kept
 
 
 def _render_rules() -> str:
@@ -67,7 +132,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.analysis",
         description=(
             "reprolint: mechanically enforce the delta-stream, index-sync, "
-            "byte-identity and determinism contracts (exit 0 iff clean)"
+            "byte-identity, determinism, hot-path complexity, purity and "
+            "exception-safety contracts (exit 0 clean, 1 findings, "
+            "2 parse-or-config error)"
         ),
     )
     parser.add_argument(
@@ -78,14 +145,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RPL00x[,RPL00y]",
+        help="only run/report these rule ids (repeatable, comma-separable)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="RPL00x[,RPL00y]",
+        help="drop these rule ids from the run/report (repeatable)",
     )
     parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print every rule id and the invariant it guards, then exit",
+    )
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "fail (exit 1) if the analysis itself takes longer than S "
+            "seconds -- the CI latency budget for the call-graph pass"
+        ),
     )
     parser.add_argument(
         "--bench-schema",
@@ -100,12 +189,24 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns the exit status (0 iff everything is clean)."""
+    """CLI entry point; returns the exit status (see module docstring)."""
     args = build_parser().parse_args(list(argv) if argv is not None else None)
     if args.list_rules:
         print(_render_rules())
         return 0
-    violations = lint_paths(args.paths)
+    try:
+        active, kept = resolve_selection(args.select, args.ignore)
+    except ValueError as error:
+        print(f"reprolint: {error}", file=sys.stderr)
+        return 2
+    started = time.perf_counter()
+    violations = [
+        violation
+        for violation in lint_paths(args.paths, rules=active)
+        if violation.rule_id in kept
+    ]
+    elapsed = time.perf_counter() - started
+    over_budget = args.max_seconds is not None and elapsed > args.max_seconds
     failed = bool(violations)
     if args.format == "json":
         print(
@@ -122,6 +223,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 indent=2,
             )
         )
+    elif args.format == "sarif":
+        print(render_sarif(violations, active))
     else:
         for violation in violations:
             print(violation.render())
@@ -136,6 +239,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"bench-schema: {error}", file=sys.stderr)
         if errors:
             failed = True
-        else:
+        elif args.format == "text":
             print("bench-schema: clean")
+    if over_budget:
+        print(
+            f"reprolint: analysis took {elapsed:.2f}s, over the "
+            f"{args.max_seconds:.2f}s budget",
+            file=sys.stderr,
+        )
+        failed = True
+    if any(violation.rule_id == PARSE_RULE_ID for violation in violations):
+        return 2
     return 1 if failed else 0

@@ -1,0 +1,90 @@
+"""Minimal SARIF 2.1.0 rendering of reprolint reports.
+
+Just enough of the standard for GitHub code scanning to ingest: one run,
+one driver, the rule metadata of every registered rule, and one ``result``
+per violation with a physical location.  Everything is plain data so the
+output is byte-stable for identical inputs (rules and results are emitted
+in registry / report order).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.analysis.core import PARSE_RULE_ID, PRAGMA_RULE_ID, Rule, Violation
+
+__all__ = ["SARIF_VERSION", "sarif_report", "render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Rule ids the framework itself owns (not in the registry tuple).
+_FRAMEWORK_RULES = {
+    PRAGMA_RULE_ID: "suppression pragmas must carry a reason= justification",
+    PARSE_RULE_ID: "every analyzed file must parse",
+}
+
+
+def _rule_descriptor(rule_id: str, name: str, description: str) -> Dict[str, Any]:
+    return {
+        "id": rule_id,
+        "name": name,
+        "shortDescription": {"text": description},
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def sarif_report(
+    violations: Sequence[Violation], rules: Sequence[Rule]
+) -> Dict[str, Any]:
+    """Build the SARIF document as plain JSON-ready data."""
+    descriptors: List[Dict[str, Any]] = [
+        _rule_descriptor(rule.rule_id, rule.name, rule.invariant) for rule in rules
+    ]
+    for rule_id, description in sorted(_FRAMEWORK_RULES.items()):
+        descriptors.append(
+            _rule_descriptor(rule_id, rule_id.lower(), description)
+        )
+    results: List[Dict[str, Any]] = []
+    for violation in violations:
+        results.append(
+            {
+                "ruleId": violation.rule_id,
+                "level": "error",
+                "message": {"text": violation.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": violation.path.replace("\\", "/"),
+                            },
+                            "region": {"startLine": max(violation.line, 1)},
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": _SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "rules": descriptors,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(violations: Sequence[Violation], rules: Sequence[Rule]) -> str:
+    """Serialize the SARIF document (stable key order, 2-space indent)."""
+    return json.dumps(sarif_report(violations, rules), indent=2, sort_keys=False)

@@ -14,8 +14,10 @@ one-to-one onto the experiment drivers:
   departure, diurnal wave) replayed through the batched-epoch path with
   live tree and connectivity metrics,
 * ``lint`` -- the reprolint contract checkers (``repro.analysis``) over the
-  given paths (default ``src/repro``); exit status 0 iff every delta-stream,
-  index-sync, byte-identity and determinism contract holds,
+  given paths (default ``src/repro``); extra reprolint flags
+  (``--select``/``--ignore``/``--format``/``--bench-schema`` ...) pass
+  through verbatim; exit status 0 clean, 1 findings, 2 parse-or-config
+  error,
 * ``all`` -- every experiment above in sequence (``lint`` is not an
   experiment and runs only when named explicitly).
 
@@ -151,16 +153,41 @@ def _run_trace(scale) -> None:
     )
 
 
+def _lint_passthrough(raw: List[str]) -> Optional[List[str]]:
+    """If the invocation is the ``lint`` command, the arguments to forward.
+
+    ``lint`` accepts reprolint's own flag surface, which this parser does
+    not know; re-parsing them here would scatter flag values into
+    ``paths``.  So the command is recognised positionally (optionally
+    preceded by ``--scale``, which lint ignores: contract checking is
+    scale-independent) and everything after it is forwarded verbatim.
+    """
+    index = 0
+    while index < len(raw):
+        token = raw[index]
+        if token == "--scale" and index + 1 < len(raw):
+            index += 2
+            continue
+        if token.startswith("--scale="):
+            index += 1
+            continue
+        break
+    if index < len(raw) and raw[index] == "lint":
+        return raw[index + 1 :]
+    return None
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
+    raw = list(argv) if argv is not None else sys.argv[1:]
+    forwarded = _lint_passthrough(raw)
+    if forwarded is not None:
+        # Same argument surface (and exit codes) as python -m repro.analysis.
+        return lint_main(forwarded)
     parser = build_parser()
-    arguments = parser.parse_args(argv)
+    arguments = parser.parse_args(raw)
 
     command = arguments.command
-    if command == "lint":
-        # Contract checking is scale-independent; delegate to the analysis
-        # driver (same argument surface as ``python -m repro.analysis``).
-        return lint_main(arguments.paths)
     scale = resolve_scale(arguments.scale)
     if command in ("figure1a", "all"):
         _run_figure1a(scale)

@@ -1,0 +1,34 @@
+"""Machine-checked contract markers shared by the runtime and reprolint.
+
+The markers here are deliberately runtime-inert: they tag functions with
+metadata that :mod:`repro.analysis` (reprolint) reads *statically*, so the
+guarded packages never pay an import-order or call-time cost for being
+checked.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+__all__ = ["hot_path"]
+
+_F = TypeVar("_F", bound=Callable)
+
+
+def hot_path(function: _F) -> _F:
+    """Mark an O(churn) incremental entry point.
+
+    A ``@hot_path`` function is one the "Road to N>=100k" ROADMAP item
+    promises stays proportional to the *change set*, never the population:
+    the delta-recorder notifications, the mirror/tree/connectivity repair
+    paths that consume drained deltas.  reprolint's RPL005 rule walks the
+    call graph from every marked function and flags full-population
+    iteration or O(N) id-set materialisation anywhere in the closure; a
+    flagged construct needs either a restructure or a justified pragma with
+    a scaling argument.
+
+    The decorator itself only sets an attribute -- behaviour is unchanged,
+    and the marker survives ``functools.wraps`` copying.
+    """
+    function.__hot_path__ = True  # type: ignore[attr-defined]
+    return function

@@ -53,6 +53,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
 
+from repro.contracts import hot_path
 from repro.geometry.distance import DistanceFunction, get_distance
 from repro.metrics.trees import StreamingTreeMetrics, TreeMetrics
 from repro.multicast.dissemination import TreeHealthSample
@@ -207,6 +208,7 @@ class TreeMaintenanceEngine:
         self._reparent_operations = 0
         self._applied_deltas = 0
 
+    @hot_path
     def add_peer(self, peer_id: int, lifetime: float) -> None:
         """Register a peer as a fresh isolated root."""
         if peer_id in self._parents:
@@ -226,6 +228,7 @@ class TreeMaintenanceEngine:
         self._metrics.add_node(peer_id, depth=0, has_parent=False)
         self._version += 1
 
+    @hot_path
     def remove_peer(self, peer_id: int) -> None:
         """Remove a peer; any children it still has become roots.
 
@@ -246,6 +249,7 @@ class TreeMaintenanceEngine:
         self._metrics.remove_node(peer_id)
         self._version += 1
 
+    @hot_path
     def set_parent(self, child: int, parent: Optional[int]) -> None:
         """Single edge repair: replace ``child``'s preferred-neighbour link.
 
@@ -292,6 +296,7 @@ class TreeMaintenanceEngine:
         self._version += 1
         self._reparent_operations += 1
 
+    @hot_path
     def apply(self, delta: TreeDelta) -> None:
         """Apply one repair batch: departures, then joins, then re-parents.
 
@@ -469,6 +474,7 @@ class StabilityTreeMaintainer:
         self._mirror.adopt(self._overlay)
         self._full_rebuilds += 1
 
+    @hot_path
     def refresh(self) -> TreeDelta:
         """Drain the overlay delta stream and repair the tree accordingly.
 
@@ -561,6 +567,7 @@ class OverlayConnectivityFeed:
                 self.tracker.add_edge(peer_id, target)
         self._recorder.drain()
 
+    @hot_path
     def sync(self) -> None:
         """Fold the overlay changes since the last sync into the tracker."""
         delta = self._recorder.drain()
@@ -621,6 +628,7 @@ class IncrementalConnectivity:
     # ------------------------------------------------------------------
     # Mutations
     # ------------------------------------------------------------------
+    @hot_path
     def add_node(self, node: int) -> None:
         """Track a new isolated node."""
         if node in self._nodes:
@@ -631,6 +639,7 @@ class IncrementalConnectivity:
         self._uf_rank[node] = 0
         self._components += 1
 
+    @hot_path
     def remove_node(self, node: int) -> None:
         """Forget a node and every edge incident to it (marks the epoch dirty)."""
         if node not in self._nodes:
@@ -651,6 +660,7 @@ class IncrementalConnectivity:
         self._uf_parent.pop(node, None)
         self._uf_rank.pop(node, None)
 
+    @hot_path
     def add_edge(self, source: int, target: int) -> None:
         """Add one (directed) edge; unioned immediately unless the epoch is dirty."""
         if source == target:
@@ -667,6 +677,7 @@ class IncrementalConnectivity:
         if not self._dirty and self._union(source, target):
             self._components -= 1
 
+    @hot_path
     def remove_edge(self, source: int, target: int) -> None:
         """Remove one (directed) edge if present (marks the epoch dirty)."""
         edge = (source, target)

@@ -84,6 +84,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Set
 
+from repro.contracts import hot_path
 from repro.overlay.gossip import knowledge_set_deltas, knowledge_sets
 from repro.overlay.peer import PeerInfo
 
@@ -130,11 +131,13 @@ class OverlayDeltaRecorder:
         self._departed: Set[int] = set()
         self._touched: Set[int] = set()
 
+    @hot_path
     def note_join(self, peer_id: int) -> None:
         """A peer entered the overlay (possibly re-using a departed id)."""
         self._joined.add(peer_id)
         self._touched.add(peer_id)
 
+    @hot_path
     def note_leave(self, peer_id: int) -> None:
         """A peer left the overlay."""
         if peer_id in self._joined:
@@ -144,10 +147,12 @@ class OverlayDeltaRecorder:
         else:
             self._departed.add(peer_id)
 
+    @hot_path
     def note_touch(self, peer_ids: Iterable[int]) -> None:
         """The undirected adjacency of these peers may have changed."""
         self._touched.update(peer_ids)
 
+    @hot_path
     def drain(self) -> OverlayDelta:
         """Return the accumulated delta and reset the recorder."""
         delta = OverlayDelta(
@@ -202,6 +207,7 @@ class DirectedSelectionMirror:
             peer_id, set()
         )
 
+    @hot_path
     def apply(
         self, delta: OverlayDelta, overlay: "OverlayNetwork"
     ) -> Dict[int, "tuple[FrozenSet[int], FrozenSet[int]]"]:
@@ -255,6 +261,7 @@ RESELECT_SKIP = "skip"
 RESELECT_ADDITIVE = "additive"
 
 
+@hot_path
 def classify_reselect(
     last_candidates: Optional[FrozenSet[int]],
     gained: Set[int],

@@ -426,7 +426,7 @@ class OverlayNetwork:
                     )
                     changed = True
             self._neighbours = new_neighbours
-            self._engine = None
+            self.invalidate_engine()
             return changed
         if self._gossip_radius is None:
             candidates_by_peer = {
@@ -454,8 +454,22 @@ class OverlayNetwork:
                 )
                 changed = True
         self._neighbours = new_neighbours
-        self._engine = None
+        self.invalidate_engine()
         return changed
+
+    def invalidate_engine(self) -> None:
+        """Discard any live incremental-reselection engine state.
+
+        The engine's dirty set and ``last_candidates`` describe one
+        convergence trajectory; whenever that trajectory is abandoned --
+        a full sweep rewrote every neighbour set, or a convergence aborted
+        with :class:`ConvergenceError` -- the engine must be dropped so the
+        next incremental convergence rebootstraps from an all-dirty state.
+        Callers that catch :class:`ConvergenceError` and resume are
+        required (reprolint RPL007) to call this before their next
+        converge.
+        """
+        self._engine = None
 
     def converge(self, *, max_rounds: int = 50, incremental: bool = False) -> int:
         """Run reselection rounds until a fixed point; returns the round count.
@@ -483,7 +497,7 @@ class OverlayNetwork:
             for round_index in range(1, max_rounds + 1):
                 if not engine.run_round():
                     return round_index
-            self._engine = None
+            self.invalidate_engine()
             raise ConvergenceError(max_rounds)
         for round_index in range(1, max_rounds + 1):
             if not self.reselect_round():
@@ -600,7 +614,6 @@ class OverlayNetwork:
             if overlay._index is not None:
                 overlay._index.insert(peer.peer_id, peer.coordinates)
         equilibrium = selection.compute_equilibrium(peers)
-        # reprolint: disable=RPL001 reason=fresh overlay under construction; delta_stream() cannot have been called before this returns
         overlay._neighbours = {
             peer_id: set(equilibrium.get(peer_id, set())) for peer_id in overlay._peers
         }

@@ -1,0 +1,29 @@
+"""Known-bad: a @hot_path closure iterates the full peer population.
+
+The marked entry promises O(changes) work; the helper it provably calls
+walks every peer, so both the direct and the transitively reached scans
+are flagged where they happen.
+"""
+
+from repro.contracts import hot_path
+
+
+class DeltaRecorder:
+    def __init__(self, overlay):
+        self._overlay = overlay
+        self._touched = set()
+
+    @hot_path
+    def note_touch(self, peer_ids):
+        self._touched.update(peer_ids)
+        self._recheck_everyone()
+
+    def _recheck_everyone(self):
+        for peer_id in self._overlay._peers:  # expect: RPL005
+            self._touched.discard(peer_id)
+
+    @hot_path
+    def drain(self):
+        snapshot = self._overlay.directed_neighbour_map()  # expect: RPL005
+        self._touched.clear()
+        return snapshot

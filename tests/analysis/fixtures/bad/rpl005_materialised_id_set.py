@@ -1,0 +1,24 @@
+"""Known-bad: a @hot_path entry materialises O(N) id sets.
+
+``set(...)`` / ``sorted(...)`` over the peer population allocates a
+population-sized object on every churn event -- exactly the cost the
+"Road to N>=100k" ROADMAP item forbids on hot paths.
+"""
+
+from repro.contracts import hot_path
+
+
+class ReselectionMirror:
+    def __init__(self, overlay):
+        self._overlay = overlay
+        self._known = frozenset()
+
+    @hot_path
+    def apply(self, delta):
+        self._known = frozenset(delta.joined)
+        current = set(self._overlay._peers)  # expect: RPL005
+        return current - self._known
+
+    @hot_path
+    def checkpoint(self):
+        return sorted(self._overlay.peer_ids)  # expect: RPL005

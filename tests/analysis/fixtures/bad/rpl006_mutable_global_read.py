@@ -1,0 +1,22 @@
+"""Known-bad: a path_independent select path reads mutable module state.
+
+The registry dict can be mutated between calls, so two identical queries
+may answer differently; configuration must be captured at construction
+time instead.  The read is flagged even one call level below ``select``.
+"""
+
+_TUNING = {"bias": 0.5}
+
+
+class TunedSelection:
+    path_independent = True
+
+    def __init__(self, k):
+        self._k = k
+
+    def select(self, peer, candidates):
+        return self._ranked(peer, candidates)[: self._k]
+
+    def _ranked(self, peer, candidates):
+        bias = _TUNING["bias"]  # expect: RPL006
+        return sorted(candidates, key=lambda c: c.peer_id + bias)

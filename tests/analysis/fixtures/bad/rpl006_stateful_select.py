@@ -1,0 +1,19 @@
+"""Known-bad: a path_independent selection writes attributes after init.
+
+Remembering the last query (or counting calls) makes the answer a
+function of call history, which breaks the additive-delta shortcut the
+marker licenses.
+"""
+
+
+class StatefulSelection:
+    path_independent = True
+
+    def __init__(self, k):
+        self._k = k
+        self._calls = 0
+
+    def select(self, peer, candidates):
+        self._calls += 1  # expect: RPL006
+        self._last_peer = peer  # expect: RPL006
+        return sorted(candidates, key=lambda c: c.peer_id)[: self._k]

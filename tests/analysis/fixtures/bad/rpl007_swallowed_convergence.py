@@ -1,0 +1,23 @@
+"""Known-bad: ConvergenceError swallowed without invalidating the engine.
+
+After an aborted convergence the incremental engine holds
+mid-transaction worklists; resuming without ``invalidate_engine()`` (or a
+re-raise) replays PR 4's bug class.
+"""
+
+
+def drive_epoch(overlay, events):
+    try:
+        overlay.apply_batch(events)
+    except ConvergenceError:  # expect: RPL007
+        pass
+    return overlay
+
+
+def insert_all(overlay, peers):
+    for peer in peers:
+        try:
+            overlay.insert_and_converge(peer)
+        except ConvergenceError:  # expect: RPL007
+            continue
+    return overlay

@@ -1,0 +1,89 @@
+"""Clean: every obligation is satisfied one call level below the trigger.
+
+This is the corpus proof that reprolint v2's rules are interprocedural:
+pre-v2, every function here needed a pragma; now the call graph proves
+them fine with none.
+"""
+
+from repro.contracts import hot_path
+
+
+class OverlayNetwork:
+    def __init__(self, selection):
+        self._selection = selection
+        self._peers = {}
+        self._neighbours: dict = {}
+        self._index = SpatialIndex()
+        self._recorders = []
+
+    def notify_selection_change(self, peer_id, old, new):
+        for recorder in self._recorders:
+            recorder.note_touch([peer_id])
+
+    def _record_rewire(self, peer_id, old, new):
+        # One level below the mutation: still discharges RPL001.
+        self.notify_selection_change(peer_id, old, new)
+
+    def rewire(self, peer_id, targets):
+        old = self._neighbours[peer_id]
+        self._neighbours[peer_id] = set(targets)
+        self._record_rewire(peer_id, old, set(targets))
+
+    def _reindex(self, peer_id, coordinates):
+        # One level below the mutation: still discharges RPL002.
+        self._index.move(peer_id, coordinates)
+
+    def relocate(self, peer_id, info):
+        self._peers[peer_id] = info
+        self._reindex(peer_id, info.coordinates)
+
+
+class SpatialIndex:
+    def move(self, peer_id, coordinates):
+        pass
+
+
+class DeltaMirror:
+    """A hot path whose closure provably stays O(changes)."""
+
+    def __init__(self):
+        self._selected = {}
+
+    @hot_path
+    def apply(self, delta):
+        for peer_id in delta.touched:
+            self._refresh_one(peer_id)
+
+    def _refresh_one(self, peer_id):
+        self._selected[peer_id] = frozenset()
+
+
+class CachedSelection:
+    """path_independent with a lazy cache: memoisation is allowed."""
+
+    path_independent = True
+
+    def __init__(self, k):
+        self._k = k
+        self._by_dimension = {}
+
+    def select(self, peer, candidates):
+        ranked = self._rank(candidates)
+        self._by_dimension[peer.dimension] = ranked
+        return ranked[: self._k]
+
+    def _rank(self, candidates):
+        return sorted(candidates, key=lambda c: c.peer_id)
+
+
+def converge_with_recovery(overlay, events):
+    """Catching ConvergenceError is fine when the engine is invalidated."""
+    try:
+        return overlay.apply_batch(events)
+    except ConvergenceError:
+        overlay.invalidate_engine()
+        return None
+
+
+class ConvergenceError(Exception):
+    pass

@@ -65,6 +65,20 @@ def test_empty_directory_is_not_an_error(tmp_path):
     assert validate_bench_directory([tmp_path]) == []
 
 
+def test_errors_carry_file_path_and_record_index(tmp_path):
+    """A list-shaped BENCH file reports which record is bad, not just which
+    file -- checked-in result files hold dozens of records."""
+    series = tmp_path / "BENCH_series.json"
+    series.write_text(
+        json.dumps([GOOD_RECORD, dict(GOOD_RECORD, peer_count="many"), GOOD_RECORD])
+    )
+    errors = validate_bench_directory([tmp_path])
+    assert len(errors) == 1
+    assert "BENCH_series.json" in errors[0]
+    assert "record[1]" in errors[0]
+    assert "peer_count" in errors[0]
+
+
 def test_cli_combines_lint_and_schema_exit_codes(tmp_path, capsys):
     clean_module = tmp_path / "clean.py"
     clean_module.write_text("VALUE = 1\n")

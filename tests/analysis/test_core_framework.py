@@ -131,6 +131,9 @@ class TestReporting:
             "RPL002",
             "RPL003",
             "RPL004",
+            "RPL005",
+            "RPL006",
+            "RPL007",
         ]
         for rule in ALL_RULES:
             assert rule.invariant and rule.name

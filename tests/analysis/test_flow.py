@@ -1,0 +1,199 @@
+"""Unit tests for the interprocedural flow engine (call graph + queries).
+
+Each test builds a tiny project with :meth:`FlowAnalysis.from_sources`
+and checks one resolution mechanism in isolation: method dispatch through
+``self``/MRO, cross-module import aliasing, attribute-constructor typing,
+hot-path reachability, and -- most importantly -- that *unresolved* calls
+degrade conservatively: they never satisfy an obligation and never extend
+hot-path reachability.
+"""
+
+from repro.analysis import analyze_source
+from repro.analysis.checkers import ALL_RULES
+from repro.analysis.flow import FlowAnalysis
+
+
+def _flow(**sources: str) -> FlowAnalysis:
+    return FlowAnalysis.from_sources(
+        {name.replace("_", "."): text for name, text in sources.items()}
+    )
+
+
+def test_self_dispatch_through_the_mro() -> None:
+    flow = _flow(
+        pkg_net='''
+class Base:
+    def _announce(self, peer_id):
+        self._recorder.note_touch([peer_id])
+
+
+class Derived(Base):
+    def rewire(self, peer_id, targets):
+        self._neighbours[peer_id] = set(targets)
+        self._announce(peer_id)
+'''
+    )
+    info = flow.function_by_key("pkg.net::Derived.rewire")
+    assert info is not None
+    assert "pkg.net::Base._announce" in info.callees
+    assert not info.calls_unknown
+    assert flow.transitively_notifies(info.node)
+
+
+def test_import_aliasing_resolves_cross_module() -> None:
+    flow = _flow(
+        pkg_alpha='''
+def announce(overlay, peer_id):
+    overlay.notify_selection_change(peer_id, set(), set())
+''',
+        pkg_beta='''
+from pkg.alpha import announce as tell
+import pkg.alpha as helpers
+
+
+def direct(overlay, peer_id):
+    tell(overlay, peer_id)
+
+
+def via_module(overlay, peer_id):
+    helpers.announce(overlay, peer_id)
+''',
+    )
+    for name in ("direct", "via_module"):
+        info = flow.function_by_key(f"pkg.beta::{name}")
+        assert info is not None, name
+        assert info.callees == ["pkg.alpha::announce"], name
+        assert not info.calls_unknown, name
+        assert flow.transitively_notifies(info.node), name
+
+
+def test_attribute_constructor_dispatch() -> None:
+    flow = _flow(
+        pkg_net='''
+class Overlay:
+    def __init__(self):
+        self._index = SpatialIndex()
+        self._peers = {}
+
+    def relocate(self, peer_id, point):
+        self._peers[peer_id] = point
+        self._index.update_point(peer_id, point)
+
+
+class SpatialIndex:
+    def update_point(self, peer_id, point):
+        self._grid_index = point
+'''
+    )
+    info = flow.function_by_key("pkg.net::Overlay.relocate")
+    assert info is not None
+    assert "pkg.net::SpatialIndex.update_point" in flow.closure(info.key)
+    assert flow.transitively_maintains_index(info.node)
+
+
+def test_annotated_parameter_dispatch() -> None:
+    flow = _flow(
+        pkg_mod='''
+class Engine:
+    def step(self, delta):
+        self._worklist = delta
+
+
+def drive(engine: "Engine", delta):
+    engine.step(delta)
+'''
+    )
+    info = flow.function_by_key("pkg.mod::drive")
+    assert info is not None
+    assert info.callees == ["pkg.mod::Engine.step"]
+    assert not info.calls_unknown
+
+
+def test_unresolved_calls_degrade_without_satisfying_anything() -> None:
+    flow = _flow(
+        pkg_mod='''
+def rewire(overlay, peer_id, bus):
+    overlay._neighbours[peer_id] = set()
+    bus.broadcast(peer_id)
+'''
+    )
+    info = flow.function_by_key("pkg.mod::rewire")
+    assert info is not None
+    assert info.calls_unknown
+    assert info.callees == []
+    assert flow.closure(info.key) == frozenset({info.key})
+    assert not flow.transitively_notifies(info.node)
+
+
+def test_builtin_calls_are_not_unknown() -> None:
+    flow = _flow(
+        pkg_mod='''
+def shape(values):
+    return sorted(set(values), key=len)
+'''
+    )
+    info = flow.function_by_key("pkg.mod::shape")
+    assert info is not None
+    assert not info.calls_unknown
+
+
+def test_hot_reachability_stops_at_unresolved_calls() -> None:
+    flow = _flow(
+        pkg_mod='''
+from repro.contracts import hot_path
+
+
+class Engine:
+    @hot_path
+    def apply(self, delta):
+        self._step(delta)
+        self._bus.publish(delta)
+
+    def _step(self, delta):
+        self._pending = delta
+
+
+def cold_helper(overlay):
+    return overlay.snapshot()
+'''
+    )
+    hot = flow.hot_reachable()
+    assert hot["pkg.mod::Engine.apply"] == "Engine.apply"
+    assert hot["pkg.mod::Engine._step"] == "Engine.apply"
+    assert "pkg.mod::cold_helper" not in hot
+
+
+def test_unknown_call_never_discharges_rpl001() -> None:
+    source = '''
+class OverlayNetwork:
+    def __init__(self):
+        self._neighbours: dict = {}
+        self._index = object()
+
+    def rewire(self, peer_id, targets, bus):
+        self._neighbours[peer_id] = set(targets)
+        bus.notify_everyone(peer_id)
+'''
+    violations = analyze_source(source, ALL_RULES, module="repro.overlay.fake")
+    assert [v.rule_id for v in violations] == ["RPL001"]
+
+
+def test_resolved_helper_discharges_rpl001_interprocedurally() -> None:
+    source = '''
+class OverlayNetwork:
+    def __init__(self):
+        self._neighbours: dict = {}
+        self._index = object()
+        self._recorders = []
+
+    def _record(self, peer_id, old, new):
+        for recorder in self._recorders:
+            recorder.note_touch([peer_id])
+
+    def rewire(self, peer_id, targets):
+        old = self._neighbours[peer_id]
+        self._neighbours[peer_id] = set(targets)
+        self._record(peer_id, old, set(targets))
+'''
+    violations = analyze_source(source, ALL_RULES, module="repro.overlay.fake")
+    assert violations == []

@@ -45,11 +45,28 @@ def network_source() -> str:
     return (SRC / "overlay" / "network.py").read_text(encoding="utf-8")
 
 
+@pytest.fixture()
+def incremental_source() -> str:
+    return (SRC / "overlay" / "incremental.py").read_text(encoding="utf-8")
+
+
+@pytest.fixture()
+def hyperplanes_source() -> str:
+    return (SRC / "overlay" / "selection" / "hyperplanes.py").read_text(
+        encoding="utf-8"
+    )
+
+
 def test_pristine_copies_are_clean(tmp_path, network_source):
     for relative, source_path in [
         ("overlay/network.py", None),
         ("geometry/index.py", SRC / "geometry" / "index.py"),
         ("workloads/churn.py", SRC / "workloads" / "churn.py"),
+        ("overlay/incremental.py", SRC / "overlay" / "incremental.py"),
+        (
+            "overlay/selection/hyperplanes.py",
+            SRC / "overlay" / "selection" / "hyperplanes.py",
+        ),
     ]:
         source = network_source if source_path is None else source_path.read_text()
         copy = _mirror(tmp_path, relative, source)
@@ -156,3 +173,70 @@ def test_rpl004_catches_a_seeded_wall_clock_read(tmp_path, network_source):
     violations = lint_paths([copy])
     expected_line = _line_of(seeded, "time.time())")
     assert [(v.rule_id, v.line) for v in violations] == [("RPL004", expected_line)]
+
+
+def test_rpl005_catches_population_work_in_the_mirror_hot_path(
+    tmp_path, incremental_source
+):
+    """Reading the full directed map inside the @hot_path mirror repair --
+    instead of the one touched peer's selection -- reintroduces O(N) work
+    per churn event."""
+    seeded = _seed(
+        incremental_source,
+        "current = overlay.selected_neighbours(peer_id)",
+        "current = frozenset(overlay.directed_neighbour_map()[peer_id])",
+    )
+    copy = _mirror(tmp_path, "overlay/incremental.py", seeded)
+    violations = lint_paths([copy])
+    expected_line = _line_of(
+        seeded, "overlay.directed_neighbour_map()[peer_id]"
+    )
+    assert [(v.rule_id, v.line) for v in violations] == [("RPL005", expected_line)]
+
+
+def test_rpl006_catches_a_seeded_stateful_select(tmp_path, hyperplanes_source):
+    """Remembering the last reference peer makes select depend on call
+    history, which path_independent=True forbids."""
+    seeded = _seed(
+        hyperplanes_source,
+        "        others = self._exclude_reference(reference, candidates)\n",
+        "        others = self._exclude_reference(reference, candidates)\n"
+        "        self._last_reference = reference.peer_id\n",
+    )
+    copy = _mirror(tmp_path, "overlay/selection/hyperplanes.py", seeded)
+    violations = lint_paths([copy])
+    expected_line = _line_of(seeded, "self._last_reference = reference.peer_id")
+    assert [(v.rule_id, v.line) for v in violations] == [("RPL006", expected_line)]
+
+
+def test_rpl006_catches_a_seeded_mutable_global_read(tmp_path, hyperplanes_source):
+    seeded = _seed(
+        hyperplanes_source,
+        "        others = self._exclude_reference(reference, candidates)\n",
+        "        others = self._exclude_reference(reference, candidates)[\n"
+        '            : _RUNTIME_LIMITS["max_candidates"]\n'
+        "        ]\n",
+    ) + '\n\n_RUNTIME_LIMITS = {"max_candidates": 1024}\n'
+    copy = _mirror(tmp_path, "overlay/selection/hyperplanes.py", seeded)
+    violations = lint_paths([copy])
+    expected_line = _line_of(seeded, "_RUNTIME_LIMITS[")
+    assert [(v.rule_id, v.line) for v in violations] == [("RPL006", expected_line)]
+
+
+def test_rpl007_catches_a_swallowed_convergence_error(tmp_path, incremental_source):
+    """An epoch driver that eats ConvergenceError resumes against the
+    engine's mid-transaction worklists -- the bug class PR 4 fixed."""
+    seeded = incremental_source + (
+        "\n\ndef replay_epochs(overlay, epochs):\n"
+        '    """Seeded violation: resumes with a stale incremental engine."""\n'
+        "    for epoch in epochs:\n"
+        "        try:\n"
+        "            overlay.apply_batch(epoch)\n"
+        "        except ConvergenceError:\n"
+        "            continue\n"
+        "    return overlay\n"
+    )
+    copy = _mirror(tmp_path, "overlay/incremental.py", seeded)
+    violations = lint_paths([copy])
+    expected_line = _line_of(seeded, "except ConvergenceError:")
+    assert [(v.rule_id, v.line) for v in violations] == [("RPL007", expected_line)]
