@@ -60,6 +60,27 @@ def print_report(title: str, table: str, *extra_lines: str) -> None:
     print(banner)
 
 
+def peak_rss_mb() -> Optional[float]:
+    """Peak resident-set size of this process in MB, or ``None`` if unknown.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalised to MB
+    so the ``peak_rss_mb`` record field is platform-comparable.  Callers
+    pass the value to :func:`persist_bench_record` only when it is truthy --
+    the schema types the field but keeps it optional, exactly for
+    environments where ``resource`` is unavailable (e.g. Windows).
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    kilobytes = float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    if platform.system() == "Darwin":  # pragma: no cover - darwin reports bytes
+        kilobytes /= 1024.0
+    if kilobytes <= 0:  # pragma: no cover - defensive
+        return None
+    return round(kilobytes / 1024.0, 1)
+
+
 def persist_bench_record(
     scenario: str,
     *,

@@ -1,0 +1,315 @@
+"""Benchmark: columnar (implicit) vs explicit engine bookkeeping at scale.
+
+The road-to-100k bottleneck was never selection -- the vectorised skyline
+rules and the spatial index already took that out -- it was the *engine
+bookkeeping* around each membership event: the explicit candidate state
+walks every tracked peer on ``note_join`` (O(N) per event), while the
+columnar state bumps a population epoch and appends one log entry (O(1)).
+These benchmarks time exactly that phase on both arms of the one
+``CandidateView`` seam, cross-check that the resulting topologies are
+byte-identical, and persist the headline numbers:
+
+* ``BENCH_engine_columnar_convergence.json`` -- bulk-join bookkeeping while
+  a live engine tracks history, then one full convergence at N >= 10k;
+* ``BENCH_engine_columnar_trace.json`` -- a 100k-event constant-population
+  churn trace (at bench/paper scale) that only the columnar arm replays in
+  full; the explicit arm times a two-epoch prefix for the speedup floor.
+
+The small fixed-size smoke test is *not* slow-marked: it is the PR-CI
+guard that the columnar path converges byte-identically at N ~ 2k on every
+pull request, not just in the weekly job.
+"""
+
+import random
+import time
+
+import pytest
+from conftest import peak_rss_mb, persist_bench_record, print_report
+
+from repro.experiments.common import derive_seed
+from repro.metrics.reporting import format_table
+from repro.overlay.network import OverlayNetwork
+from repro.overlay.selection.empty_rectangle import EmptyRectangleSelection
+from repro.workloads.coordinates import DEFAULT_VMAX
+from repro.workloads.peers import generate_peers, make_peer
+
+#: Peers installed (and converged) before the timed bulk-join phase, so the
+#: explicit arm's note_join walks a real tracked population with history.
+_SEED_POPULATION = 64
+_SPEEDUP_FLOOR = 5.0
+#: The smoke test pins its size: it is the PR-CI columnar guard and must
+#: cost the same regardless of REPRO_SCALE.
+_SMOKE_SIZE = 2000
+_CONVERGENCE_SIZES = {"smoke": 2000, "bench": 10000, "paper": 20000}
+_TRACE_SIZES = {"smoke": 2000, "bench": 10000, "paper": 10000}
+_TRACE_EVENTS = {"smoke": 10000, "bench": 100000, "paper": 100000}
+#: Events per trace epoch: half leaves, half fresh joins, then converge.
+_EPOCH_EVENTS = 2000
+#: Epochs the explicit arm replays to measure the per-event speedup floor
+#: (replaying all 50 on the dict engine is exactly the cost this PR kills).
+_PREFIX_EPOCHS = 2
+
+
+def _instrument_notes(overlay):
+    """Accumulate wall-clock spent inside the live engine's membership notes.
+
+    The engine bookkeeping (``note_join``/``note_leave``/``note_move``) is
+    exactly the per-event phase the columnar representation collapses to
+    O(1); everything else ``add_peer``/``remove_peer`` does per event --
+    peer map, spatial-index maintenance, selector index, recorders -- is
+    identical on both arms and would only dilute the comparison.  Returns
+    a one-key box updated in place as events flow.
+    """
+    box = {"seconds": 0.0}
+    engine = overlay._engine  # the engine has no public getter; benchmark-only
+    for name in ("note_join", "note_leave", "note_move"):
+        original = getattr(engine, name)
+
+        def timed(*args, _original=original, **kwargs):
+            started = time.perf_counter()
+            result = _original(*args, **kwargs)
+            box["seconds"] += time.perf_counter() - started
+            return result
+
+        setattr(engine, name, timed)
+    return box
+
+
+def _timed_joins(overlay, joiners):
+    """Apply a bulk join phase; returns its wall-clock (engine is live, so
+    every add_peer lands a bookkeeping event on the candidate view)."""
+    started = time.perf_counter()
+    for peer in joiners:
+        overlay.add_peer(peer)
+    return time.perf_counter() - started
+
+
+def _seeded_arm(peers, *, columnar):
+    """An overlay with a live engine tracking the first _SEED_POPULATION
+    peers, plus the timed bulk-join of the remainder."""
+    overlay = OverlayNetwork(EmptyRectangleSelection(), columnar=columnar)
+    for peer in peers[:_SEED_POPULATION]:
+        overlay.add_peer(peer)
+    overlay.converge(incremental=True, max_rounds=80)
+    notes = _instrument_notes(overlay)
+    join_seconds = _timed_joins(overlay, peers[_SEED_POPULATION:])
+    started = time.perf_counter()
+    rounds = overlay.converge(incremental=True, max_rounds=80)
+    converge_seconds = time.perf_counter() - started
+    return overlay, notes["seconds"], join_seconds, converge_seconds, rounds
+
+
+def _trace_script(count, total_events, seed):
+    """A deterministic constant-population churn trace.
+
+    Each epoch removes _EPOCH_EVENTS/2 random live peers and joins the same
+    number of fresh ids with random distinct coordinates; both arms replay
+    the identical script.
+    """
+    rng = random.Random(seed)
+    alive = list(range(count))
+    next_id = count
+    epochs = []
+    remaining = total_events
+    while remaining > 0:
+        size = min(_EPOCH_EVENTS, remaining)
+        leaves = size // 2
+        victims = rng.sample(alive, leaves)
+        victim_set = set(victims)
+        alive = [pid for pid in alive if pid not in victim_set]
+        joiners = []
+        for _ in range(size - leaves):
+            coords = tuple(rng.uniform(0.0, DEFAULT_VMAX) for _ in range(2))
+            joiners.append(make_peer(next_id, coords))
+            alive.append(next_id)
+            next_id += 1
+        epochs.append((victims, joiners))
+        remaining -= size
+    return epochs
+
+
+def _apply_epoch(overlay, epoch):
+    """Apply one epoch's membership events; returns the bookkeeping
+    wall-clock (selection runs later, in converge)."""
+    victims, joiners = epoch
+    started = time.perf_counter()
+    for victim in victims:
+        overlay.remove_peer(victim)
+    for joiner in joiners:
+        overlay.add_peer(joiner)
+    return time.perf_counter() - started
+
+
+def test_columnar_smoke_matches_equilibrium(scale):
+    """PR-CI smoke: at N ~ 2k the columnar default converges byte-identically
+    with the vectorised equilibrium witness.
+
+    Only the columnar arm runs here (the explicit cross-check at this size
+    lives in the slow scaling test; tier-1 covers columnar-vs-explicit
+    byte-identity at hypothesis sizes), keeping the smoke PR-affordable.
+    """
+    seed = derive_seed(scale.seed, 30, _SMOKE_SIZE)
+    peers = generate_peers(_SMOKE_SIZE, 2, seed=seed)
+    columnar, _, _, _, _ = _seeded_arm(peers, columnar=True)
+    equilibrium = OverlayNetwork.build_equilibrium(peers, EmptyRectangleSelection())
+    assert columnar.directed_neighbour_map() == equilibrium.directed_neighbour_map()
+    print_report(
+        "Columnar engine smoke",
+        format_table(
+            ["N", "path", "matches equilibrium"],
+            [[_SMOKE_SIZE, "columnar", True]],
+        ),
+    )
+
+
+@pytest.mark.slow
+def test_columnar_convergence_scaling(scale):
+    """Full convergence at scale: the engine bookkeeping of the bulk-join
+    phase must be at least 5x cheaper on the columnar arm, with identical
+    topologies."""
+    count = _CONVERGENCE_SIZES.get(scale.name, 10000)
+    seed = derive_seed(scale.seed, 31, count)
+    peers = generate_peers(count, 2, seed=seed)
+
+    columnar, col_book, col_join, col_converge, rounds = _seeded_arm(
+        peers, columnar=True
+    )
+    explicit, exp_book, exp_join, exp_converge, _ = _seeded_arm(
+        peers, columnar=False
+    )
+    assert columnar.directed_neighbour_map() == explicit.directed_neighbour_map()
+    speedup = exp_book / max(col_book, 1e-9)
+    print_report(
+        f"Columnar vs explicit bulk-join bookkeeping [{scale.name}]",
+        format_table(
+            ["N", "arm", "engine notes (s)", "join phase (s)", "converge (s)"],
+            [
+                [
+                    count,
+                    "explicit",
+                    f"{exp_book:.3f}",
+                    f"{exp_join:.2f}",
+                    f"{exp_converge:.2f}",
+                ],
+                [
+                    count,
+                    "columnar",
+                    f"{col_book:.3f}",
+                    f"{col_join:.2f}",
+                    f"{col_converge:.2f}",
+                ],
+            ],
+        ),
+        f"engine bookkeeping speedup: {speedup:.1f}x (floor {_SPEEDUP_FLOOR}x "
+        "above smoke scale)",
+    )
+    if scale.name != "smoke":
+        # Timer overhead is a larger share of the O(1) columnar notes at
+        # tiny N; the floor binds from N >= 10k where the O(N) walk is
+        # unambiguous.
+        assert speedup >= _SPEEDUP_FLOOR, (
+            f"columnar bookkeeping only {speedup:.1f}x faster than the "
+            f"explicit engine at N={count}; expected at least "
+            f"{_SPEEDUP_FLOOR}x"
+        )
+    rss = peak_rss_mb()
+    persist_bench_record(
+        "engine_columnar_convergence",
+        peer_count=count,
+        wall_seconds=col_book,
+        speedup=speedup,
+        speedup_floor=_SPEEDUP_FLOOR,
+        join_phase_seconds=round(col_join, 3),
+        converge_seconds=round(col_converge, 3),
+        converge_rounds=rounds,
+        explicit_bookkeeping_seconds=round(exp_book, 3),
+        **({"peak_rss_mb": rss} if rss else {}),
+    )
+
+
+@pytest.mark.slow
+def test_columnar_churn_trace(scale):
+    """The 100k-event churn trace (bench/paper): both arms replay a
+    two-epoch prefix for the per-event floor and a byte-identity check;
+    only the columnar arm replays the full trace."""
+    count = _TRACE_SIZES.get(scale.name, 10000)
+    total_events = _TRACE_EVENTS.get(scale.name, 100000)
+    seed = derive_seed(scale.seed, 32, count)
+    peers = generate_peers(count, 2, seed=seed)
+    epochs = _trace_script(count, total_events, seed)
+
+    arms = {}
+    notes = {}
+    for is_columnar in (True, False):
+        overlay = OverlayNetwork(
+            EmptyRectangleSelection(), columnar=is_columnar
+        )
+        for peer in peers:
+            overlay.add_peer(peer)
+        overlay.converge(incremental=True, max_rounds=80)
+        arms[is_columnar] = overlay
+        notes[is_columnar] = _instrument_notes(overlay)
+
+    apply_seconds = {True: 0.0, False: 0.0}
+    for is_columnar, overlay in arms.items():
+        for epoch in epochs[:_PREFIX_EPOCHS]:
+            apply_seconds[is_columnar] += _apply_epoch(overlay, epoch)
+            overlay.converge(incremental=True, max_rounds=80)
+    assert (
+        arms[True].directed_neighbour_map() == arms[False].directed_neighbour_map()
+    )
+    prefix_book = {arm: notes[arm]["seconds"] for arm in notes}
+    speedup = prefix_book[False] / max(prefix_book[True], 1e-9)
+
+    # Only the columnar arm can afford the full trace; the dict engine's
+    # prefix cost extrapolates to the very wall this PR removes.
+    columnar = arms[True]
+    apply_total = apply_seconds[True]
+    converge_total = 0.0
+    for epoch in epochs[_PREFIX_EPOCHS:]:
+        apply_total += _apply_epoch(columnar, epoch)
+        started = time.perf_counter()
+        columnar.converge(incremental=True, max_rounds=80)
+        converge_total += time.perf_counter() - started
+    assert columnar.peer_count == count
+    book_total = notes[True]["seconds"]
+
+    events_per_second = total_events / max(apply_total + converge_total, 1e-9)
+    print_report(
+        f"Columnar churn trace [{scale.name}]",
+        format_table(
+            ["N", "events", "engine notes (s)", "apply (s)", "converge (s)", "events/s"],
+            [
+                [
+                    count,
+                    total_events,
+                    f"{book_total:.3f}",
+                    f"{apply_total:.2f}",
+                    f"{converge_total:.2f}",
+                    f"{events_per_second:.0f}",
+                ]
+            ],
+        ),
+        f"prefix engine-bookkeeping speedup vs explicit: {speedup:.1f}x "
+        f"(floor {_SPEEDUP_FLOOR}x above smoke scale)",
+    )
+    if scale.name != "smoke":
+        assert speedup >= _SPEEDUP_FLOOR, (
+            f"columnar trace bookkeeping only {speedup:.1f}x faster than "
+            f"the explicit engine at N={count}; expected at least "
+            f"{_SPEEDUP_FLOOR}x"
+        )
+    rss = peak_rss_mb()
+    persist_bench_record(
+        "engine_columnar_trace",
+        peer_count=count,
+        wall_seconds=book_total,
+        speedup=speedup,
+        speedup_floor=_SPEEDUP_FLOOR,
+        events_applied=total_events,
+        apply_seconds=round(apply_total, 3),
+        converge_seconds=round(converge_total, 3),
+        events_per_second=round(events_per_second, 1),
+        explicit_prefix_seconds=round(prefix_book[False], 3),
+        **({"peak_rss_mb": rss} if rss else {}),
+    )

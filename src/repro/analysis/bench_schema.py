@@ -27,7 +27,11 @@ __all__ = [
 
 #: The contract every BENCH_*.json record must satisfy.  Extra keys are
 #: welcome (records carry per-scenario detail); the five required ones are
-#: what the cross-PR trajectory tooling keys on.
+#: what the cross-PR trajectory tooling keys on.  ``peak_rss_mb`` is the
+#: one *typed optional* key: memory headroom is part of the road-to-100k
+#: trajectory (the columnar engine scaling records report it), so when a
+#: record carries it, it must be a positive number -- but records from
+#: environments where RSS is unavailable may simply omit it.
 BENCH_RECORD_SCHEMA: Dict[str, Any] = {
     "type": "object",
     "required": [
@@ -43,6 +47,7 @@ BENCH_RECORD_SCHEMA: Dict[str, Any] = {
         "wall_seconds": {"type": "number", "exclusiveMinimum": 0},
         "speedup": {"type": "number", "exclusiveMinimum": 0},
         "speedup_floor": {"type": "number", "exclusiveMinimum": 0},
+        "peak_rss_mb": {"type": "number", "exclusiveMinimum": 0},
     },
 }
 

@@ -1,0 +1,442 @@
+"""Columnar engine state: the implicit full-knowledge candidate representation.
+
+Under full knowledge every peer's candidate set is "everyone alive but me",
+so the per-peer frozensets the dict-backed engine bookkeeping materialises
+are pure redundancy: the whole population history can be captured once, as a
+**population epoch counter** plus an append-only membership event log, and
+each peer's candidate state collapses to two scalars -- the epoch at its
+last installed selection and a needs-full flag.  This module holds that
+representation:
+
+* :class:`DenseIdMap` -- the overlay-owned ``peer id -> row`` map.  Rows are
+  dense array indices, never recycled (a rejoin of a departed id reuses its
+  row), so every per-peer quantity anywhere in the engine can live in a flat
+  numpy column indexed by row.
+* :class:`ColumnarCandidateState` -- the full-knowledge implementation of
+  the :class:`~repro.overlay.incremental.CandidateView` contract.  Membership
+  notifications are O(1) array writes plus one event-log append; a peer's
+  candidate delta since its stamp is resolved lazily from the log window in
+  O(events in window), shared across every peer with the same stamp; the
+  per-round dirty scan is a single vectorised mask over the row columns.
+  Nothing ever materialises an O(N) id set on the per-event path
+  (mechanically enforced: the notification methods carry
+  :func:`~repro.contracts.hot_path` and reprolint rule RPL005 rejects
+  population materialisation inside the hot region).
+* :class:`ColumnarDeltaRecorder` -- the delta-stream recorder over the same
+  dense rows: ``note_join`` / ``note_leave`` / ``note_touch`` are boolean
+  array writes instead of Python set operations, and ``drain`` rebuilds the
+  same :class:`~repro.overlay.incremental.OverlayDelta` frozensets the
+  dict-backed recorder produces (the contract, including join+leave
+  cancellation inside one window, is byte-identical).
+
+Equivalence with the explicit representation
+--------------------------------------------
+
+The event-log delta rule reproduces the dict engine's pending gain/loss
+accumulators, with one deliberate widening: a leave followed by a rejoin of
+the same id inside one window yields the id in *both* ``gained`` and
+``lost`` (the explicit path yields it only in ``gained``).  Both classify to
+the same verdict -- the rejoined id is never in the peer's installed
+selection (its selectors were forced onto the full-recompute path at the
+departure), so the extra ``lost`` entry cannot trigger the full path -- and
+the widened delta is what keeps a rejoin *with different coordinates*
+correct without per-peer pending sets.  The property suites in
+``tests/overlay`` assert both representations install byte-identical fixed
+points over whole churn scripts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+import numpy as np
+
+from repro.contracts import hot_path
+from repro.overlay.incremental import CandidateView, OverlayDelta, OverlayDeltaRecorder
+
+__all__ = [
+    "DenseIdMap",
+    "ColumnarCandidateState",
+    "ColumnarDeltaRecorder",
+]
+
+_INITIAL_CAPACITY = 64
+
+#: Event-log record kinds.
+_JOIN = 0
+_LEAVE = 1
+_MOVE = 2
+
+
+def _grown(array: "np.ndarray", capacity: int, fill: object) -> "np.ndarray":
+    """Copy ``array`` into a larger buffer, new slots set to ``fill``."""
+    grown = np.full(capacity, fill, dtype=array.dtype)
+    grown[: len(array)] = array
+    return grown
+
+
+class DenseIdMap:
+    """Dense ``peer id -> row`` map shared by the columnar engine components.
+
+    The overlay owns one instance and keeps the alive flags in lockstep with
+    its peer map; the candidate state and the columnar delta recorders hang
+    their own numpy columns off the same row numbering (growing them lazily
+    to :attr:`capacity`).  Rows are never recycled: a departed id keeps its
+    row and a rejoin reuses it, which is what lets per-row state like the
+    recorder's cancellation flags survive membership churn without any
+    compaction bookkeeping.
+    """
+
+    def __init__(self) -> None:
+        self._row_of_id: Dict[int, int] = {}
+        self._id_of_row = np.zeros(_INITIAL_CAPACITY, dtype=np.int64)
+        self._alive = np.zeros(_INITIAL_CAPACITY, dtype=bool)
+        self._row_count = 0
+
+    @property
+    def capacity(self) -> int:
+        """Current column length; dependent columns sync to this lazily."""
+        return len(self._id_of_row)
+
+    @property
+    def row_count(self) -> int:
+        """Number of allocated rows (alive peers plus departed ids)."""
+        return self._row_count
+
+    @property
+    def alive_count(self) -> int:
+        """Number of rows currently flagged alive."""
+        return int(self._alive[: self._row_count].sum())
+
+    @hot_path
+    def ensure_row(self, peer_id: int) -> int:
+        """Row of ``peer_id``, allocating one (amortised O(1)) if unseen."""
+        row = self._row_of_id.get(peer_id)
+        if row is not None:
+            return row
+        row = self._row_count
+        if row == len(self._id_of_row):
+            self._id_of_row = _grown(self._id_of_row, 2 * row, 0)
+            self._alive = _grown(self._alive, 2 * row, False)
+        self._row_of_id[peer_id] = row
+        self._id_of_row[row] = peer_id
+        self._row_count = row + 1
+        return row
+
+    @hot_path
+    def mark_alive(self, peer_id: int) -> int:
+        """Flag ``peer_id`` alive (allocating its row); returns the row."""
+        row = self.ensure_row(peer_id)
+        self._alive[row] = True
+        return row
+
+    @hot_path
+    def mark_dead(self, peer_id: int) -> int:
+        """Flag ``peer_id`` departed; its row stays allocated."""
+        row = self._row_of_id[peer_id]
+        self._alive[row] = False
+        return row
+
+    def row_of(self, peer_id: int) -> int:
+        """Row of a known id (:class:`KeyError` for ids never seen)."""
+        return self._row_of_id[peer_id]
+
+    def id_at(self, row: int) -> int:
+        """Peer id stored at ``row`` (as a Python int)."""
+        return int(self._id_of_row[row])
+
+    def is_alive(self, peer_id: int) -> bool:
+        """Whether a known id is currently flagged alive."""
+        return bool(self._alive[self._row_of_id[peer_id]])
+
+    def alive_mask(self) -> "np.ndarray":
+        """Boolean alive column over the allocated rows (shared memory)."""
+        return self._alive[: self._row_count]
+
+    def alive_ids(self) -> List[int]:
+        """Materialise the alive ids (non-hot helper for full recomputes)."""
+        rows = self._id_of_row[: self._row_count][self.alive_mask()]
+        return [int(value) for value in rows]
+
+
+class ColumnarCandidateState(CandidateView):
+    """Implicit full-knowledge candidate bookkeeping over dense rows.
+
+    State per peer: an int64 *stamp* (the population epoch at its last
+    installed selection) and a boolean *needs-full* flag (no selection
+    consistent with any candidate set exists -- fresh joins, peers whose
+    neighbour sets were mutated behind the engine's back).  State for the
+    population: the epoch counter (``base epoch + len(event log)``) and the
+    append-only ``(kind, peer id)`` event log.
+
+    A peer is dirty exactly when it is alive and either needs a full
+    recompute or is stamped below the current epoch; the per-round schedule
+    is one vectorised mask over the columns (the documented-O(N) sweep of
+    :meth:`~repro.overlay.incremental.IncrementalReselectionEngine.run_round`,
+    a few numpy passes).  The candidate delta of a stamped peer is the net
+    membership flip parity over its log window -- computed once per distinct
+    stamp per round and shared -- so classification work is O(dirty peers +
+    log window), independent of the population size.
+
+    The log is compacted after every round: entries below the minimum stamp
+    of any tracked alive peer can never be consulted again and are dropped,
+    so a converged overlay always carries an empty window.
+    """
+
+    def __init__(self, rows: DenseIdMap) -> None:
+        self._rows = rows
+        self._base_epoch = 0
+        self._events: List[Tuple[int, int]] = []
+        self._stamps = np.full(rows.capacity, -1, dtype=np.int64)
+        self._needs_full = np.ones(rows.capacity, dtype=bool)
+        #: stamp -> (gained, lost), valid for the current round only.
+        self._window_cache: Dict[int, Tuple[Set[int], Set[int]]] = {}
+        self._scheduled_rows: List[int] = []
+
+    @property
+    def epoch(self) -> int:
+        """The population epoch: bumped by every membership event."""
+        return self._base_epoch + len(self._events)
+
+    def _sync(self) -> None:
+        """Grow the per-row columns to the shared map's capacity."""
+        capacity = self._rows.capacity
+        if len(self._stamps) < capacity:
+            self._stamps = _grown(self._stamps, capacity, -1)
+            self._needs_full = _grown(self._needs_full, capacity, True)
+
+    # ------------------------------------------------------------------
+    # Membership notifications (the per-event hot path)
+    # ------------------------------------------------------------------
+    @hot_path
+    def note_join(self, peer_id: int) -> None:
+        """O(1): flag the joiner for a full recompute, bump the epoch."""
+        row = self._rows.ensure_row(peer_id)
+        self._sync()
+        self._needs_full[row] = True
+        self._events.append((_JOIN, peer_id))
+        self._window_cache.clear()
+
+    @hot_path
+    def note_leave(self, peer_id: int, selector_ids: Iterable[int]) -> None:
+        """O(selectors): force selectors onto the full path, bump the epoch."""
+        rows = self._rows
+        row = rows.ensure_row(peer_id)
+        self._sync()
+        self._needs_full[row] = True
+        for selector in selector_ids:
+            self._needs_full[rows.ensure_row(selector)] = True
+        self._events.append((_LEAVE, peer_id))
+        self._window_cache.clear()
+
+    @hot_path
+    def note_move(self, peer_id: int) -> None:
+        """O(1): a coordinate change re-identifies the peer as a candidate.
+
+        The mover itself needs a full recompute (its own reference point
+        changed, which no candidate delta can express).  Everyone else sees
+        the move through the log window: the id lands in both ``gained`` and
+        ``lost``, which forces selectors of the mover onto the full path
+        (lost ∩ installed) and re-offers the new coordinates to everyone
+        else additively.
+        """
+        row = self._rows.ensure_row(peer_id)
+        self._sync()
+        self._needs_full[row] = True
+        self._events.append((_MOVE, peer_id))
+        self._window_cache.clear()
+
+    def forget(self, peer_id: int) -> None:
+        """No-op: columnar bookkeeping is row-keyed and alive-gated."""
+
+    # ------------------------------------------------------------------
+    # Rounds
+    # ------------------------------------------------------------------
+    def begin_round(self) -> List[int]:
+        """Vectorised dirty scan; returns the sorted alive dirty ids."""
+        self._sync()
+        self._window_cache.clear()
+        count = self._rows.row_count
+        if count == 0:
+            return []
+        alive = self._rows.alive_mask()
+        stale = self._needs_full[:count] | (self._stamps[:count] != self.epoch)
+        dirty_rows = np.flatnonzero(alive & stale)
+        self._scheduled_rows = [int(row) for row in dirty_rows]
+        schedule = [self._rows.id_at(row) for row in self._scheduled_rows]
+        schedule.sort()
+        return schedule
+
+    def delta(self, peer_id: int) -> Tuple[bool, Set[int], Set[int]]:
+        """``(has history, gained, lost)`` for one scheduled peer."""
+        row = self._rows.row_of(peer_id)
+        if self._needs_full[row]:
+            return False, set(), set()
+        gained, lost = self._delta_since(int(self._stamps[row]))
+        if peer_id in gained or peer_id in lost:
+            # Defensive only: any event naming the peer itself also sets its
+            # needs-full flag (join, move) or its alive flag (leave), so a
+            # stamped scheduled peer never appears in its own window.
+            gained = gained - {peer_id}
+            lost = lost - {peer_id}
+        return True, gained, lost
+
+    def _delta_since(self, stamp: int) -> Tuple[Set[int], Set[int]]:
+        """Net candidate delta over the log window since ``stamp``.
+
+        Membership is resolved by flip parity against the *current* alive
+        flag: an id whose window flips are odd changed state, an id with an
+        even (non-zero) flip count departed and rejoined -- same id,
+        possibly a new identity, hence both gained and lost -- and a moved
+        id that stayed alive throughout is likewise both.  The result is
+        cached per distinct stamp and shared by every peer carrying it.
+        """
+        cached = self._window_cache.get(stamp)
+        if cached is not None:
+            return cached
+        rows = self._rows
+        toggles: Dict[int, int] = {}
+        moved: Set[int] = set()
+        for kind, event_id in self._events[stamp - self._base_epoch :]:
+            if kind == _MOVE:
+                moved.add(event_id)
+            else:
+                toggles[event_id] = toggles.get(event_id, 0) + 1
+        gained: Set[int] = set()
+        lost: Set[int] = set()
+        for event_id, flips in toggles.items():
+            alive_now = rows.is_alive(event_id)
+            alive_then = alive_now if flips % 2 == 0 else not alive_now
+            if alive_then and alive_now:
+                gained.add(event_id)
+                lost.add(event_id)
+            elif alive_then:
+                lost.add(event_id)
+            elif alive_now:
+                gained.add(event_id)
+        for event_id in moved:
+            if event_id not in toggles and rows.is_alive(event_id):
+                gained.add(event_id)
+                lost.add(event_id)
+        result = (gained, lost)
+        self._window_cache[stamp] = result
+        return result
+
+    def full_candidate_ids(self, peer_id: int) -> Set[int]:
+        """Materialise one peer's candidates (scan-path full recomputes only)."""
+        ids = set(self._rows.alive_ids())
+        ids.discard(peer_id)
+        return ids
+
+    def commit(
+        self, peer_id: int, verdict: str, gained: Set[int], lost: Set[int]
+    ) -> None:
+        """No-op: every scheduled row is stamped wholesale in ``end_round``."""
+
+    def end_round(self) -> None:
+        """Stamp the scheduled rows to the current epoch; compact the log."""
+        if self._scheduled_rows:
+            scheduled = np.fromiter(
+                self._scheduled_rows, dtype=np.int64, count=len(self._scheduled_rows)
+            )
+            self._stamps[scheduled] = self.epoch
+            self._needs_full[scheduled] = False
+            self._scheduled_rows = []
+        self._window_cache.clear()
+        self._compact_log()
+
+    def _compact_log(self) -> None:
+        """Drop log entries no tracked alive peer can ever consult again."""
+        count = self._rows.row_count
+        floor = self.epoch
+        if count:
+            tracked = self._rows.alive_mask() & ~self._needs_full[:count]
+            if tracked.any():
+                floor = int(self._stamps[:count][tracked].min())
+        drop = floor - self._base_epoch
+        if drop > 0:
+            del self._events[:drop]
+            self._base_epoch = floor
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def dirty_ids(self) -> FrozenSet[int]:
+        """Alive peers whose candidate sets may have changed since stamping."""
+        self._sync()
+        count = self._rows.row_count
+        if count == 0:
+            return frozenset()
+        alive = self._rows.alive_mask()
+        stale = self._needs_full[:count] | (self._stamps[:count] != self.epoch)
+        return frozenset(self._rows.id_at(int(row)) for row in np.flatnonzero(alive & stale))
+
+
+class ColumnarDeltaRecorder(OverlayDeltaRecorder):
+    """Delta-stream recorder whose event notes are dense boolean array writes.
+
+    Handed out by :meth:`repro.overlay.network.OverlayNetwork.delta_stream`
+    on overlays that own a :class:`DenseIdMap`; implements the exact
+    recorder contract of the set-backed base class (join+leave inside one
+    window cancels, leave+rejoin appears as both, ``drain`` resets), with
+    every note collapsed to flag writes at the shared row numbering.
+    """
+
+    def __init__(self, rows: DenseIdMap) -> None:
+        self._rows = rows
+        self._joined_rows = np.zeros(rows.capacity, dtype=bool)
+        self._departed_rows = np.zeros(rows.capacity, dtype=bool)
+        self._touched_rows = np.zeros(rows.capacity, dtype=bool)
+
+    def _sync(self) -> None:
+        capacity = self._rows.capacity
+        if len(self._joined_rows) < capacity:
+            self._joined_rows = _grown(self._joined_rows, capacity, False)
+            self._departed_rows = _grown(self._departed_rows, capacity, False)
+            self._touched_rows = _grown(self._touched_rows, capacity, False)
+
+    @hot_path
+    def note_join(self, peer_id: int) -> None:
+        """A peer entered the overlay (possibly re-using a departed id)."""
+        row = self._rows.ensure_row(peer_id)
+        self._sync()
+        self._joined_rows[row] = True
+        self._touched_rows[row] = True
+
+    @hot_path
+    def note_leave(self, peer_id: int) -> None:
+        """A peer left the overlay."""
+        row = self._rows.ensure_row(peer_id)
+        self._sync()
+        if self._joined_rows[row]:
+            # Join and leave inside one window cancel: the consumer never
+            # saw the peer, so it must not be asked to remove it.
+            self._joined_rows[row] = False
+        else:
+            self._departed_rows[row] = True
+
+    @hot_path
+    def note_touch(self, touched_ids: Iterable[int]) -> None:
+        """The undirected adjacency of these peers may have changed."""
+        rows = self._rows
+        for touched_id in touched_ids:
+            row = rows.ensure_row(touched_id)
+            if row >= len(self._touched_rows):
+                self._sync()
+            self._touched_rows[row] = True
+
+    @hot_path
+    def drain(self) -> OverlayDelta:
+        """Return the accumulated delta and reset the flag columns."""
+        rows = self._rows
+        delta = OverlayDelta(
+            joined=frozenset(rows.id_at(int(row)) for row in np.flatnonzero(self._joined_rows)),
+            departed=frozenset(
+                rows.id_at(int(row)) for row in np.flatnonzero(self._departed_rows)
+            ),
+            touched=frozenset(rows.id_at(int(row)) for row in np.flatnonzero(self._touched_rows)),
+        )
+        self._joined_rows[:] = False
+        self._departed_rows[:] = False
+        self._touched_rows[:] = False
+        return delta

@@ -14,6 +14,12 @@ Two layers use this module:
 * :mod:`repro.simulation.protocol` replays the gossip at the message level
   (individual announcements with timestamps and expiry) and uses
   :class:`AnnouncementStore` to model the ``Tmax`` window.
+
+A bounded radius makes every ``I(P)`` a genuinely *explicit* per-peer set,
+which is why gossip-limited overlays always run the incremental engine on
+``repro.overlay.incremental.ExplicitCandidateState``: the implicit
+columnar representation (``repro.overlay.columnar``) can only express the
+full-knowledge "everyone alive but me" shape.
 """
 
 from __future__ import annotations

@@ -14,12 +14,13 @@ Dirty-set invariants
 
 The engine tracks, for every peer ``P``:
 
-* ``last_candidates[P]`` -- the candidate id set ``I(P)`` at the moment of
-  ``P``'s last installed selection, or ``None`` when no selection consistent
-  with the engine's bookkeeping exists (freshly joined peers, peers whose
-  neighbour set was mutated behind the engine's back by a departure).
+* the candidate id set ``I(P)`` at the moment of ``P``'s last installed
+  selection -- or the fact that no selection consistent with the engine's
+  bookkeeping exists (freshly joined peers, peers whose neighbour set was
+  mutated behind the engine's back by a departure), which forces a full
+  recomputation;
 * membership of the *dirty set* -- ``P`` is dirty exactly when its current
-  ``I(P)`` may differ from ``last_candidates[P]``.
+  ``I(P)`` may differ from the one its selection was installed under.
 
 Clean peers therefore provably reproduce their current selection, so a
 partial round that re-selects only dirty peers installs the same topology a
@@ -27,12 +28,34 @@ full synchronous sweep would; by induction the incremental path follows the
 full-sweep trajectory round for round and terminates in the identical fixed
 point (the cross-check property tests exercise exactly this).
 
+*How* that state is represented lives behind the :class:`CandidateView`
+contract, with two interchangeable implementations:
+
+* the **implicit columnar representation**
+  (:class:`repro.overlay.columnar.ColumnarCandidateState`, the default
+  under full knowledge): ``I(P)`` is "everyone alive but ``P``", so the
+  engine stores a population epoch counter plus per-row epoch stamps and
+  needs-full flags in dense numpy columns, and resolves candidate deltas
+  lazily from a membership event log in O(changes) -- no O(N) id set is
+  ever materialised on the per-event path, and ``note_join``/``note_leave``
+  are O(1)/O(selectors) array writes;
+* the **explicit representation** (:class:`ExplicitCandidateState`, the
+  fallback): per-peer ``last_candidates`` frozensets with pending gain/loss
+  accumulators under full knowledge, and cached bounded-hop reachability
+  via :func:`repro.overlay.gossip.knowledge_set_deltas` (which re-explores
+  only peers within ``BR`` hops of a changed overlay edge) under a gossip
+  radius.  Required whenever candidate sets are per-peer subsets; also
+  selectable under full knowledge (``columnar=False``) for cross-checks.
+
+Both representations feed the same :func:`classify_reselect` rule with
+identical candidate deltas (up to a documented widening for
+leave-then-rejoin windows that provably classifies the same), so fixed
+points -- and whole convergence trajectories -- are byte-identical across
+them; the hypothesis suites in ``tests/overlay`` assert this.
+
 Dirtiness is seeded by membership events (the joined peer, departed peers'
-selectors) and propagated each round through candidate-set deltas: under
-full knowledge via per-peer pending gain/loss accumulators (cheap, ids
-only), and under a bounded gossip radius via
-:func:`repro.overlay.gossip.knowledge_set_deltas`, which re-explores only
-peers within ``BR`` hops of a changed overlay edge.
+selectors, a moved peer and its selectors) and propagated each round
+through candidate-set deltas.
 
 When the selection method declares itself *path independent*
 (:attr:`~repro.overlay.selection.base.NeighbourSelectionMethod.path_independent`),
@@ -82,7 +105,7 @@ is recorded, and :meth:`OverlayDeltaRecorder.drain` returns the accumulated
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.contracts import hot_path
 from repro.overlay.gossip import knowledge_set_deltas, knowledge_sets
@@ -96,6 +119,8 @@ __all__ = [
     "RESELECT_SKIP",
     "RESELECT_ADDITIVE",
     "classify_reselect",
+    "CandidateView",
+    "ExplicitCandidateState",
     "IncrementalReselectionEngine",
     "OverlayDelta",
     "OverlayDeltaRecorder",
@@ -303,15 +328,94 @@ def classify_reselect(
     return RESELECT_ADDITIVE
 
 
-class IncrementalReselectionEngine:
-    """Delta-driven convergence state for one :class:`OverlayNetwork`.
+#: Per-peer round plan entry: ``(peer_id, verdict, gained, lost)``.
+_PlanEntry = Tuple[int, str, Set[int], Set[int]]
 
-    The engine is created lazily by the first ``converge(incremental=True)``
-    call and kept in sync through the overlay's membership methods; a
-    full-sweep round invalidates it (the sweep rewrites every neighbour set
-    outside the engine's bookkeeping), after which the next incremental
-    convergence starts from an all-dirty state -- one batched full round --
-    and is incremental from there on.
+#: Non-``None`` stand-in passed to :func:`classify_reselect` when a view
+#: reports per-peer history without materialising the candidate set itself
+#: (the rule only distinguishes ``None`` from "history exists"; the actual
+#: ids travel through ``gained``/``lost``).
+_HAS_HISTORY: FrozenSet[int] = frozenset()
+
+
+class CandidateView:
+    """Representation contract for the engine's candidate bookkeeping.
+
+    A view owns everything the engine knows about candidate sets -- per-peer
+    history, dirtiness, pending deltas -- behind a representation-neutral
+    surface, so the engine's orchestration (classification, batched
+    selection, installs) is written once.  Two implementations exist: the
+    implicit columnar one (:class:`repro.overlay.columnar.ColumnarCandidateState`,
+    full knowledge only, the default) and the explicit dict-backed one
+    (:class:`ExplicitCandidateState`, the gossip-radius/fallback path).
+
+    The contract both must satisfy: for every scheduled peer,
+    :meth:`delta` must return a ``(has_history, gained, lost)`` triple such
+    that :func:`classify_reselect` reaches a verdict installing the same
+    selection the other representation would install -- the deltas may
+    differ in documented, verdict-equivalent ways (see
+    :mod:`repro.overlay.columnar`), the installed topologies may not.
+
+    Round protocol: ``begin_round`` -> engine classifies via ``delta`` and
+    ``forget`` -> engine installs, materialising scan-path candidate sets
+    via ``full_candidate_ids`` -> ``commit`` per planned peer ->
+    ``end_round``.  Membership notifications (``note_join`` / ``note_leave``
+    / ``note_move``) arrive between rounds, never inside one.
+    """
+
+    def note_join(self, peer_id: int) -> None:
+        """A peer was added (already present in the overlay's peer map)."""
+        raise NotImplementedError
+
+    def note_leave(self, peer_id: int, selector_ids: Iterable[int]) -> None:
+        """A peer was removed; ``selector_ids`` had it in their neighbour sets."""
+        raise NotImplementedError
+
+    def note_move(self, peer_id: int) -> None:
+        """A peer's coordinates changed in place (same id, same links)."""
+        raise NotImplementedError
+
+    def begin_round(self) -> List[int]:
+        """Start a round; return the sorted ids scheduled for classification."""
+        raise NotImplementedError
+
+    def delta(self, peer_id: int) -> Tuple[bool, Set[int], Set[int]]:
+        """``(has_history, gained, lost)`` for one scheduled peer."""
+        raise NotImplementedError
+
+    def full_candidate_ids(self, peer_id: int) -> Set[int]:
+        """Materialise one peer's current candidate id set (scan path only)."""
+        raise NotImplementedError
+
+    def commit(self, peer_id: int, verdict: str, gained: Set[int], lost: Set[int]) -> None:
+        """Record that the peer's selection is now consistent with ``I(P)``."""
+        raise NotImplementedError
+
+    def forget(self, peer_id: int) -> None:
+        """Drop bookkeeping for a scheduled id that left the overlay."""
+        raise NotImplementedError
+
+    def end_round(self) -> None:
+        """Close the round: clean every scheduled peer, drop round memos."""
+        raise NotImplementedError
+
+    def dirty_ids(self) -> FrozenSet[int]:
+        """Peers whose candidate sets may have changed since last selection."""
+        raise NotImplementedError
+
+
+class ExplicitCandidateState(CandidateView):
+    """Explicit dict/frozenset candidate bookkeeping (the fallback view).
+
+    Keeps a materialised ``last_candidates`` frozenset per peer, pending
+    gain/loss id accumulators under full knowledge, and cached bounded-hop
+    reachability under a gossip radius.  This is the only representation
+    that can express per-peer candidate *subsets*, so gossip-limited
+    overlays always use it; full-knowledge overlays built with
+    ``columnar=False`` use it too (the benchmark baselines, and the
+    property suites cross-checking the columnar path).  Its per-event cost
+    is O(N) -- ``note_join``/``note_leave`` walk every tracked peer -- which
+    is exactly what the columnar view exists to avoid.
     """
 
     def __init__(self, overlay: "OverlayNetwork") -> None:
@@ -329,35 +433,26 @@ class IncrementalReselectionEngine:
         # adjacency it was computed under.
         self._known: Dict[int, Set[int]] = {}
         self._prev_adjacency: Dict[int, Set[int]] = {}
-        self._bootstrap()
-
-    def _bootstrap(self) -> None:
-        """Adopt the overlay's current state: everything dirty, no history."""
-        overlay = self._overlay
+        # Candidate id sets materialised during the current round, so the
+        # classification (gossip deltas) and the install/commit phases
+        # compute each set once.
+        self._round_candidates: Dict[int, Set[int]] = {}
+        # Adopt the overlay's current state: everything dirty, no history.
         for peer_id in overlay.peer_ids:
             self._last_candidates[peer_id] = None
             self._dirty.add(peer_id)
         if self._radius is not None:
             self._prev_adjacency = {
-                peer_id: set(neighbours)
-                for peer_id, neighbours in overlay.adjacency().items()
+                peer_id: set(neighbour_ids)
+                for peer_id, neighbour_ids in overlay.adjacency().items()
             }
             self._known = knowledge_sets(self._prev_adjacency, self._radius)
-
-    # ------------------------------------------------------------------
-    # Introspection (used by tests)
-    # ------------------------------------------------------------------
-    @property
-    def dirty_peers(self) -> FrozenSet[int]:
-        """Peers whose candidate sets may have changed since last selection."""
-        return frozenset(self._dirty)
 
     # ------------------------------------------------------------------
     # Membership notifications
     # ------------------------------------------------------------------
     def note_join(self, peer_id: int) -> None:
-        """A peer was added (already present in the overlay's peer map)."""
-        members = self._overlay._peers  # noqa: SLF001 - engine is a friend class
+        members = self._overlay._peers  # noqa: SLF001 - view is a friend class
         self._last_candidates[peer_id] = None
         self._dirty.add(peer_id)
         if self._radius is not None:
@@ -375,16 +470,14 @@ class IncrementalReselectionEngine:
             self._pending_loss.setdefault(other, set()).discard(peer_id)
             self._pending_gain.setdefault(other, set()).add(peer_id)
 
-    def note_leave(self, peer_id: int, selectors: Iterable[int]) -> None:
-        """A peer was removed; ``selectors`` had it in their neighbour sets.
-
-        Selectors' installed neighbour sets were just mutated (the departed
-        id was stripped), so no selection consistent with any candidate set
-        exists for them any more: they are forced onto the full-recompute
-        path.  Everyone else merely lost a candidate it had not selected.
-        """
-        self._forget(peer_id)
-        for selector in selectors:
+    def note_leave(self, peer_id: int, selector_ids: Iterable[int]) -> None:
+        """Selectors' installed neighbour sets were just mutated (the
+        departed id was stripped), so no selection consistent with any
+        candidate set exists for them any more: they are forced onto the
+        full-recompute path.  Everyone else merely lost a candidate it had
+        not selected."""
+        self.forget(peer_id)
+        for selector in selector_ids:
             self._last_candidates[selector] = None
             self._dirty.add(selector)
         if self._radius is not None:
@@ -400,7 +493,37 @@ class IncrementalReselectionEngine:
                 self._pending_loss.setdefault(other, set()).add(peer_id)
                 self._dirty.add(other)
 
-    def _forget(self, peer_id: int) -> None:
+    def note_move(self, peer_id: int) -> None:
+        """The mover needs a full recompute; everyone that tracked it sees
+        the id in both ``gained`` and ``lost``, which forces its selectors
+        onto the full path (lost ∩ installed) and re-offers the refreshed
+        :class:`~repro.overlay.peer.PeerInfo` additively to the rest (infos
+        are resolved from the live peer map at install time)."""
+        self._last_candidates[peer_id] = None
+        self._dirty.add(peer_id)
+        if self._radius is not None:
+            # Bounded knowledge tracks candidate *ids*, which a move leaves
+            # untouched -- the changed coordinates are only visible through
+            # a recomputation, so every peer that may know the mover is
+            # forced onto the full path.
+            for other, last in self._last_candidates.items():
+                if last is not None and peer_id in last:
+                    self._last_candidates[other] = None
+                    self._dirty.add(other)
+            return
+        for other in self._overlay._peers:  # noqa: SLF001
+            if other == peer_id:
+                continue
+            last = self._last_candidates.get(other)
+            if last is None:
+                self._dirty.add(other)
+                continue
+            if peer_id in last:
+                self._pending_gain.setdefault(other, set()).add(peer_id)
+                self._pending_loss.setdefault(other, set()).add(peer_id)
+                self._dirty.add(other)
+
+    def forget(self, peer_id: int) -> None:
         self._last_candidates.pop(peer_id, None)
         self._pending_gain.pop(peer_id, None)
         self._pending_loss.pop(peer_id, None)
@@ -410,97 +533,245 @@ class IncrementalReselectionEngine:
     # ------------------------------------------------------------------
     # Rounds
     # ------------------------------------------------------------------
+    def begin_round(self) -> List[int]:
+        """Refresh reachability (gossip mode), return the sorted dirty ids."""
+        if self._radius is not None:
+            self._refresh_reachability()
+        return sorted(self._dirty)
+
+    def delta(self, peer_id: int) -> Tuple[bool, Set[int], Set[int]]:
+        last = self._last_candidates.get(peer_id)
+        if last is None:
+            return False, set(), set()
+        if self._radius is None:
+            members = self._overlay._peers  # noqa: SLF001
+            gained = {g for g in self._pending_gain.get(peer_id, ()) if g in members}
+            lost = set(self._pending_loss.get(peer_id, ()))
+            return True, gained, lost
+        current_ids = self._overlay._candidate_ids(  # noqa: SLF001
+            peer_id, self._known.get(peer_id, ())
+        )
+        self._round_candidates[peer_id] = current_ids
+        return True, current_ids - last, last - current_ids
+
+    def full_candidate_ids(self, peer_id: int) -> Set[int]:
+        cached = self._round_candidates.get(peer_id)
+        if cached is not None:
+            return cached
+        if self._radius is None:
+            current_ids = set(self._overlay._peers)  # noqa: SLF001
+            current_ids.discard(peer_id)
+        else:
+            current_ids = self._overlay._candidate_ids(  # noqa: SLF001
+                peer_id, self._known.get(peer_id, ())
+            )
+        self._round_candidates[peer_id] = current_ids
+        return current_ids
+
+    def commit(self, peer_id: int, verdict: str, gained: Set[int], lost: Set[int]) -> None:
+        if verdict == RESELECT_FULL:
+            self._last_candidates[peer_id] = frozenset(self.full_candidate_ids(peer_id))
+        else:
+            last = self._last_candidates[peer_id]
+            assert last is not None  # non-FULL verdicts imply history
+            # (last - lost) | gained, in this order: an id in both sets (a
+            # move, a leave-then-rejoin) must survive in the new history.
+            self._last_candidates[peer_id] = frozenset((last - lost) | gained)
+        self._pending_gain.pop(peer_id, None)
+        self._pending_loss.pop(peer_id, None)
+
+    def end_round(self) -> None:
+        self._dirty.clear()
+        self._round_candidates.clear()
+
+    def dirty_ids(self) -> FrozenSet[int]:
+        return frozenset(self._dirty)
+
+    def _refresh_reachability(self) -> None:
+        """Diff adjacency against the cached graph; dirty changed knowledge."""
+        current = {
+            peer_id: set(neighbour_ids)
+            for peer_id, neighbour_ids in self._overlay.adjacency().items()
+        }
+        if current == self._prev_adjacency:
+            return
+        deltas = knowledge_set_deltas(
+            self._prev_adjacency, current, self._radius, self._known
+        )
+        for peer_id, reachable in deltas.items():
+            self._known[peer_id] = reachable
+            self._dirty.add(peer_id)
+        for peer_id in list(self._known):
+            if peer_id not in current:
+                del self._known[peer_id]
+        self._prev_adjacency = current
+
+
+class IncrementalReselectionEngine:
+    """Delta-driven convergence state for one :class:`OverlayNetwork`.
+
+    The engine is created lazily by the first ``converge(incremental=True)``
+    call and kept in sync through the overlay's membership methods; a
+    full-sweep round invalidates it (the sweep rewrites every neighbour set
+    outside the engine's bookkeeping), after which the next incremental
+    convergence starts from an all-dirty state -- one batched full round --
+    and is incremental from there on.
+
+    Candidate bookkeeping lives behind the :class:`CandidateView` contract.
+    A full-knowledge overlay that owns a dense id map (the default) gets the
+    implicit columnar representation -- per-event notifications are O(1)
+    array writes; see :mod:`repro.overlay.columnar` -- while gossip-limited
+    overlays, and full-knowledge overlays built with ``columnar=False``,
+    fall back to :class:`ExplicitCandidateState`.  Both feed the shared
+    :func:`classify_reselect` rule and install byte-identical selections,
+    so the representation choice is invisible above this class.
+    """
+
+    def __init__(self, overlay: "OverlayNetwork") -> None:
+        # Imported here: repro.overlay.columnar subclasses this module's
+        # CandidateView/OverlayDeltaRecorder, so the dependency must stay
+        # one-directional at import time.
+        from repro.overlay.columnar import ColumnarCandidateState
+
+        self._overlay = overlay
+        id_rows = overlay.id_rows
+        self._view: CandidateView = (
+            ColumnarCandidateState(id_rows)
+            if id_rows is not None and overlay.gossip_radius is None
+            else ExplicitCandidateState(overlay)
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection (used by tests)
+    # ------------------------------------------------------------------
+    @property
+    def dirty_peers(self) -> FrozenSet[int]:
+        """Peers whose candidate sets may have changed since last selection."""
+        return self._view.dirty_ids()
+
+    # ------------------------------------------------------------------
+    # Membership notifications (the per-event hot path)
+    # ------------------------------------------------------------------
+    @hot_path
+    def note_join(self, peer_id: int) -> None:
+        """A peer was added (already present in the overlay's peer map)."""
+        self._view.note_join(peer_id)
+
+    @hot_path
+    def note_leave(self, peer_id: int, selectors: Iterable[int]) -> None:
+        """A peer was removed; ``selectors`` had it in their neighbour sets."""
+        self._view.note_leave(peer_id, selectors)
+
+    @hot_path
+    def note_move(self, peer_id: int) -> None:
+        """A peer's coordinates changed in place (same id, same links)."""
+        self._view.note_move(peer_id)
+
+    # ------------------------------------------------------------------
+    # Rounds
+    # ------------------------------------------------------------------
     def run_round(self) -> bool:
         """One partial synchronous round; ``True`` if any selection changed.
 
-        Candidate sets are derived from the pre-round topology (reachability
-        is refreshed before any selection is installed), and all updates are
-        installed at once -- the same synchronous semantics as the full
-        sweep, restricted to dirty peers.
+        Candidate sets are derived from the pre-round topology (the view
+        refreshes reachability before any selection is installed), and all
+        updates are installed at once -- the same synchronous semantics as
+        the full sweep, restricted to dirty peers.
+
+        This wrapper is the *deliberately O(N)* sweep entry: building the
+        schedule costs one pass over the population (a vectorised mask over
+        the row columns in the columnar view, a sort of the dirty set in
+        the explicit one), which is the right trade for a synchronous
+        round.  The per-peer work is delegated to the O(dirty + changes)
+        classification core :meth:`_plan_round` -- the hot-path half -- and
+        a batched install phase that only touches planned peers.
+        """
+        schedule = self._view.begin_round()
+        if not schedule:
+            return False
+        plan = self._plan_round(schedule)
+        changed = self._install_round(plan)
+        self._view.end_round()
+        return changed
+
+    @hot_path
+    def _plan_round(self, schedule: List[int]) -> List[_PlanEntry]:
+        """Classify every scheduled peer: O(dirty + changes), no id sets.
+
+        Resolves each scheduled peer's candidate delta through the view and
+        runs :func:`classify_reselect` on it; all population-sized work
+        (candidate materialisation for scan-path full recomputes, the
+        selections themselves) is deferred to the install phase, so this
+        core stays within the hot-path complexity contract whichever
+        representation is active.
         """
         overlay = self._overlay
-        peers = overlay._peers  # noqa: SLF001
-        neighbours = overlay._neighbours  # noqa: SLF001
-        if self._radius is not None:
-            self._refresh_reachability()
-        if not self._dirty:
-            return False
+        members = overlay._peers  # noqa: SLF001 - engine is a friend class
+        neighbour_sets = overlay._neighbours  # noqa: SLF001
+        path_independent = overlay.selection.path_independent
+        view = self._view
+        plan: List[_PlanEntry] = []
+        for peer_id in schedule:
+            if peer_id not in members:
+                view.forget(peer_id)
+                continue
+            has_history, gained, lost = view.delta(peer_id)
+            verdict = classify_reselect(
+                _HAS_HISTORY if has_history else None,
+                gained,
+                lost,
+                neighbour_sets[peer_id],
+                path_independent,
+            )
+            plan.append((peer_id, verdict, gained, lost))
+        return plan
 
+    def _install_round(self, plan: List[_PlanEntry]) -> bool:
+        """Run and install the planned selections; commit view history.
+
+        Under full knowledge with an owned index, full recomputations are
+        answered from the index: the O(N) candidate scan inside the
+        selection disappears.  (The index only exists when the population
+        is every peer's candidate set, so the two paths are byte-identical
+        by the selection methods' indexed-path contract.)  With the
+        columnar view active nothing here materialises an O(N) id set
+        either -- indexed full recomputes and additive updates never call
+        :meth:`CandidateView.full_candidate_ids` -- so the engine's whole
+        per-round cost beyond the selections is O(dirty + changes).
+        """
+        overlay = self._overlay
+        view = self._view
+        members = overlay._peers  # noqa: SLF001
+        neighbour_sets = overlay._neighbours  # noqa: SLF001
         selection = overlay.selection
-        # Under full knowledge with an owned index, full recomputations are
-        # answered from the index: the O(N) candidate scan inside the
-        # selection disappears.  (The index only exists when the population
-        # is every peer's candidate set, so the two paths are byte-identical
-        # by the selection methods' indexed-path contract.)  The
-        # last_candidates bookkeeping below still materialises an O(N) id
-        # set per full recompute -- cheap C-level set work next to the
-        # selection itself, but the remaining super-linear term; see the
-        # ROADMAP open item about an implicit full-knowledge representation.
         index = overlay._selection_index()  # noqa: SLF001
         references: List[PeerInfo] = []
         indexed_references: List[PeerInfo] = []
         candidates_by_peer: Dict[int, List[PeerInfo]] = {}
         additive_updates: List = []
-        new_last: Dict[int, FrozenSet[int]] = {}
 
-        for peer_id in sorted(self._dirty):
-            if peer_id not in peers:
-                self._forget(peer_id)
-                continue
-            last = self._last_candidates.get(peer_id)
-            current_selection = neighbours[peer_id]
-            current_ids: Optional[Set[int]] = None
-            if last is None:
-                gained: Set[int] = set()
-                lost: Set[int] = set()
-            elif self._radius is None:
-                gained = {
-                    g for g in self._pending_gain.get(peer_id, ()) if g in peers
-                }
-                lost = set(self._pending_loss.get(peer_id, ()))
-            else:
-                current_ids = overlay._candidate_ids(  # noqa: SLF001
-                    peer_id, self._known.get(peer_id, ())
-                )
-                gained = current_ids - last
-                lost = last - current_ids
-
-            verdict = classify_reselect(
-                last, gained, lost, current_selection, selection.path_independent
-            )
+        for peer_id, verdict, gained, _lost in plan:
             if verdict == RESELECT_FULL:
                 # Full recomputation against the complete candidate set.
-                if current_ids is None:
-                    if self._radius is None:
-                        current_ids = set(peers)
-                        current_ids.discard(peer_id)
-                    else:
-                        current_ids = overlay._candidate_ids(  # noqa: SLF001
-                            peer_id, self._known.get(peer_id, ())
-                        )
                 if index is not None:
-                    indexed_references.append(peers[peer_id])
+                    indexed_references.append(members[peer_id])
                 else:
                     candidates_by_peer[peer_id] = [
-                        peers[other] for other in sorted(current_ids)
+                        members[other]
+                        for other in sorted(view.full_candidate_ids(peer_id))
                     ]
-                    references.append(peers[peer_id])
-                new_last[peer_id] = frozenset(current_ids)
-            elif verdict == RESELECT_SKIP:
-                # Only never-selected candidates were lost (or nothing changed
-                # at all): the installed selection provably still holds.
-                new_last[peer_id] = frozenset(last - lost)
-            else:
+                    references.append(members[peer_id])
+            elif verdict == RESELECT_ADDITIVE:
                 # Gains only: path independence lets the previous selection
                 # stand in for the full previous candidate set.
                 additive_updates.append(
                     (
-                        peers[peer_id],
-                        [peers[other] for other in sorted(current_selection)],
-                        [peers[other] for other in sorted(gained)],
+                        members[peer_id],
+                        [members[other] for other in sorted(neighbour_sets[peer_id])],
+                        [members[other] for other in sorted(gained)],
                     )
                 )
-                new_last[peer_id] = frozenset((last | gained) - lost)
+            # RESELECT_SKIP: the installed selection provably still holds.
 
         additive_results: Optional[Dict[int, List[int]]] = None
         if additive_updates:
@@ -527,41 +798,19 @@ class IncrementalReselectionEngine:
         changed = False
         for reference in references:
             selected = set(results[reference.peer_id])
-            previous = neighbours[reference.peer_id]
+            previous = neighbour_sets[reference.peer_id]
             if selected != previous:
-                neighbours[reference.peer_id] = selected
+                neighbour_sets[reference.peer_id] = selected
                 overlay.notify_selection_change(reference.peer_id, previous, selected)
                 changed = True
         if additive_results:
             for peer_id, selected_ids in additive_results.items():
                 selected = set(selected_ids)
-                previous = neighbours[peer_id]
+                previous = neighbour_sets[peer_id]
                 if selected != previous:
-                    neighbours[peer_id] = selected
+                    neighbour_sets[peer_id] = selected
                     overlay.notify_selection_change(peer_id, previous, selected)
                     changed = True
-        for peer_id, ids in new_last.items():
-            self._last_candidates[peer_id] = ids
-            self._pending_gain.pop(peer_id, None)
-            self._pending_loss.pop(peer_id, None)
-        self._dirty.clear()
+        for peer_id, verdict, gained, lost in plan:
+            view.commit(peer_id, verdict, gained, lost)
         return changed
-
-    def _refresh_reachability(self) -> None:
-        """Diff adjacency against the cached graph; dirty changed knowledge."""
-        current = {
-            peer_id: set(neighbour_ids)
-            for peer_id, neighbour_ids in self._overlay.adjacency().items()
-        }
-        if current == self._prev_adjacency:
-            return
-        deltas = knowledge_set_deltas(
-            self._prev_adjacency, current, self._radius, self._known
-        )
-        for peer_id, reachable in deltas.items():
-            self._known[peer_id] = reachable
-            self._dirty.add(peer_id)
-        for peer_id in list(self._known):
-            if peer_id not in current:
-                del self._known[peer_id]
-        self._prev_adjacency = current

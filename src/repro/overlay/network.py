@@ -38,7 +38,7 @@ produces the same equilibria.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import (
     Dict,
     FrozenSet,
@@ -51,6 +51,7 @@ from typing import (
 )
 
 from repro.geometry.index import SpatialIndex
+from repro.overlay.columnar import ColumnarDeltaRecorder, DenseIdMap
 from repro.overlay.gossip import knowledge_sets
 from repro.overlay.incremental import IncrementalReselectionEngine, OverlayDeltaRecorder
 from repro.overlay.peer import PeerInfo
@@ -137,6 +138,16 @@ class OverlayNetwork:
         the shared index cannot answer, so convergence always falls back to
         scans (the index, if forced on, is still maintained).  Pass
         ``False`` to pin the scan path (the benchmark baselines do).
+    columnar:
+        Whether the overlay owns a :class:`~repro.overlay.columnar.DenseIdMap`
+        and hands the incremental engine / delta recorders the columnar
+        (implicit candidate set) representation.  ``None`` (the default)
+        enables it exactly under full knowledge -- the representation's
+        validity condition, since only there is ``I(P)`` "everyone alive
+        but me".  Pass ``False`` to pin the explicit dict/frozenset
+        bookkeeping (the benchmark baselines and the cross-checking
+        property suites do); passing ``True`` with a ``gossip_radius`` is
+        a :class:`ValueError`.
     """
 
     def __init__(
@@ -145,9 +156,17 @@ class OverlayNetwork:
         *,
         gossip_radius: Optional[int] = None,
         use_index: Optional[bool] = None,
+        columnar: Optional[bool] = None,
     ) -> None:
         if gossip_radius is not None and gossip_radius < 1:
             raise ValueError("gossip_radius must be at least 1 when given")
+        if columnar is None:
+            columnar = gossip_radius is None
+        elif columnar and gossip_radius is not None:
+            raise ValueError(
+                "columnar candidate state is implicit full-knowledge state; "
+                "it cannot represent gossip-limited candidate subsets"
+            )
         self._selection = selection
         self._gossip_radius = gossip_radius
         if use_index is None:
@@ -156,8 +175,20 @@ class OverlayNetwork:
         # apply_batch / the bulk builders); convergence failures never touch
         # coordinates, so the index stays exact through them.
         self._index: Optional[SpatialIndex] = SpatialIndex() if use_index else None
+        # The dense id->row map the columnar engine state and delta
+        # recorders share; rows are never recycled, so a departed-then-
+        # rejoined id keeps its row and every consumer's columns stay
+        # aligned for the overlay's lifetime.
+        self._id_rows: Optional[DenseIdMap] = DenseIdMap() if columnar else None
         self._peers: Dict[int, PeerInfo] = {}
         self._neighbours: Dict[int, Set[int]] = {}
+        # Reverse selector index: _selectors_of[target] is the set of peers
+        # whose installed selection contains `target`.  Maintained by
+        # notify_selection_change (every selection install routes through
+        # it) plus the membership methods, so remove_peer finds the
+        # departed peer's selectors in O(selectors) instead of scanning
+        # every neighbour set.
+        self._selectors_of: Dict[int, Set[int]] = {}
         # Created lazily by the first converge(incremental=True); kept in
         # sync by the membership methods and dropped whenever a full sweep
         # rewrites the topology behind its back.
@@ -184,6 +215,11 @@ class OverlayNetwork:
     def index(self) -> Optional[SpatialIndex]:
         """The owned spatial index over alive peers (``None`` when disabled)."""
         return self._index
+
+    @property
+    def id_rows(self) -> Optional[DenseIdMap]:
+        """The shared dense id map (``None`` when the columnar path is off)."""
+        return self._id_rows
 
     def _selection_index(self) -> Optional[SpatialIndex]:
         """The index, when this overlay's selections may be answered from it.
@@ -244,6 +280,8 @@ class OverlayNetwork:
                 raise KeyError(f"bootstrap peers {sorted(unknown)} are not in the overlay")
         self._peers[peer.peer_id] = peer
         self._neighbours[peer.peer_id] = set(bootstrap_ids)
+        if self._id_rows is not None:
+            self._id_rows.mark_alive(peer.peer_id)
         if self._index is not None:
             if len(self._peers) == 1 and self._index.dimension not in (
                 None,
@@ -259,13 +297,14 @@ class OverlayNetwork:
         if self._delta_recorders:
             for recorder in self._delta_recorders:
                 recorder.note_join(peer.peer_id)
-            # The bootstrap set is an installed selection change like any
-            # other (previous selection: empty), so it goes through the
-            # shared notification instead of a special-cased touch -- both
-            # endpoints of every bootstrap edge land in ``touched``, which
-            # is what keeps multi-peer-bootstrap joins on the delta-stream
-            # contract.
-            self._notify_selection_change(peer.peer_id, set(), bootstrap_ids)
+        # The bootstrap set is an installed selection change like any other
+        # (previous selection: empty), so it goes through the shared
+        # notification instead of a special-cased touch -- both endpoints of
+        # every bootstrap edge land in ``touched``, which is what keeps
+        # multi-peer-bootstrap joins on the delta-stream contract.  Called
+        # unconditionally (not just when recorders are attached) because the
+        # notifier also maintains the reverse selector index.
+        self._notify_selection_change(peer.peer_id, set(), bootstrap_ids)
 
     def remove_peer(self, peer_id: int) -> PeerInfo:
         """Remove a peer and every link that references it."""
@@ -274,15 +313,24 @@ class OverlayNetwork:
         except KeyError:
             raise KeyError(f"unknown peer {peer_id}") from None
         selected = self._neighbours.pop(peer_id, set())
+        if self._id_rows is not None:
+            self._id_rows.mark_dead(peer_id)
         if self._index is not None:
             self._index.remove(peer_id)
-        selectors = [
-            other
-            for other, neighbours in self._neighbours.items()
-            if peer_id in neighbours
-        ]
+        # The reverse selector index answers "who selected the departed
+        # peer" in O(selectors); the previous implementation scanned every
+        # neighbour set, which made each departure O(N) regardless of how
+        # isolated the peer was.  Sorted so the downstream engine/recorder
+        # notifications see a deterministic order.
+        selectors = sorted(self._selectors_of.pop(peer_id, ()))
         for selector in selectors:
             self._neighbours[selector].discard(peer_id)
+        for target in selected:
+            owners = self._selectors_of.get(target)
+            if owners is not None:
+                owners.discard(peer_id)
+                if not owners:
+                    del self._selectors_of[target]
         if self._engine is not None:
             self._engine.note_leave(peer_id, selectors)
         if self._delta_recorders:
@@ -293,6 +341,39 @@ class OverlayNetwork:
                 recorder.note_touch(selectors)
                 recorder.note_touch(selected)
         return info
+
+    def move_peer(self, peer_id: int, coordinates: Iterable[float]) -> PeerInfo:
+        """Update one peer's coordinates in place; returns the new metadata.
+
+        The paper's population is mobile in the general setting -- a peer's
+        characteristic point can drift without the peer leaving the overlay.
+        A move keeps the id (and therefore every installed link referencing
+        it) while invalidating every selection that evaluated the old
+        coordinates: the spatial index is re-keyed, the incremental engine
+        is told the mover and everyone tracking it need reclassification,
+        and the delta recorders see the mover plus both its selectors and
+        its selected targets as touched (their undirected adjacency may
+        change at the next convergence).  The caller converges afterwards,
+        exactly like after :meth:`add_peer` / :meth:`remove_peer`.
+        """
+        try:
+            info = self._peers[peer_id]
+        except KeyError:
+            raise KeyError(f"unknown peer {peer_id}") from None
+        moved = replace(info, coordinates=tuple(coordinates))
+        _validate_dimension(moved, info.dimension)
+        self._peers[peer_id] = moved
+        if self._index is not None:
+            self._index.move(peer_id, moved.coordinates)
+        if self._engine is not None:
+            self._engine.note_move(peer_id)
+        if self._delta_recorders:
+            touched = {peer_id}
+            touched.update(self._selectors_of.get(peer_id, ()))
+            touched.update(self._neighbours.get(peer_id, ()))
+            for recorder in self._delta_recorders:
+                recorder.note_touch(touched)
+        return moved
 
     # ------------------------------------------------------------------
     # Neighbour state
@@ -327,8 +408,16 @@ class OverlayNetwork:
         bootstrap from :meth:`snapshot` first (events before the attachment
         are not replayed); re-processing peers touched both before and after
         the snapshot is harmless by the contract.
+
+        Columnar overlays get a :class:`~repro.overlay.columnar.ColumnarDeltaRecorder`
+        sharing the overlay's dense id map, so recorder touches are flag-array
+        writes; the drained deltas are identical either way.
         """
-        recorder = OverlayDeltaRecorder()
+        recorder: OverlayDeltaRecorder = (
+            ColumnarDeltaRecorder(self._id_rows)
+            if self._id_rows is not None
+            else OverlayDeltaRecorder()
+        )
         self._delta_recorders.append(recorder)
         return recorder
 
@@ -347,7 +436,21 @@ class OverlayNetwork:
         installs selections directly) -- must route the change through here,
         or downstream consumers silently diverge.  Mechanically enforced by
         reprolint rule RPL001 (``python -m repro.analysis``).
+
+        The same routing invariant is what keeps the reverse selector index
+        exact: every installed selection change updates ``_selectors_of``
+        here, in O(changed edges), before the recorders are notified.
         """
+        for target in selected:
+            if target not in previous:
+                self._selectors_of.setdefault(target, set()).add(peer_id)
+        for target in previous:
+            if target not in selected:
+                owners = self._selectors_of.get(target)
+                if owners is not None:
+                    owners.discard(peer_id)
+                    if not owners:
+                        del self._selectors_of[target]
         if not self._delta_recorders:
             return
         touched = {peer_id}
@@ -582,6 +685,19 @@ class OverlayNetwork:
     # ------------------------------------------------------------------
     # Bulk builders
     # ------------------------------------------------------------------
+    def _rebuild_selectors(self) -> None:
+        """Recompute the reverse selector index from the neighbour map.
+
+        Bulk paths that install a whole topology at once (the equilibrium
+        builder) rewrite ``_neighbours`` without routing the per-peer
+        changes through :meth:`notify_selection_change`; one O(edges) pass
+        restores the index.
+        """
+        self._selectors_of = {}
+        for peer_id, neighbour_ids in self._neighbours.items():
+            for target in neighbour_ids:
+                self._selectors_of.setdefault(target, set()).add(peer_id)
+
     @classmethod
     def build_equilibrium(
         cls,
@@ -589,6 +705,7 @@ class OverlayNetwork:
         selection: NeighbourSelectionMethod,
         *,
         use_index: Optional[bool] = None,
+        columnar: Optional[bool] = None,
     ) -> "OverlayNetwork":
         """Full-knowledge equilibrium overlay for a fixed population.
 
@@ -601,7 +718,9 @@ class OverlayNetwork:
         :class:`ValueError` up front instead of crashing deep inside the
         vectorised equilibrium code.
         """
-        overlay = cls(selection, gossip_radius=None, use_index=use_index)
+        overlay = cls(
+            selection, gossip_radius=None, use_index=use_index, columnar=columnar
+        )
         dimension: Optional[int] = None
         for peer in peers:
             if peer.peer_id in overlay._peers:
@@ -611,12 +730,15 @@ class OverlayNetwork:
             else:
                 _validate_dimension(peer, dimension)
             overlay._peers[peer.peer_id] = peer
+            if overlay._id_rows is not None:
+                overlay._id_rows.mark_alive(peer.peer_id)
             if overlay._index is not None:
                 overlay._index.insert(peer.peer_id, peer.coordinates)
         equilibrium = selection.compute_equilibrium(peers)
         overlay._neighbours = {
             peer_id: set(equilibrium.get(peer_id, set())) for peer_id in overlay._peers
         }
+        overlay._rebuild_selectors()
         return overlay
 
     @classmethod
@@ -630,6 +752,7 @@ class OverlayNetwork:
         rng: Optional[random.Random] = None,
         incremental: bool = True,
         use_index: Optional[bool] = None,
+        columnar: Optional[bool] = None,
     ) -> "OverlayNetwork":
         """Insert peers one at a time, converging after every insertion.
 
@@ -645,7 +768,12 @@ class OverlayNetwork:
         ``incremental=False`` to cross-check against full sweeps.
         """
         generator = rng if rng is not None else random.Random(0)
-        overlay = cls(selection, gossip_radius=gossip_radius, use_index=use_index)
+        overlay = cls(
+            selection,
+            gossip_radius=gossip_radius,
+            use_index=use_index,
+            columnar=columnar,
+        )
         for peer in peers:
             if overlay.peer_count == 0:
                 overlay.add_peer(peer, bootstrap=())

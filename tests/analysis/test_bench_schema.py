@@ -44,6 +44,16 @@ def test_non_positive_measurements_fail():
     assert validate_bench_record(dict(GOOD_RECORD, speedup_floor=-1.0))
 
 
+def test_peak_rss_is_optional_but_typed():
+    """Records may omit peak_rss_mb, but a present value must be a positive
+    number -- the memory trajectory is only comparable if it is."""
+    assert validate_bench_record(GOOD_RECORD) == []  # omitted: fine
+    assert validate_bench_record(dict(GOOD_RECORD, peak_rss_mb=512.3)) == []
+    assert validate_bench_record(dict(GOOD_RECORD, peak_rss_mb=0))
+    assert validate_bench_record(dict(GOOD_RECORD, peak_rss_mb="big"))
+    assert validate_bench_record(dict(GOOD_RECORD, peak_rss_mb=True))
+
+
 def test_directory_walk_reports_per_file(tmp_path):
     good = tmp_path / "BENCH_good.json"
     good.write_text(json.dumps(GOOD_RECORD))

@@ -63,6 +63,7 @@ def test_pristine_copies_are_clean(tmp_path, network_source):
         ("geometry/index.py", SRC / "geometry" / "index.py"),
         ("workloads/churn.py", SRC / "workloads" / "churn.py"),
         ("overlay/incremental.py", SRC / "overlay" / "incremental.py"),
+        ("overlay/columnar.py", SRC / "overlay" / "columnar.py"),
         (
             "overlay/selection/hyperplanes.py",
             SRC / "overlay" / "selection" / "hyperplanes.py",
@@ -191,6 +192,23 @@ def test_rpl005_catches_population_work_in_the_mirror_hot_path(
     expected_line = _line_of(
         seeded, "overlay.directed_neighbour_map()[peer_id]"
     )
+    assert [(v.rule_id, v.line) for v in violations] == [("RPL005", expected_line)]
+
+
+def test_rpl005_catches_an_implicit_set_silently_materialised(
+    tmp_path, incremental_source
+):
+    """The columnar tentpole's regression shape: the engine's @hot_path
+    ``note_join`` quietly rebuilding an explicit population-sized structure
+    instead of delegating the O(1) implicit-representation write."""
+    seeded = _seed(
+        incremental_source,
+        "self._view.note_join(peer_id)",
+        "self._dirty_all = sorted(self._overlay._peers)",
+    )
+    copy = _mirror(tmp_path, "overlay/incremental.py", seeded)
+    violations = lint_paths([copy])
+    expected_line = _line_of(seeded, "sorted(self._overlay._peers)")
     assert [(v.rule_id, v.line) for v in violations] == [("RPL005", expected_line)]
 
 

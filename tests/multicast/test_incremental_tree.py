@@ -299,9 +299,10 @@ _SELECTIONS = st.sampled_from(
     peers=_populations(min_size=4, max_size=14),
     selection_factory=_SELECTIONS,
     script_seed=st.integers(min_value=0, max_value=999),
+    columnar=st.booleans(),
 )
 def test_maintained_tree_matches_snapshot_rebuild_at_every_step(
-    peers, selection_factory, script_seed
+    peers, selection_factory, script_seed, columnar
 ):
     """Arbitrary join/leave/reselect schedules: engine == snapshot rebuild.
 
@@ -309,10 +310,13 @@ def test_maintained_tree_matches_snapshot_rebuild_at_every_step(
     ``StabilityTreeBuilder`` build over the current snapshot, the streaming
     metric bundle must equal ``tree_metrics`` of the rebuilt tree whenever
     the forest is a single tree, and the delta-fed connectivity tracker must
-    agree with a networkx recomputation.
+    agree with a networkx recomputation.  ``columnar`` draws the engine's
+    candidate representation *and* the delta-recorder implementation
+    (set-backed vs dense-row), so both recorder contracts stay under the
+    hunt.
     """
     rng = random.Random(script_seed)
-    overlay = OverlayNetwork(selection_factory())
+    overlay = OverlayNetwork(selection_factory(), columnar=columnar)
     maintainer = StabilityTreeMaintainer(overlay)
     feed = OverlayConnectivityFeed(overlay)
     builder = StabilityTreeBuilder()

@@ -271,9 +271,10 @@ def _random_batched_script(peers, rng):
     peers=_populations(),
     selection_factory=_SELECTIONS,
     script_seed=st.integers(min_value=0, max_value=999),
+    columnar=st.booleans(),
 )
 def test_batched_epochs_match_per_event_convergence(
-    peers, selection_factory, script_seed
+    peers, selection_factory, script_seed, columnar
 ):
     """Per-epoch apply_batch == per-event converge, overlay and tree alike.
 
@@ -281,12 +282,16 @@ def test_batched_epochs_match_per_event_convergence(
     (under full knowledge the fixed point is a function of the surviving
     population), and the two maintained stability trees -- refreshed once
     per epoch vs once per event -- must be byte-identical, including the
-    streaming metric bundles whenever the forest is a single tree.
+    streaming metric bundles whenever the forest is a single tree.  The
+    batched arm draws the engine's candidate representation (implicit
+    columnar vs explicit dicts) so the tree-maintenance byte-identity hunt
+    crosses the representation boundary; the per-event arm stays on the
+    default.
     """
     rng = random.Random(script_seed)
     batches = _random_batched_script(peers, rng)
 
-    fast = OverlayNetwork(selection_factory())
+    fast = OverlayNetwork(selection_factory(), columnar=columnar)
     slow = OverlayNetwork(selection_factory())
     fast_maintainer = StabilityTreeMaintainer(fast)
     slow_maintainer = StabilityTreeMaintainer(slow)
@@ -325,19 +330,25 @@ def test_batched_epochs_match_per_event_convergence(
     selection_factory=_SELECTIONS,
     gossip_radius=st.sampled_from([None, 2, 3]),
     script_seed=st.integers(min_value=0, max_value=999),
+    columnar=st.booleans(),
 )
 def test_batched_incremental_matches_batched_full_sweep(
-    peers, selection_factory, gossip_radius, script_seed
+    peers, selection_factory, gossip_radius, script_seed, columnar
 ):
     """apply_batch(incremental=True) == apply_batch(incremental=False).
 
     The engine's partial rounds install exactly what a full sweep would, so
     the two convergence paths follow the same trajectory from the same
-    post-batch state -- under full knowledge and bounded gossip radii alike.
+    post-batch state -- under full knowledge (in both candidate
+    representations) and bounded gossip radii alike.
     """
     rng = random.Random(script_seed)
     batches = _random_batched_script(peers, rng)
-    fast = OverlayNetwork(selection_factory(), gossip_radius=gossip_radius)
+    fast = OverlayNetwork(
+        selection_factory(),
+        gossip_radius=gossip_radius,
+        columnar=columnar if gossip_radius is None else None,
+    )
     slow = OverlayNetwork(selection_factory(), gossip_radius=gossip_radius)
     for batch in batches:
         fast.apply_batch(batch, incremental=True)

@@ -67,16 +67,22 @@ _RADII = st.sampled_from([None, 2, 3])
     selection_factory=_SELECTIONS,
     gossip_radius=_RADII,
     seed=st.integers(min_value=0, max_value=999),
+    columnar=st.booleans(),
 )
 def test_insertion_convergence_matches_full_sweep(
-    peers, selection_factory, gossip_radius, seed
+    peers, selection_factory, gossip_radius, seed, columnar
 ):
+    # Under full knowledge the engine's candidate bookkeeping has two
+    # representations (implicit columnar / explicit dicts); draw both so the
+    # byte-identity hunt covers the representation boundary too.  Gossip
+    # overlays only have the explicit one.
     fast = OverlayNetwork.build_incremental(
         peers,
         selection_factory(),
         gossip_radius=gossip_radius,
         rng=random.Random(seed),
         incremental=True,
+        columnar=columnar if gossip_radius is None else None,
     )
     slow = OverlayNetwork.build_incremental(
         peers,
@@ -94,13 +100,18 @@ def test_insertion_convergence_matches_full_sweep(
     selection_factory=_SELECTIONS,
     gossip_radius=_RADII,
     script_seed=st.integers(min_value=0, max_value=999),
+    columnar=st.booleans(),
 )
 def test_churn_script_matches_full_sweep_at_every_step(
-    peers, selection_factory, gossip_radius, script_seed
+    peers, selection_factory, gossip_radius, script_seed, columnar
 ):
     """Random interleavings of joins and departures stay in lockstep."""
     rng = random.Random(script_seed)
-    fast = OverlayNetwork(selection_factory(), gossip_radius=gossip_radius)
+    fast = OverlayNetwork(
+        selection_factory(),
+        gossip_radius=gossip_radius,
+        columnar=columnar if gossip_radius is None else None,
+    )
     slow = OverlayNetwork(selection_factory(), gossip_radius=gossip_radius)
     alive = []
     pending = list(peers)
