@@ -27,11 +27,13 @@ __all__ = [
 
 #: The contract every BENCH_*.json record must satisfy.  Extra keys are
 #: welcome (records carry per-scenario detail); the five required ones are
-#: what the cross-PR trajectory tooling keys on.  ``peak_rss_mb`` is the
-#: one *typed optional* key: memory headroom is part of the road-to-100k
-#: trajectory (the columnar engine scaling records report it), so when a
-#: record carries it, it must be a positive number -- but records from
-#: environments where RSS is unavailable may simply omit it.
+#: what the cross-PR trajectory tooling keys on.  Three keys are *typed
+#: optional*: when a record carries them they must be well-formed, but a
+#: record may omit them.  ``peak_rss_mb`` (memory headroom, part of the
+#: road-to-100k trajectory) is a positive number when present;
+#: ``p99_latency_s`` (tail dissemination latency under the real-network
+#: model) a non-negative number; ``bytes_sent`` (the run's wire volume
+#: under the byte estimator) a non-negative integer.
 BENCH_RECORD_SCHEMA: Dict[str, Any] = {
     "type": "object",
     "required": [
@@ -48,6 +50,8 @@ BENCH_RECORD_SCHEMA: Dict[str, Any] = {
         "speedup": {"type": "number", "exclusiveMinimum": 0},
         "speedup_floor": {"type": "number", "exclusiveMinimum": 0},
         "peak_rss_mb": {"type": "number", "exclusiveMinimum": 0},
+        "p99_latency_s": {"type": "number", "minimum": 0},
+        "bytes_sent": {"type": "integer", "minimum": 0},
     },
 }
 

@@ -8,8 +8,12 @@ one-to-one onto the experiment drivers:
 * ``figure1d`` / ``figure1e`` -- the Section 3 sweep (diameter / degree view),
 * ``ablations`` -- the ablations of DESIGN.md (A1-A3), the overlay-churn
   reconvergence ablation (A4), the message-replay dirty-set reselection
-  ablation (A5), the event-driven tree-maintenance ablation (A6) and the
-  batched-epoch trace-convergence ablation (A7),
+  ablation (A5), the event-driven tree-maintenance ablation (A6), the
+  batched-epoch trace-convergence ablation (A7) and the real-network
+  link-model ablation (A8),
+* ``network`` -- the A8 link-model sweep alone (loss, latency
+  distributions, bandwidth queueing, dissemination-latency percentiles);
+  what the CI smoke job runs,
 * ``trace`` -- the churn-trace scenarios (Poisson, flash crowd, mass
   departure, diurnal wave) replayed through the batched-epoch path with
   live tree and connectivity metrics,
@@ -37,6 +41,7 @@ from repro.experiments.ablations import (
     run_churn_ablation,
     run_message_replay_ablation,
     run_overlay_churn_ablation,
+    run_network_model_ablation,
     run_pick_strategy_ablation,
     run_trace_convergence_ablation,
     run_tree_maintenance_ablation,
@@ -74,6 +79,7 @@ def build_parser() -> argparse.ArgumentParser:
             "figure1d",
             "figure1e",
             "ablations",
+            "network",
             "trace",
             "lint",
             "all",
@@ -140,9 +146,15 @@ def _run_ablations(scale) -> None:
         ("Ablation A5 - message-replay dirty-set reselection", run_message_replay_ablation),
         ("Ablation A6 - event-driven tree maintenance", run_tree_maintenance_ablation),
         ("Ablation A7 - batched-epoch trace convergence", run_trace_convergence_ablation),
+        ("Ablation A8 - real-network link models", run_network_model_ablation),
     ):
         _, table = runner(scale)
         _print_block(f"{title} [{scale.name}]", table.to_table())
+
+
+def _run_network(scale) -> None:
+    _, table = run_network_model_ablation(scale)
+    _print_block(f"Ablation A8 - real-network link models [{scale.name}]", table.to_table())
 
 
 def _run_trace(scale) -> None:
@@ -201,6 +213,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         _run_stability(scale, view="degree")
     if command in ("ablations", "all"):
         _run_ablations(scale)
+    if command == "network":
+        # "all" covers A8 through _run_ablations; the standalone subcommand
+        # exists so the CI smoke job can run just the link-model sweep.
+        _run_network(scale)
     if command in ("trace", "all"):
         _run_trace(scale)
     return 0

@@ -40,6 +40,15 @@ DESIGN.md):
   fixed point and byte-identical maintained stability tree, while the
   per-epoch arm pays a fraction of the engine rounds -- the amortisation
   that makes long churn traces at ``N >= 1000`` tractable.
+* **Network model (A8)** -- the message-level replay under the real-network
+  :class:`~repro.simulation.netmodel.LinkModel`: the same seeded population
+  is settled under the ideal constant-latency network and under arms with
+  per-link latency distributions, i.i.d. loss and bandwidth queueing.  The
+  rows report the traffic (messages, bytes, retransmissions of the reliable
+  notices), whether the settled overlay still reaches the full-knowledge
+  analytic fixed point, and the per-peer dissemination-latency percentiles
+  of a probe down the maintained Section 3 tree -- the protocol's
+  loss-tolerance story, quantified.
 * **Tree maintenance (A6)** -- the event-driven multicast layer
   (:class:`repro.multicast.incremental.StabilityTreeMaintainer`) against the
   snapshot-batch path: the same churn trace is driven through both, the
@@ -83,7 +92,13 @@ from repro.multicast.tree import MulticastTree
 from repro.overlay.network import OverlayNetwork
 from repro.overlay.selection.empty_rectangle import EmptyRectangleSelection
 from repro.overlay.selection.orthogonal import OrthogonalHyperplanesSelection
-from repro.simulation.runner import run_gossip_overlay
+from repro.simulation.netmodel import (
+    ConstantLatency,
+    LinkModel,
+    LognormalLatency,
+    UniformLatency,
+)
+from repro.simulation.runner import run_dissemination_probe, run_gossip_overlay
 from repro.workloads.churn import interleaved_join_leave_schedule
 from repro.workloads.peers import generate_peers, generate_peers_with_lifetimes
 from repro.workloads.traces import poisson_trace
@@ -94,6 +109,7 @@ __all__ = [
     "ChurnRow",
     "OverlayChurnRow",
     "MessageReplayRow",
+    "NetworkModelRow",
     "TreeMaintenanceRow",
     "TraceConvergenceRow",
     "AblationResult",
@@ -102,6 +118,7 @@ __all__ = [
     "run_churn_ablation",
     "run_overlay_churn_ablation",
     "run_message_replay_ablation",
+    "run_network_model_ablation",
     "run_tree_maintenance_ablation",
     "run_trace_convergence_ablation",
 ]
@@ -156,6 +173,25 @@ class OverlayChurnRow:
     maximum_rounds_per_event: int
     disconnected_events: int
     connectivity_rebuilds: int
+
+
+@dataclass(frozen=True)
+class NetworkModelRow:
+    """One network-model arm of ablation A8."""
+
+    arm: str
+    dimension: int
+    peers: int
+    network: str
+    messages_sent: int
+    messages_lost: int
+    retransmissions: int
+    bytes_sent: int
+    equilibrium_match: bool
+    probe_p50_ms: float
+    probe_p99_ms: float
+    probe_unreached: int
+    wall_seconds: float
 
 
 @dataclass(frozen=True)
@@ -821,6 +857,127 @@ def run_trace_convergence_ablation(
                 row.connectivity_rebuilds,
                 f"{row.wall_seconds:.2f}",
                 row.identical,
+            )
+            for row in rows
+        ),
+    )
+    return rows, table
+
+
+def run_network_model_ablation(
+    scale: Optional[ExperimentScale] = None,
+    *,
+    dimension: int = 2,
+    replay_cap: int = 24,
+) -> Tuple[List[NetworkModelRow], AblationResult]:
+    """A8: the message-level replay under realistic link models.
+
+    Settles the same seeded population four times -- under the ideal
+    degenerate network (constant latency, no loss; byte-identical to the
+    legacy scalar-latency path) and under arms that add i.i.d. loss, wider
+    latency distributions and a per-link bandwidth cap -- then probes the
+    maintained Section 3 tree for per-peer dissemination latencies.  Each
+    row reports the overlay-construction traffic (messages, bytes and the
+    retransmissions the reliable link notices paid), whether the settled
+    overlay still equals the full-knowledge analytic fixed point, and the
+    probe's p50/p99.  The population is capped at ``replay_cap`` peers so
+    the sweep stays affordable inside ``ablations``/``all`` CLI runs; the
+    scaling measurement lives in ``benchmarks/test_network_model_scaling.py``.
+    """
+    resolved = scale if scale is not None else resolve_scale()
+    count = min(resolved.peer_count, replay_cap)
+    seed = derive_seed(resolved.seed, 18, dimension, count)
+    peers = generate_peers_with_lifetimes(count, dimension, seed=seed)
+    equilibrium = OverlayNetwork.build_equilibrium(
+        peers, EmptyRectangleSelection()
+    ).snapshot().edges()
+
+    arms = (
+        ("ideal", LinkModel(ConstantLatency(0.01), seed=seed)),
+        ("loss-5%", LinkModel(ConstantLatency(0.01), loss_rate=0.05, seed=seed)),
+        (
+            "uniform+loss-5%",
+            LinkModel(UniformLatency(0.005, 0.03), loss_rate=0.05, seed=seed),
+        ),
+        (
+            "lognormal+loss-10%+bw",
+            LinkModel(
+                LognormalLatency(0.02, 0.5),
+                loss_rate=0.10,
+                bandwidth_bytes_per_second=2_000_000.0,
+                seed=seed,
+            ),
+        ),
+    )
+
+    rows = []
+    for arm, model in arms:
+        started = time.perf_counter()
+        simulated = run_gossip_overlay(
+            peers,
+            EmptyRectangleSelection(),
+            settle_time=40.0,
+            network=model,
+            seed=seed,
+        )
+        overlay_stats = simulated.overlay_stats
+        messages_sent = overlay_stats.messages_sent
+        messages_lost = overlay_stats.messages_lost
+        bytes_sent = overlay_stats.bytes_sent
+        retransmissions = sum(
+            process.retransmissions for process in simulated.processes.values()
+        )
+        match = simulated.snapshot().edges() == equilibrium
+        probe = run_dissemination_probe(simulated, extra_time=30.0)
+        wall_seconds = time.perf_counter() - started
+        rows.append(
+            NetworkModelRow(
+                arm=arm,
+                dimension=dimension,
+                peers=count,
+                network=model.describe(),
+                messages_sent=messages_sent,
+                messages_lost=messages_lost,
+                retransmissions=retransmissions,
+                bytes_sent=bytes_sent,
+                equilibrium_match=match,
+                probe_p50_ms=probe.statistics.p50 * 1000.0,
+                probe_p99_ms=probe.statistics.p99 * 1000.0,
+                probe_unreached=len(probe.unreached_peers),
+                wall_seconds=wall_seconds,
+            )
+        )
+
+    table = AblationResult(
+        name="network-model",
+        headers=(
+            "arm",
+            "D",
+            "peers",
+            "messages",
+            "lost",
+            "retrans",
+            "bytes",
+            "eq match",
+            "p50 [ms]",
+            "p99 [ms]",
+            "unreached",
+            "wall [s]",
+        ),
+        rows=tuple(
+            (
+                row.arm,
+                row.dimension,
+                row.peers,
+                row.messages_sent,
+                row.messages_lost,
+                row.retransmissions,
+                row.bytes_sent,
+                row.equilibrium_match,
+                f"{row.probe_p50_ms:.1f}",
+                f"{row.probe_p99_ms:.1f}",
+                row.probe_unreached,
+                f"{row.wall_seconds:.2f}",
             )
             for row in rows
         ),

@@ -34,7 +34,13 @@ from typing import Dict, FrozenSet, Iterator, Mapping, Optional, Sequence, Tuple
 
 from repro.geometry.distance import euclidean_distance
 from repro.multicast.incremental import OverlayConnectivityFeed, StabilityTreeMaintainer
-from repro.overlay.network import BatchEvent, BatchJoin, BatchLeave, OverlayNetwork
+from repro.overlay.network import (
+    BatchEvent,
+    BatchJoin,
+    BatchLeave,
+    BatchMove,
+    OverlayNetwork,
+)
 from repro.overlay.peer import PeerInfo
 from repro.overlay.selection.base import NeighbourSelectionMethod
 from repro.workloads.traces import ChurnTrace, EventBatch
@@ -58,6 +64,7 @@ class EpochSample:
     events: int
     joins: int
     leaves: int
+    moves: int
     rounds: int
     peer_count: int
     connected: bool
@@ -201,6 +208,7 @@ class TraceRunner:
                     events=len(batch.events),
                     joins=batch.join_count,
                     leaves=batch.leave_count,
+                    moves=batch.move_count,
                     rounds=rounds,
                     peer_count=overlay.peer_count,
                     connected=feed.is_connected(),
@@ -245,6 +253,9 @@ class TraceRunner:
                     yield BatchJoin(
                         peer, bootstrap=frozenset({rng.choice(overlay.peer_ids)})
                     )
+            elif event.kind == "move":
+                assert event.coordinates is not None  # ChurnEvent validated this
+                yield BatchMove(event.peer_id, event.coordinates)
             else:
                 yield BatchLeave(event.peer_id)
 

@@ -7,6 +7,12 @@ experiment sweeps and print paper-style tables.
 """
 
 from repro.metrics.degree import DegreeStatistics, degree_statistics
+from repro.metrics.latency import (
+    HistogramBin,
+    LatencyStatistics,
+    latency_statistics,
+    percentile,
+)
 from repro.metrics.paths import (
     PathStatistics,
     longest_root_to_leaf_path,
@@ -24,6 +30,10 @@ from repro.metrics.reporting import (
 __all__ = [
     "DegreeStatistics",
     "degree_statistics",
+    "HistogramBin",
+    "LatencyStatistics",
+    "latency_statistics",
+    "percentile",
     "PathStatistics",
     "longest_root_to_leaf_path",
     "path_statistics",

@@ -1,0 +1,94 @@
+"""Dissemination-latency statistics: percentiles and histograms.
+
+The paper's Tier-1 latency claims are distributional -- "most peers receive
+the message within X, the tail within Y" -- so the headline numbers are the
+median and the 99th percentile of the per-peer dissemination latencies, not
+a mean.  Percentiles use the nearest-rank definition over the sorted sample
+(deterministic, no interpolation ambiguity across numpy versions), and the
+histogram buckets the sample into equal-width bins over ``[0, max]`` for the
+table-style reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+__all__ = [
+    "HistogramBin",
+    "LatencyStatistics",
+    "latency_statistics",
+    "percentile",
+]
+
+
+@dataclass(frozen=True)
+class HistogramBin:
+    """One histogram bucket: ``[lower, upper)`` (the last bin is inclusive)."""
+
+    lower: float
+    upper: float
+    count: int
+
+
+@dataclass(frozen=True)
+class LatencyStatistics:
+    """Summary of one latency sample (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    maximum: float
+    histogram: Tuple[HistogramBin, ...]
+
+    def describe(self) -> str:
+        """One-line summary for tables (milliseconds)."""
+        if self.count == 0:
+            return "no samples"
+        return (
+            f"p50={self.p50 * 1000:.1f}ms p90={self.p90 * 1000:.1f}ms "
+            f"p99={self.p99 * 1000:.1f}ms max={self.maximum * 1000:.1f}ms"
+        )
+
+
+def percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already-sorted, non-empty sample."""
+    if not sorted_values:
+        raise ValueError("percentile of an empty sample is undefined")
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    rank = math.ceil(fraction * len(sorted_values))
+    return sorted_values[rank - 1]
+
+
+def latency_statistics(latencies: Iterable[float], *, bins: int = 10) -> LatencyStatistics:
+    """Summarise a latency sample; an empty sample yields all-zero statistics."""
+    if bins <= 0:
+        raise ValueError(f"bins must be positive, got {bins}")
+    values = sorted(latencies)
+    if not values:
+        return LatencyStatistics(
+            count=0, mean=0.0, p50=0.0, p90=0.0, p99=0.0, maximum=0.0, histogram=()
+        )
+    maximum = values[-1]
+    width = maximum / bins if maximum > 0 else 1.0
+    counts = [0] * bins
+    for value in values:
+        index = min(int(value / width), bins - 1)
+        counts[index] += 1
+    histogram = tuple(
+        HistogramBin(lower=i * width, upper=(i + 1) * width, count=counts[i])
+        for i in range(bins)
+    )
+    return LatencyStatistics(
+        count=len(values),
+        mean=math.fsum(values) / len(values),
+        p50=percentile(values, 0.50),
+        p90=percentile(values, 0.90),
+        p99=percentile(values, 0.99),
+        maximum=maximum,
+        histogram=histogram,
+    )

@@ -18,6 +18,7 @@ from repro.overlay.gossip import (
 from repro.overlay.network import (
     BatchJoin,
     BatchLeave,
+    BatchMove,
     ConvergenceError,
     OverlayNetwork,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "ConvergenceError",
     "BatchJoin",
     "BatchLeave",
+    "BatchMove",
     "TopologySnapshot",
     "undirected_closure",
     "NeighbourSelectionMethod",

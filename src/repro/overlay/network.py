@@ -47,6 +47,7 @@ from typing import (
     Optional,
     Sequence,
     Set,
+    Tuple,
     Union,
 )
 
@@ -63,6 +64,7 @@ __all__ = [
     "ConvergenceError",
     "BatchJoin",
     "BatchLeave",
+    "BatchMove",
     "BatchEvent",
 ]
 
@@ -87,9 +89,22 @@ class BatchLeave:
     peer_id: int
 
 
+@dataclass(frozen=True)
+class BatchMove:
+    """One identifier move inside an :meth:`OverlayNetwork.apply_batch` epoch.
+
+    Applied through :meth:`OverlayNetwork.move_peer`: the peer keeps its id
+    and address but relocates to ``coordinates`` in the virtual space, and
+    the epoch's single convergence settles every selection the move dirtied.
+    """
+
+    peer_id: int
+    coordinates: Tuple[float, ...]
+
+
 #: Accepted by :meth:`OverlayNetwork.apply_batch`: explicit event records, or
 #: the shorthands ``PeerInfo`` (a default-bootstrap join) and ``int`` (a leave).
-BatchEvent = Union[BatchJoin, BatchLeave, PeerInfo, int]
+BatchEvent = Union[BatchJoin, BatchLeave, BatchMove, PeerInfo, int]
 
 
 def _validate_dimension(peer: PeerInfo, dimension: int) -> None:
@@ -657,10 +672,10 @@ class OverlayNetwork:
         :class:`~repro.multicast.incremental.StabilityTreeMaintainer`
         ``refresh()`` once per epoch instead of once per event.
 
-        Accepts :class:`BatchJoin` / :class:`BatchLeave` records or the
-        shorthands ``PeerInfo`` (join, default bootstrap) and ``int``
-        (leave).  Returns the round count of the single convergence (``0``
-        when the batch was empty or emptied the overlay).
+        Accepts :class:`BatchJoin` / :class:`BatchLeave` / :class:`BatchMove`
+        records or the shorthands ``PeerInfo`` (join, default bootstrap) and
+        ``int`` (leave).  Returns the round count of the single convergence
+        (``0`` when the batch was empty or emptied the overlay).
         """
         applied = False
         for event in events:
@@ -668,6 +683,8 @@ class OverlayNetwork:
                 self.add_peer(event.peer, bootstrap=event.bootstrap)
             elif isinstance(event, BatchLeave):
                 self.remove_peer(event.peer_id)
+            elif isinstance(event, BatchMove):
+                self.move_peer(event.peer_id, event.coordinates)
             elif isinstance(event, PeerInfo):
                 self.add_peer(event)
             elif isinstance(event, int):
@@ -675,7 +692,7 @@ class OverlayNetwork:
             else:
                 raise TypeError(
                     f"unsupported batch event {event!r}; expected BatchJoin, "
-                    "BatchLeave, PeerInfo or a peer id"
+                    "BatchLeave, BatchMove, PeerInfo or a peer id"
                 )
             applied = True
         if not applied or not self._peers:

@@ -7,14 +7,26 @@ Message counters are the ground truth for every "number of messages" claim --
 in particular the ``N - 1`` construction-message claim of Section 2 is
 verified against the ``construct`` counter of this class, not against any
 by-product of the tree data structure.
+
+Two delay regimes are supported:
+
+* the legacy ``latency=`` scalar/callable (constant or topology-dependent
+  delay, every message delivered), and
+* a :class:`~repro.simulation.netmodel.LinkModel` (``link_model=``), which
+  adds per-link latency distributions, i.i.d. loss and FIFO bandwidth
+  queueing -- see :mod:`repro.simulation.netmodel`.
+
+Byte accounting runs in both regimes (the estimator is model-independent),
+so overhead is measured in bytes as well as counts everywhere.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, Optional
 
 from repro.simulation.engine import SimulationEngine
+from repro.simulation.netmodel import LinkModel, estimate_message_bytes
 
 __all__ = ["Message", "NetworkStats", "SimulatedNetwork"]
 
@@ -34,16 +46,30 @@ class Message:
 
 @dataclass
 class NetworkStats:
-    """Counters the experiments read after a run."""
+    """Counters the experiments read after a run.
+
+    ``messages_dropped`` counts deliveries to unregistered (departed)
+    recipients; ``messages_lost`` counts in-flight loss by the link model.
+    The distinction matters: drops are the protocol's problem (it talked to
+    a dead peer), losses are the network's.
+    """
 
     messages_sent: int = 0
     messages_delivered: int = 0
     messages_dropped: int = 0
+    messages_lost: int = 0
+    bytes_sent: int = 0
+    bytes_delivered: int = 0
     by_kind: Dict[str, int] = field(default_factory=dict)
+    bytes_by_kind: Dict[str, int] = field(default_factory=dict)
 
     def count(self, kind: str) -> int:
         """Number of messages of one kind that were sent."""
         return self.by_kind.get(kind, 0)
+
+    def bytes_of(self, kind: str) -> int:
+        """Estimated bytes of one kind that were sent."""
+        return self.bytes_by_kind.get(kind, 0)
 
 
 class SimulatedNetwork:
@@ -56,22 +82,35 @@ class SimulatedNetwork:
     latency:
         Either a constant latency in simulated seconds, or a callable
         ``latency(sender, recipient)`` for topology-dependent delays.
+        Mutually exclusive with ``link_model``.
+    link_model:
+        A :class:`~repro.simulation.netmodel.LinkModel` supplying latency
+        distributions, loss and bandwidth queueing.  Mutually exclusive
+        with ``latency``.
     """
 
     def __init__(
         self,
         engine: SimulationEngine,
         *,
-        latency: "float | LatencyModel" = 0.01,
+        latency: "float | LatencyModel | None" = None,
+        link_model: Optional[LinkModel] = None,
     ) -> None:
         self._engine = engine
-        if callable(latency):
-            self._latency_model: LatencyModel = latency
-        else:
-            constant = float(latency)
-            if constant < 0:
-                raise ValueError("latency must be non-negative")
-            self._latency_model = lambda sender, recipient: constant
+        if link_model is not None and latency is not None:
+            raise ValueError("pass either latency= or link_model=, not both")
+        self._link_model = link_model
+        self._latency_model: Optional[LatencyModel] = None
+        if link_model is None:
+            if latency is None:
+                latency = 0.01
+            if callable(latency):
+                self._latency_model = latency
+            else:
+                constant = float(latency)
+                if constant < 0:
+                    raise ValueError("latency must be non-negative")
+                self._latency_model = lambda sender, recipient: constant
         self._handlers: Dict[int, Callable[[Message], None]] = {}
         self._stats = NetworkStats()
 
@@ -100,7 +139,8 @@ class SimulatedNetwork:
 
         Messages to peers that are not registered (departed or never joined)
         are counted as sent and as dropped -- exactly what happens to a UDP
-        datagram aimed at a dead peer.
+        datagram aimed at a dead peer.  Under a lossy link model a message
+        may instead be lost in flight (counted, never delivered).
         """
         message = Message(
             sender=sender,
@@ -109,12 +149,29 @@ class SimulatedNetwork:
             payload=payload,
             sent_at=self._engine.now,
         )
+        size = estimate_message_bytes(kind, payload)
         self._stats.messages_sent += 1
+        self._stats.bytes_sent += size
         self._stats.by_kind[kind] = self._stats.by_kind.get(kind, 0) + 1
+        self._stats.bytes_by_kind[kind] = self._stats.bytes_by_kind.get(kind, 0) + size
+        if self._link_model is not None:
+            deliver_at = self._link_model.delivery_time(
+                sender, recipient, size, self._engine.now
+            )
+            if deliver_at is None:
+                self._stats.messages_lost += 1
+                return
+            self._engine.schedule(
+                deliver_at,
+                lambda: self._deliver(message, size),
+                description=f"{kind} {sender}->{recipient}",
+            )
+            return
+        assert self._latency_model is not None
         delay = self._latency_model(sender, recipient)
         self._engine.schedule_after(
             delay,
-            lambda: self._deliver(message),
+            lambda: self._deliver(message, size),
             description=f"{kind} {sender}->{recipient}",
         )
 
@@ -126,6 +183,11 @@ class SimulatedNetwork:
         """Counters accumulated so far."""
         return self._stats
 
+    @property
+    def link_model(self) -> Optional[LinkModel]:
+        """The link model in force, or ``None`` on the legacy latency path."""
+        return self._link_model
+
     def reset_stats(self) -> None:
         """Zero all counters (used between the overlay phase and the multicast phase)."""
         self._stats = NetworkStats()
@@ -133,10 +195,11 @@ class SimulatedNetwork:
     # ------------------------------------------------------------------
     # Internal helpers
     # ------------------------------------------------------------------
-    def _deliver(self, message: Message) -> None:
+    def _deliver(self, message: Message, size: int) -> None:
         handler = self._handlers.get(message.recipient)
         if handler is None:
             self._stats.messages_dropped += 1
             return
         self._stats.messages_delivered += 1
+        self._stats.bytes_delivered += size
         handler(message)

@@ -44,6 +44,26 @@ The offline builders in :mod:`repro.multicast` compute the same outcomes
 directly from topology snapshots; integration tests check that the two agree,
 which is the justification for using the fast offline path in the large
 figure benchmarks.
+
+**Loss tolerance.**  Over a lossy :class:`~repro.simulation.netmodel.
+LinkModel` the protocol keeps converging to the same fixed point because
+every message class has a recovery story:
+
+* *Announcements* are fire-and-forget: the next gossip period re-covers a
+  lost one, and the ``Tmax`` window is sized in multiples of the gossip
+  period precisely so that isolated losses do not expire a live candidate.
+* *Link-state notices* (``link-open`` / ``link-close`` from reselection) and
+  *construction/probe requests* are sent reliably: the receiver acks, the
+  sender retransmits on a seeded-backoff timer (bounded retries), and
+  duplicate deliveries are suppressed by a per-sender message-id set.  A
+  retransmission is skipped when the notice is no longer relevant (e.g. the
+  link has been re-opened since).
+* *Departure notices* (``link-close`` carrying a departure time) cannot be
+  ack-driven -- the sender unregisters immediately, so no ack can reach it.
+  They are blindly retransmitted a bounded number of times instead, and
+  receivers order all link notices by the sender's ``(life, seq)`` stamp,
+  so a late duplicate from a previous life can never evict the links of a
+  rejoined peer.
 """
 
 from __future__ import annotations
@@ -51,7 +71,7 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.geometry.rectangle import HyperRectangle
 from repro.multicast.space_partition import PickStrategy, select_zone_children
@@ -66,15 +86,26 @@ from repro.overlay.incremental import (
 )
 from repro.overlay.peer import PeerInfo
 from repro.overlay.selection.base import NeighbourSelectionMethod
-from repro.simulation.engine import SimulationEngine
+from repro.simulation.engine import Event, SimulationEngine
 from repro.simulation.network import Message, SimulatedNetwork
 
-__all__ = ["GossipConfig", "ConstructionRequest", "TreeRecorder", "PeerProcess"]
+__all__ = [
+    "GossipConfig",
+    "ConstructionRequest",
+    "TreeRecorder",
+    "PeerProcess",
+    "LinkNotice",
+    "ReliablePayload",
+    "ProbeRequest",
+    "ProbeRecorder",
+]
 
 ANNOUNCE = "announce"
 CONSTRUCT = "construct"
 LINK_OPEN = "link-open"
 LINK_CLOSE = "link-close"
+ACK = "ack"
+PROBE = "probe"
 
 #: Tag of the ``link-close`` payload announcing that the sender is leaving
 #: the system (as opposed to merely dropping this one link after a
@@ -99,12 +130,24 @@ class GossipConfig:
         period, as the paper requires.
     reselect_period:
         Seconds between two neighbour reselections of the same peer.
+    ack_timeout:
+        Seconds a reliable send waits for its ack before retransmitting.
+    max_retries:
+        Retransmissions (beyond the first send) a reliable message gets
+        before the sender gives up.
+    retry_backoff:
+        Multiplicative backoff factor between successive retransmissions
+        (the actual timeout also carries a small seeded jitter so a burst
+        of losses does not resynchronise every sender's timer).
     """
 
     broadcast_radius: int = 2
     gossip_period: float = 1.0
     tmax: float = 5.0
     reselect_period: float = 1.0
+    ack_timeout: float = 0.6
+    max_retries: int = 3
+    retry_backoff: float = 2.0
 
     def __post_init__(self) -> None:
         if self.broadcast_radius < 2:
@@ -113,6 +156,115 @@ class GossipConfig:
             raise ValueError("periods must be positive")
         if self.tmax <= self.gossip_period:
             raise ValueError("Tmax must be larger than the gossiping period")
+        if self.ack_timeout <= 0:
+            raise ValueError("ack_timeout must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.retry_backoff < 1.0:
+            raise ValueError("retry_backoff must be >= 1")
+
+
+@dataclass(frozen=True)
+class ReliablePayload:
+    """Envelope for messages that expect an ack.
+
+    The receiver acks every copy it sees (acks themselves may be lost) and
+    processes only the first -- ``(sender, msg_id)`` keys the suppression
+    set.  The inner ``payload`` is the actual protocol message.
+    """
+
+    msg_id: int
+    payload: Any
+
+
+@dataclass(frozen=True)
+class LinkNotice:
+    """A link-state notification, stamped for at-least-once delivery.
+
+    ``life`` is the sender's join generation and ``seq`` a per-target
+    counter within that life; receivers apply notices from one sender in
+    ``(life, seq)`` order and discard anything stale.  That makes link
+    state immune to the two artefacts a real network introduces: reordering
+    (a ``link-open`` overtaken by the ``link-close`` that followed it) and
+    late duplicates (a departure notice retransmitted from a previous life
+    arriving after the peer rejoined).
+
+    A non-``None`` ``departed_at`` marks the sender's departure from the
+    system (the tombstone time for announcement suppression), as opposed to
+    merely dropping this one link after a reselection.
+    """
+
+    life: int
+    seq: int
+    departed_at: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ProbeRequest:
+    """A dissemination probe flooding down the maintained stability tree.
+
+    ``issued_at`` is the root's send time; every peer that receives the
+    probe records ``now - issued_at`` as its dissemination latency.  The
+    session token plays the same role as in :class:`ConstructionRequest`.
+    """
+
+    session: int
+    issued_at: float
+
+
+class ProbeRecorder:
+    """Collects per-peer dissemination latencies of one probe session.
+
+    Like :class:`TreeRecorder` this is experimenter bookkeeping shared by
+    all processes of one session, not protocol state.  First delivery wins:
+    retransmitted or duplicate probes never overwrite a peer's latency.
+    """
+
+    _session_counter = itertools.count()
+
+    def __init__(self, root: int) -> None:
+        self._root = root
+        self._session = next(self._session_counter)
+        self._latencies: Dict[int, float] = {}
+
+    @property
+    def root(self) -> int:
+        """The initiating peer."""
+        return self._root
+
+    @property
+    def session(self) -> int:
+        """Unique token tying probe messages to this session."""
+        return self._session
+
+    def record(self, peer_id: int, latency: float) -> bool:
+        """Record a peer's first probe receipt; returns ``False`` for repeats."""
+        if peer_id in self._latencies:
+            return False
+        self._latencies[peer_id] = latency
+        return True
+
+    def latencies(self) -> Dict[int, float]:
+        """Per-peer dissemination latency (seconds since the root's send)."""
+        return dict(self._latencies)
+
+    def reached_peers(self) -> Set[int]:
+        """Peers the probe has reached so far."""
+        return set(self._latencies)
+
+
+@dataclass
+class _PendingSend:
+    """Sender-side state of one in-flight reliable (or blind-repeat) send."""
+
+    target: int
+    kind: str
+    payload: Any
+    guard: Callable[[], bool]
+    life: int
+    attempts: int = 0
+    timer: Optional[Event] = None
+    expects_ack: bool = True
 
 
 @dataclass(frozen=True)
@@ -228,7 +380,24 @@ class PeerProcess:
         # Rebuilding the suppression-key set is O(origins * window/period),
         # so it runs amortised -- once per Tmax -- not on every tick.
         self._last_origin_prune = 0.0
+        # Reliable-delivery state.  msg ids are unique per process for its
+        # whole lifetime (never reset on rejoin) so a suppression key can
+        # never be reused across lives.
+        self._message_ids = itertools.count()
+        self._outstanding: Dict[int, _PendingSend] = {}
+        self._seen_reliable: Dict[Tuple[int, int], float] = {}
+        self._link_seq: Dict[int, int] = {}
+        self._link_notice_order: Dict[int, Tuple[int, int]] = {}
+        self._retransmissions = 0
+        # Dedicated stream for retransmission jitter: drawing it from
+        # self._rng would shift the tick-offset / construction draws of
+        # every run and break seeded comparisons with loss-free runs.
+        self._backoff_rng = random.Random(info.peer_id * 2654435761 + 1)
         self._preferred_neighbour: Optional[int] = None
+        # Probe session state (dissemination-latency measurement): the
+        # shared recorder and this peer's children down the maintained tree.
+        self._probe_recorder: Optional[ProbeRecorder] = None
+        self._probe_children: Tuple[int, ...] = ()
         # Optional observer of the Section 3 tree state: notified on join,
         # on leave and whenever the preferred neighbour changes, so a live
         # maintenance engine can mirror the tree without polling processes.
@@ -330,6 +499,16 @@ class PeerProcess:
         """Duplicate-suppression keys currently retained (pruned with Tmax)."""
         return len(self._seen_announcements)
 
+    @property
+    def retransmissions(self) -> int:
+        """Reliable sends repeated because no ack arrived in time."""
+        return self._retransmissions
+
+    @property
+    def outstanding_sends(self) -> int:
+        """Reliable sends still waiting for an ack (or further blind repeats)."""
+        return len(self._outstanding)
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -359,6 +538,15 @@ class PeerProcess:
         self._last_origin_prune = self._engine.now
         self._neighbours.clear()
         self._inbound_links.clear()
+        self._cancel_outstanding()
+        self._seen_reliable.clear()
+        self._link_seq.clear()
+        self._link_notice_order.clear()
+        self._backoff_rng = random.Random(
+            self._info.peer_id * 2654435761 + self._life + 1
+        )
+        self._probe_recorder = None
+        self._probe_children = ()
         self._preferred_neighbour = None
         self._last_candidates = None
         self._network.register(self.peer_id, self._on_message)
@@ -376,7 +564,7 @@ class PeerProcess:
                     remaining_hops=0,
                 )
             )
-            self._network.send(self.peer_id, contact.peer_id, LINK_OPEN, None)
+            self._send_link_notice(contact.peer_id, LINK_OPEN)
         if self._tree_listener is not None:
             self._tree_listener.on_join(self._info)
         gossip_offset = self._rng.uniform(0.0, self._config.gossip_period)
@@ -398,12 +586,18 @@ class PeerProcess:
         if not self._alive:
             return
         self._alive = False
+        # Retransmission timers of the living phase die with it; departure
+        # notices get their own (blind) repeats below.
+        self._cancel_outstanding()
         # The notice carries the actual departure time: receivers tombstone
         # announcements issued up to *this* instant, so a rejoin within one
         # link latency cannot have its first new-life announcements dropped.
-        notice = (DEPARTED, self._engine.now)
+        # No ack can reach an unregistered sender, so departure notices are
+        # repeated blindly (bounded) instead of ack-driven; the (life, seq)
+        # stamp makes the duplicates harmless at the receivers.
+        now = self._engine.now
         for target in sorted(self.link_targets):
-            self._network.send(self.peer_id, target, LINK_CLOSE, notice)
+            self._send_link_notice(target, LINK_CLOSE, departed_at=now)
         self._network.unregister(self.peer_id)
         self._neighbours.clear()
         self._inbound_links.clear()
@@ -447,6 +641,164 @@ class PeerProcess:
         """
         self._recorder = recorder
         self._received_construction = False
+
+    # ------------------------------------------------------------------
+    # Dissemination probes
+    # ------------------------------------------------------------------
+    def attach_probe(self, recorder: ProbeRecorder, children: Sequence[int]) -> None:
+        """Attach a probe session: the shared recorder and this peer's
+        children down the maintained tree (computed by the runner from the
+        preferred-neighbour edges)."""
+        self._probe_recorder = recorder
+        self._probe_children = tuple(children)
+
+    def initiate_probe(self) -> None:
+        """Flood a probe down the maintained tree with this peer as root."""
+        if not self._alive:
+            raise RuntimeError(f"peer {self.peer_id} is not in the system")
+        recorder = self._probe_recorder
+        if recorder is None:
+            raise RuntimeError("attach_probe must run before initiate_probe")
+        if recorder.root != self.peer_id:
+            raise ValueError("the probe recorder must be rooted at the initiator")
+        recorder.record(self.peer_id, 0.0)
+        self._forward_probe(ProbeRequest(recorder.session, self._engine.now))
+
+    def _forward_probe(self, request: ProbeRequest) -> None:
+        recorder = self._probe_recorder
+        for child in self._probe_children:
+            self._send_reliable(
+                child,
+                PROBE,
+                request,
+                guard=lambda: self._alive and self._probe_recorder is recorder,
+            )
+
+    # ------------------------------------------------------------------
+    # Reliable delivery
+    # ------------------------------------------------------------------
+    def _send_link_notice(
+        self, target: int, kind: str, *, departed_at: Optional[float] = None
+    ) -> None:
+        """Send a stamped link-open/close; reliable unless it is a departure.
+
+        Reselection notices are ack-driven: the guard keeps retransmitting
+        only while the notice still reflects the sender's link state (a
+        link re-opened since makes the pending close irrelevant -- its
+        higher-seq successor supersedes it anyway).  Departure notices are
+        repeated blindly: the sender is unregistered, so acks are
+        undeliverable by construction.
+        """
+        seq = self._link_seq.get(target, 0) + 1
+        self._link_seq[target] = seq
+        notice = LinkNotice(life=self._life, seq=seq, departed_at=departed_at)
+        if departed_at is not None:
+            self._send_reliable(
+                target, LINK_CLOSE, notice, guard=lambda: True, expects_ack=False
+            )
+        elif kind == LINK_OPEN:
+            self._send_reliable(
+                target, LINK_OPEN, notice, guard=lambda: target in self._neighbours
+            )
+        else:
+            self._send_reliable(
+                target, LINK_CLOSE, notice, guard=lambda: target not in self._neighbours
+            )
+
+    def _send_reliable(
+        self,
+        target: int,
+        kind: str,
+        payload: Any,
+        *,
+        guard: Callable[[], bool],
+        expects_ack: bool = True,
+    ) -> None:
+        """First transmission of a reliable send; arms the retry timer."""
+        msg_id = next(self._message_ids)
+        pending = _PendingSend(
+            target=target,
+            kind=kind,
+            payload=payload,
+            guard=guard,
+            life=self._life,
+            expects_ack=expects_ack,
+        )
+        self._outstanding[msg_id] = pending
+        self._network.send(
+            self.peer_id,
+            target,
+            kind,
+            ReliablePayload(msg_id, payload) if expects_ack else payload,
+        )
+        self._arm_retry_timer(msg_id, pending)
+
+    def _arm_retry_timer(self, msg_id: int, pending: _PendingSend) -> None:
+        # Exponential backoff with a seeded multiplicative jitter so
+        # retransmission bursts from simultaneous losses do not stay phase
+        # locked across peers.
+        timeout = (
+            self._config.ack_timeout
+            * self._config.retry_backoff**pending.attempts
+            * (1.0 + 0.25 * self._backoff_rng.random())
+        )
+        pending.timer = self._engine.schedule_after(
+            timeout,
+            lambda: self._retry(msg_id),
+            description=f"retry {pending.kind} {self.peer_id}->{pending.target}",
+        )
+
+    def _retry(self, msg_id: int) -> None:
+        pending = self._outstanding.get(msg_id)
+        if pending is None:
+            return
+        if (
+            pending.life != self._life
+            or pending.attempts >= self._config.max_retries
+            or not pending.guard()
+        ):
+            del self._outstanding[msg_id]
+            return
+        pending.attempts += 1
+        self._retransmissions += 1
+        self._network.send(
+            self.peer_id,
+            pending.target,
+            pending.kind,
+            ReliablePayload(msg_id, pending.payload)
+            if pending.expects_ack
+            else pending.payload,
+        )
+        self._arm_retry_timer(msg_id, pending)
+
+    def _on_ack(self, msg_id: int) -> None:
+        pending = self._outstanding.pop(msg_id, None)
+        if pending is not None and pending.timer is not None:
+            self._engine.cancel(pending.timer)
+
+    def _cancel_outstanding(self) -> None:
+        for pending in self._outstanding.values():
+            if pending.timer is not None:
+                self._engine.cancel(pending.timer)
+        self._outstanding.clear()
+
+    def _unwrap_reliable(self, message: Message) -> Optional[Any]:
+        """Ack a reliable envelope and unwrap it; ``None`` for duplicates.
+
+        Every copy is acked -- the previous ack may have been the casualty
+        -- but only the first is processed.  Plain (non-enveloped) payloads
+        pass through untouched: announcements, departure notices and the
+        raw sends of older tests are not acked.
+        """
+        payload = message.payload
+        if not isinstance(payload, ReliablePayload):
+            return payload
+        self._network.send(self.peer_id, message.sender, ACK, payload.msg_id)
+        key = (message.sender, payload.msg_id)
+        if key in self._seen_reliable:
+            return None
+        self._seen_reliable[key] = self._engine.now
+        return payload.payload
 
     # ------------------------------------------------------------------
     # Periodic behaviour
@@ -498,6 +850,15 @@ class PeerProcess:
             if self._seen_announcements:
                 self._seen_announcements = {
                     key for key in self._seen_announcements if key[1] >= horizon
+                }
+            if self._seen_reliable:
+                # The retransmission window (ack_timeout * backoff^retries)
+                # is far shorter than Tmax for any sane config, so a key
+                # older than the window can no longer match a retry.
+                self._seen_reliable = {
+                    key: seen_at
+                    for key, seen_at in self._seen_reliable.items()
+                    if seen_at >= horizon
                 }
             if self._departed_at:
                 # A pre-departure announcement older than Tmax would have
@@ -552,9 +913,9 @@ class PeerProcess:
         previous = set(self._neighbours)
         self._neighbours = selection
         for opened in sorted(selection - previous):
-            self._network.send(self.peer_id, opened, LINK_OPEN, None)
+            self._send_link_notice(opened, LINK_OPEN)
         for closed in sorted(previous - selection):
-            self._network.send(self.peer_id, closed, LINK_CLOSE, None)
+            self._send_link_notice(closed, LINK_CLOSE)
         self._last_candidates = current_ids
         self._update_preferred_neighbour()
 
@@ -623,17 +984,56 @@ class PeerProcess:
             return
         if message.kind == ANNOUNCE:
             self._on_announce(message)
+        elif message.kind == ACK:
+            self._on_ack(message.payload)
         elif message.kind == CONSTRUCT:
-            self._on_construct(message)
+            payload = self._unwrap_reliable(message)
+            if payload is not None:
+                self._on_construct(message.sender, payload)
+        elif message.kind == PROBE:
+            payload = self._unwrap_reliable(message)
+            if payload is not None:
+                self._on_probe(payload)
         elif message.kind == LINK_OPEN:
-            self._inbound_links.add(message.sender)
+            payload = self._unwrap_reliable(message)
+            if payload is None:
+                return
+            if self._apply_notice_order(message.sender, payload):
+                self._inbound_links.add(message.sender)
         elif message.kind == LINK_CLOSE:
+            payload = self._unwrap_reliable(message)
+            if payload is None:
+                return
+            if not self._apply_notice_order(message.sender, payload):
+                return
             self._inbound_links.discard(message.sender)
-            payload = message.payload
-            if isinstance(payload, tuple) and payload[0] == DEPARTED:
+            if isinstance(payload, LinkNotice):
+                if payload.departed_at is not None:
+                    self._evict_departed(message.sender, departed_at=payload.departed_at)
+            elif isinstance(payload, tuple) and payload[0] == DEPARTED:
+                # Legacy unstamped departure notice (raw test sends).
                 self._evict_departed(message.sender, departed_at=payload[1])
         else:
             raise ValueError(f"peer {self.peer_id} received unknown message kind {message.kind!r}")
+
+    def _apply_notice_order(self, sender: int, payload: Any) -> bool:
+        """Enforce per-sender ``(life, seq)`` ordering of link notices.
+
+        Returns ``True`` when the notice is fresh and must be applied.
+        Unstamped payloads (legacy raw sends) always apply.  A stale stamp
+        -- a reordered open overtaken by its close, or a departure notice
+        retransmitted from a life the sender has since left behind --
+        is discarded, which is what protects a rejoined peer's new links
+        from its old life's late duplicates.
+        """
+        if not isinstance(payload, LinkNotice):
+            return True
+        stamp = (payload.life, payload.seq)
+        last = self._link_notice_order.get(sender)
+        if last is not None and stamp <= last:
+            return False
+        self._link_notice_order[sender] = stamp
+        return True
 
     def _on_announce(self, message: Message) -> None:
         announcement: ExistenceAnnouncement = message.payload
@@ -659,8 +1059,7 @@ class PeerProcess:
                     continue
                 self._network.send(self.peer_id, neighbour, ANNOUNCE, forwarded)
 
-    def _on_construct(self, message: Message) -> None:
-        request: ConstructionRequest = message.payload
+    def _on_construct(self, sender: int, request: ConstructionRequest) -> None:
         recorder = self._recorder
         if recorder is None:
             raise RuntimeError(
@@ -671,12 +1070,22 @@ class PeerProcess:
             # already moved on to a new recorder, so recording it would leak
             # one session's tree into another's.
             return
-        accepted = recorder.record_delivery(self.peer_id, message.sender)
+        accepted = recorder.record_delivery(self.peer_id, sender)
         if not accepted or self._received_construction:
             return
         self._received_construction = True
         recorder.record_zone(self.peer_id, request.zone)
         self._forward_construction(request.zone, recorder)
+
+    def _on_probe(self, request: ProbeRequest) -> None:
+        recorder = self._probe_recorder
+        if recorder is None or request.session != recorder.session:
+            return
+        if not recorder.record(self.peer_id, self._engine.now - request.issued_at):
+            return
+        # Forward the original request (same issued_at): children measure
+        # their latency from the root's send, not from this hop.
+        self._forward_probe(request)
 
     def _forward_construction(self, zone: HyperRectangle, recorder: TreeRecorder) -> None:
         neighbours = [
@@ -693,9 +1102,9 @@ class PeerProcess:
             rng=self._rng,
         )
         for child_info, child_zone_value in children:
-            self._network.send(
-                self.peer_id,
+            self._send_reliable(
                 child_info.peer_id,
                 CONSTRUCT,
                 ConstructionRequest(session=recorder.session, zone=child_zone_value),
+                guard=lambda: self._alive and self._recorder is recorder,
             )

@@ -16,8 +16,8 @@ either pipeline.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
 
 __all__ = [
     "ChurnEvent",
@@ -52,21 +52,32 @@ def _resolve_rng(seed: Optional[int], rng: Optional[random.Random]) -> random.Ra
 
 @dataclass(frozen=True, order=True)
 class ChurnEvent:
-    """A single arrival or departure.
+    """A single arrival, departure or identifier move.
 
     Events order by time (then peer id, then kind) so a list of events can be
-    sorted into a schedule directly.
+    sorted into a schedule directly.  A ``"move"`` carries the peer's new
+    virtual coordinates (the batched-epoch pipeline applies it through
+    ``OverlayNetwork.move_peer``); joins and leaves carry none.  The
+    coordinates are excluded from the ordering so mixed-kind lists stay
+    sortable; :func:`sorted` is stable, so same-time moves keep their order.
     """
 
     time: float
     peer_id: int
-    kind: str  # "join" or "leave"
+    kind: str  # "join", "leave" or "move"
+    coordinates: Optional[Tuple[float, ...]] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
-        if self.kind not in ("join", "leave"):
-            raise ValueError(f"kind must be 'join' or 'leave', got {self.kind!r}")
+        if self.kind not in ("join", "leave", "move"):
+            raise ValueError(f"kind must be 'join', 'leave' or 'move', got {self.kind!r}")
         if self.time < 0:
             raise ValueError("event time must be non-negative")
+        if self.kind == "move":
+            if self.coordinates is None:
+                raise ValueError("a move event must carry the new coordinates")
+            object.__setattr__(self, "coordinates", tuple(self.coordinates))
+        elif self.coordinates is not None:
+            raise ValueError(f"a {self.kind!r} event cannot carry coordinates")
 
 
 def departure_schedule(lifetimes: Sequence[float]) -> List[ChurnEvent]:

@@ -85,7 +85,12 @@ class EventBatch:
     @property
     def leave_count(self) -> int:
         """Number of leave events in the batch."""
-        return len(self.events) - self.join_count
+        return sum(1 for event in self.events if event.kind == "leave")
+
+    @property
+    def move_count(self) -> int:
+        """Number of move events in the batch."""
+        return sum(1 for event in self.events if event.kind == "move")
 
 
 @dataclass(frozen=True)
@@ -124,11 +129,11 @@ class ChurnTrace:
         return {event.peer_id for batch in self.batches for event in batch.events}
 
     def validate(self, *, initial: Iterable[int] = ()) -> None:
-        """Check join/leave well-formedness by replaying the membership.
+        """Check membership well-formedness by replaying the trace.
 
-        Raises :class:`ValueError` on a join of an already-alive peer or a
-        leave of an absent one; ``initial`` names peers alive before the
-        trace starts.
+        Raises :class:`ValueError` on a join of an already-alive peer, or a
+        leave or move of an absent one; ``initial`` names peers alive before
+        the trace starts.
         """
         alive = set(initial)
         for batch in self.batches:
@@ -140,6 +145,12 @@ class ChurnTrace:
                             "but is already alive"
                         )
                     alive.add(event.peer_id)
+                elif event.kind == "move":
+                    if event.peer_id not in alive:
+                        raise ValueError(
+                            f"peer {event.peer_id} moves at t={event.time} "
+                            "but is not alive"
+                        )
                 else:
                     if event.peer_id not in alive:
                         raise ValueError(

@@ -54,6 +54,27 @@ def test_peak_rss_is_optional_but_typed():
     assert validate_bench_record(dict(GOOD_RECORD, peak_rss_mb=True))
 
 
+def test_network_latency_fields_are_optional_but_typed():
+    """The real-network benchmark reports tail latency and wire volume;
+    other scenarios omit both.  Present values must be well-formed."""
+    assert validate_bench_record(GOOD_RECORD) == []  # omitted: fine
+    assert (
+        validate_bench_record(
+            dict(GOOD_RECORD, p99_latency_s=1.38, bytes_sent=52_401_772)
+        )
+        == []
+    )
+    # Zero is legitimate for both: a lossless single-hop probe can measure
+    # 0.0s, and a no-traffic arm sends no bytes.
+    assert validate_bench_record(dict(GOOD_RECORD, p99_latency_s=0.0)) == []
+    assert validate_bench_record(dict(GOOD_RECORD, bytes_sent=0)) == []
+    assert validate_bench_record(dict(GOOD_RECORD, p99_latency_s=-0.1))
+    assert validate_bench_record(dict(GOOD_RECORD, p99_latency_s="slow"))
+    assert validate_bench_record(dict(GOOD_RECORD, bytes_sent=-1))
+    assert validate_bench_record(dict(GOOD_RECORD, bytes_sent=1.5))
+    assert validate_bench_record(dict(GOOD_RECORD, bytes_sent=True))
+
+
 def test_directory_walk_reports_per_file(tmp_path):
     good = tmp_path / "BENCH_good.json"
     good.write_text(json.dumps(GOOD_RECORD))

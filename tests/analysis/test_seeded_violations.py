@@ -68,6 +68,7 @@ def test_pristine_copies_are_clean(tmp_path, network_source):
             "overlay/selection/hyperplanes.py",
             SRC / "overlay" / "selection" / "hyperplanes.py",
         ),
+        ("simulation/netmodel.py", SRC / "simulation" / "netmodel.py"),
     ]:
         source = network_source if source_path is None else source_path.read_text()
         copy = _mirror(tmp_path, relative, source)
@@ -157,6 +158,22 @@ def test_rpl004_catches_the_unseeded_fallback_without_its_pragma(tmp_path):
     copy = _mirror(tmp_path, "workloads/churn.py", seeded)
     violations = lint_paths([copy])
     expected_line = _line_of(seeded, "return random.Random()")
+    assert [(v.rule_id, v.line) for v in violations] == [("RPL004", expected_line)]
+
+
+def test_rpl004_catches_an_unseeded_per_link_rng_in_netmodel(tmp_path):
+    """The network model's whole determinism story is the per-directed-link
+    ``default_rng((seed, sender, recipient))`` streams; dropping the seed
+    tuple makes every loss/latency draw irreproducible and must flag."""
+    source = (SRC / "simulation" / "netmodel.py").read_text(encoding="utf-8")
+    seeded = _seed(
+        source,
+        "np.random.default_rng((self._seed, sender, recipient))",
+        "np.random.default_rng()",
+    )
+    copy = _mirror(tmp_path, "simulation/netmodel.py", seeded)
+    violations = lint_paths([copy])
+    expected_line = _line_of(seeded, "_LinkState(np.random.default_rng())")
     assert [(v.rule_id, v.line) for v in violations] == [("RPL004", expected_line)]
 
 

@@ -58,9 +58,18 @@ class TestExecution:
         assert "Ablation A5" in output
         assert "Ablation A6" in output
         assert "Ablation A7" in output
+        assert "Ablation A8" in output
         assert "dirty-set" in output
         assert "snapshot rebuilds" in output
         assert "per-epoch" in output
+        assert "lognormal" in output
+
+    def test_network_subcommand_runs_the_link_model_sweep(self, capsys):
+        assert main(["network"]) == 0
+        output = capsys.readouterr().out
+        assert "Ablation A8" in output
+        assert "eq match" in output
+        assert "lognormal" in output
 
     def test_trace_prints_every_scenario(self, capsys):
         assert main(["trace"]) == 0

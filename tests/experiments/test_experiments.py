@@ -6,13 +6,14 @@ from repro.experiments.ablations import (
     run_baseline_comparison,
     run_churn_ablation,
     run_message_replay_ablation,
+    run_network_model_ablation,
     run_overlay_churn_ablation,
     run_pick_strategy_ablation,
     run_trace_convergence_ablation,
     run_tree_maintenance_ablation,
 )
 from repro.experiments.config import SCALES, ExperimentScale, resolve_scale
-from repro.experiments.trace_runner import run_trace_scenarios
+from repro.experiments.trace_runner import TraceRunner, run_trace_scenarios
 from repro.experiments.figure1a import run_figure1a
 from repro.experiments.figure1b import run_figure1b
 from repro.experiments.figure1c import run_figure1c
@@ -206,6 +207,34 @@ class TestAblations:
         assert "message-replay" == table.name
         assert "dirty-set" in table.to_table()
 
+    def test_network_model_ablation(self):
+        rows, table = run_network_model_ablation(TINY, dimension=2, replay_cap=16)
+        by_arm = {row.arm: row for row in rows}
+        assert set(by_arm) == {
+            "ideal",
+            "loss-5%",
+            "uniform+loss-5%",
+            "lognormal+loss-10%+bw",
+        }
+        ideal = by_arm["ideal"]
+        # The degenerate arm loses nothing and never retransmits...
+        assert ideal.messages_lost == 0
+        assert ideal.retransmissions == 0
+        # ...and every arm still settles to the analytic fixed point and
+        # reaches every peer with the probe (the loss-tolerance story).
+        for row in rows:
+            assert row.peers == 16
+            assert row.equilibrium_match
+            assert row.probe_unreached == 0
+            assert row.bytes_sent > 0
+            assert row.probe_p99_ms >= row.probe_p50_ms > 0
+        # Lossy arms actually lose messages and pay retransmissions for the
+        # reliable notices.
+        assert by_arm["loss-5%"].messages_lost > 0
+        assert by_arm["lognormal+loss-10%+bw"].messages_lost > 0
+        assert "network-model" == table.name
+        assert "ideal" in table.to_table()
+
     def test_trace_convergence_ablation(self):
         rows, table = run_trace_convergence_ablation(TINY, dimension=2)
         by_arm = {row.arm: row for row in rows}
@@ -247,3 +276,53 @@ class TestAblations:
         )
         assert "trace-scenarios" == table.name
         assert "diurnal" in table.to_table()
+
+    def test_trace_runner_applies_move_events(self):
+        from repro.overlay.network import OverlayNetwork
+        from repro.overlay.peer import make_peer
+        from repro.overlay.selection.empty_rectangle import EmptyRectangleSelection
+        from repro.workloads.churn import ChurnEvent
+        from repro.workloads.traces import ChurnTrace, EventBatch
+
+        peers = [
+            make_peer(index, (float(index * 2), float(index * 2 + 1)), lifetime=10.0 + index)
+            for index in range(6)
+        ]
+        moved = (200.0, 200.0)
+        trace = ChurnTrace(
+            batches=(
+                EventBatch(
+                    time=0.0,
+                    events=tuple(
+                        ChurnEvent(time=0.0, peer_id=peer.peer_id, kind="join")
+                        for peer in peers
+                    ),
+                ),
+                EventBatch(
+                    time=1.0,
+                    events=(
+                        ChurnEvent(time=1.0, peer_id=2, kind="move", coordinates=moved),
+                    ),
+                ),
+            )
+        )
+        runner = TraceRunner(peers, EmptyRectangleSelection, bootstrap_seed=3)
+        result = runner.run(trace)
+        assert result.samples[0].moves == 0
+        assert result.samples[1].moves == 1
+        assert result.samples[1].events == 1
+        # The replayed fixed point matches an overlay converged after an
+        # explicit move_peer of the same peer.
+        from dataclasses import replace
+
+        reference = OverlayNetwork(EmptyRectangleSelection())
+        reference.apply_batch(
+            [
+                replace(peer, coordinates=moved) if peer.peer_id == 2 else peer
+                for peer in peers
+            ]
+        )
+        assert result.final_neighbours == reference.directed_neighbour_map()
+        # Both arms replay moves identically.
+        per_event = runner.run(trace, per_event=True)
+        assert per_event.final_neighbours == result.final_neighbours

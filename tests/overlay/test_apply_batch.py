@@ -10,6 +10,7 @@ engine-invalidation contract of the :class:`ConvergenceError` path.
 """
 
 import random
+from dataclasses import replace
 
 import pytest
 from hypothesis import given, settings
@@ -21,6 +22,7 @@ from repro.multicast.stability import StabilityTreeBuilder
 from repro.overlay.network import (
     BatchJoin,
     BatchLeave,
+    BatchMove,
     ConvergenceError,
     OverlayNetwork,
 )
@@ -56,6 +58,25 @@ class TestApplyBatch:
         assert overlay.peer_ids == [0, 1, 2, 3]
         overlay.apply_batch([3])
         assert overlay.peer_ids == [0, 1, 2]
+
+    def test_batch_move_relocates_and_reconverges(self):
+        peers = _peers(5)
+        overlay = OverlayNetwork(EmptyRectangleSelection())
+        overlay.apply_batch(peers)
+        new_coordinates = (100.0, 100.0)
+        rounds = overlay.apply_batch([BatchMove(2, new_coordinates)])
+        assert rounds >= 1
+        assert tuple(overlay.peer(2).coordinates) == new_coordinates
+        # The post-move fixed point matches an overlay built at the moved
+        # coordinates from scratch.
+        rebuilt = OverlayNetwork(EmptyRectangleSelection())
+        rebuilt.apply_batch(
+            [
+                replace(peer, coordinates=new_coordinates) if peer.peer_id == 2 else peer
+                for peer in peers
+            ]
+        )
+        assert overlay.directed_neighbour_map() == rebuilt.directed_neighbour_map()
 
     def test_unsupported_event_rejected(self):
         overlay = OverlayNetwork(EmptyRectangleSelection())

@@ -98,3 +98,101 @@ class TestExecution:
         engine.run()
         assert results == [0, 1, 2, 3]
         assert engine.now == 3.0
+
+
+class TestHorizonSemantics:
+    """``run(until=...)`` must land the clock on the horizon uniformly."""
+
+    def test_empty_queue_still_advances_to_the_horizon(self):
+        engine = SimulationEngine()
+        executed = engine.run(until=7.5)
+        assert executed == 0
+        assert engine.now == 7.5
+
+    def test_drained_queue_advances_to_the_horizon(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, lambda: None)
+        engine.run(until=10.0)
+        assert engine.now == 10.0
+
+    def test_horizon_never_moves_the_clock_backwards(self):
+        engine = SimulationEngine()
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+        assert engine.now == 5.0
+        engine.run(until=2.0)
+        assert engine.now == 5.0
+
+    def test_max_events_exhaustion_does_not_jump_to_the_horizon(self):
+        # Exhausting the budget pauses the run mid-stream; jumping the clock
+        # to the horizon would make resumed events appear to run in the past.
+        engine = SimulationEngine()
+        for i in range(4):
+            engine.schedule(float(i), lambda: None)
+        engine.run(until=100.0, max_events=2)
+        assert engine.now == 1.0
+        engine.run(until=100.0)
+        assert engine.now == 100.0
+
+
+class TestCancellation:
+    def test_cancelled_event_never_executes(self):
+        engine = SimulationEngine()
+        fired = []
+        event = engine.schedule(1.0, lambda: fired.append("cancelled"))
+        engine.schedule(2.0, lambda: fired.append("kept"))
+        assert engine.cancel(event) is True
+        engine.run()
+        assert fired == ["kept"]
+        assert engine.processed_events == 1
+        assert engine.cancelled_events == 1
+
+    def test_cancel_is_idempotent(self):
+        engine = SimulationEngine()
+        event = engine.schedule(1.0, lambda: None)
+        assert engine.cancel(event) is True
+        assert engine.cancel(event) is False
+        assert engine.cancelled_events == 1
+
+    def test_cancel_after_execution_reports_false(self):
+        engine = SimulationEngine()
+        event = engine.schedule(1.0, lambda: None)
+        engine.run()
+        assert engine.cancel(event) is False
+
+    def test_pending_events_excludes_cancelled(self):
+        engine = SimulationEngine()
+        event = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        assert engine.pending_events == 2
+        engine.cancel(event)
+        assert engine.pending_events == 1
+
+    def test_run_over_only_tombstones_reaches_the_horizon(self):
+        engine = SimulationEngine()
+        events = [engine.schedule(float(i), lambda: None) for i in range(3)]
+        for event in events:
+            engine.cancel(event)
+        executed = engine.run(until=9.0)
+        assert executed == 0
+        assert engine.now == 9.0
+        assert engine.pending_events == 0
+
+    def test_cancellation_preserves_ordering_of_surviving_events(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule(1.0, lambda: order.append("a"))
+        doomed = engine.schedule(1.0, lambda: order.append("x"))
+        engine.schedule(1.0, lambda: order.append("b"))
+        engine.cancel(doomed)
+        engine.run()
+        assert order == ["a", "b"]
+
+    def test_callback_can_cancel_a_later_event(self):
+        engine = SimulationEngine()
+        fired = []
+        timer = engine.schedule(5.0, lambda: fired.append("timeout"))
+        engine.schedule(1.0, lambda: engine.cancel(timer))
+        engine.run()
+        assert fired == []
+        assert engine.pending_events == 0

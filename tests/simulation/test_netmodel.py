@@ -1,0 +1,298 @@
+"""The real-network model: distributions, loss, bandwidth and equivalence.
+
+Three layers of guarantees:
+
+* **Model unit behaviour** -- latency distributions respect their bounds,
+  the loss draw drops the advertised fraction, bandwidth serialises a burst
+  FIFO, and every stochastic draw comes from an independent per-directed-link
+  seeded stream (RPL004: one link's traffic never perturbs another's draws).
+* **Seeded equivalence** (the keystone) -- the degenerate model (constant
+  latency, zero loss, no bandwidth cap) reproduces the legacy scalar-latency
+  run *byte-identically*: same topology, same preferred neighbours, same
+  message counts.  Hypothesis sweeps populations and seeds; a fixed-seed
+  test pins the flagship configuration.
+* **Loss tolerance** -- under i.i.d. loss the settled overlay still equals
+  the full-knowledge analytic fixed point, and the dissemination probe
+  reaches every alive peer (latencies then include the retransmission
+  penalty).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import numpy as np
+
+from repro.overlay.network import OverlayNetwork
+from repro.overlay.peer import make_peer
+from repro.overlay.selection.empty_rectangle import EmptyRectangleSelection
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.netmodel import (
+    HEADER_BYTES,
+    ConstantLatency,
+    LinkModel,
+    LognormalLatency,
+    UniformLatency,
+    estimate_message_bytes,
+)
+from repro.simulation.network import SimulatedNetwork
+from repro.simulation.runner import run_dissemination_probe, run_gossip_overlay
+from repro.workloads.peers import generate_peers, generate_peers_with_lifetimes
+
+
+# ----------------------------------------------------------------------
+# Latency distributions
+# ----------------------------------------------------------------------
+class TestLatencyDistributions:
+    def test_constant_consumes_no_randomness(self):
+        distribution = ConstantLatency(0.02)
+        # No generator is needed at all -- the degenerate fast path relies
+        # on this staying true.
+        assert distribution.sample(None) == 0.02
+
+    def test_uniform_respects_bounds(self):
+        distribution = UniformLatency(0.005, 0.03)
+        rng = np.random.default_rng(1)
+        samples = [distribution.sample(rng) for _ in range(200)]
+        assert all(0.005 <= s <= 0.03 for s in samples)
+        assert len(set(samples)) > 100  # actually random, not constant
+
+    def test_lognormal_median_is_where_it_says(self):
+        distribution = LognormalLatency(0.02, 0.5)
+        rng = np.random.default_rng(2)
+        samples = sorted(distribution.sample(rng) for _ in range(2001))
+        assert samples[1000] == pytest.approx(0.02, rel=0.15)
+        assert all(s > 0 for s in samples)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-0.1)
+        with pytest.raises(ValueError):
+            UniformLatency(-0.1, 0.2)
+        with pytest.raises(ValueError):
+            UniformLatency(0.3, 0.2)
+        with pytest.raises(ValueError):
+            LognormalLatency(0.0, 0.5)
+        with pytest.raises(ValueError):
+            LognormalLatency(0.02, -1.0)
+
+    def test_describe(self):
+        assert "constant" in ConstantLatency(0.01).describe()
+        assert "uniform" in UniformLatency(0.0, 0.1).describe()
+        assert "lognormal" in LognormalLatency(0.02, 0.5).describe()
+
+
+# ----------------------------------------------------------------------
+# Byte estimator
+# ----------------------------------------------------------------------
+class TestByteEstimator:
+    def test_headers_and_kind_always_charged(self):
+        assert estimate_message_bytes("ping", None) == HEADER_BYTES + 4
+
+    def test_scalars_strings_and_collections(self):
+        assert estimate_message_bytes("x", 7) == HEADER_BYTES + 1 + 8
+        assert estimate_message_bytes("x", "abc") == HEADER_BYTES + 1 + 3
+        assert estimate_message_bytes("x", (1.0, 2.0)) == HEADER_BYTES + 1 + 16
+
+    def test_dataclasses_are_walked_recursively(self):
+        info = make_peer(3, (1.0, 2.0))
+        size = estimate_message_bytes("announce", info)
+        # id + 2 coordinates + host string + port, at least.
+        assert size > HEADER_BYTES + len("announce") + 3 * 8
+
+
+# ----------------------------------------------------------------------
+# The link model
+# ----------------------------------------------------------------------
+class TestLinkModel:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LinkModel(0.01, loss_rate=1.0)
+        with pytest.raises(ValueError):
+            LinkModel(0.01, loss_rate=-0.1)
+        with pytest.raises(ValueError):
+            LinkModel(0.01, bandwidth_bytes_per_second=0.0)
+
+    def test_degenerate_detection(self):
+        assert LinkModel(0.01).is_degenerate
+        assert LinkModel(ConstantLatency(0.5)).is_degenerate
+        assert not LinkModel(0.01, loss_rate=0.01).is_degenerate
+        assert not LinkModel(UniformLatency(0.0, 0.1)).is_degenerate
+        assert not LinkModel(0.01, bandwidth_bytes_per_second=1e6).is_degenerate
+
+    def test_degenerate_delivery_is_exact_constant(self):
+        model = LinkModel(0.25)
+        assert model.delivery_time(1, 2, 1000, 3.0) == 3.25
+
+    def test_loss_fraction_matches_the_rate(self):
+        model = LinkModel(0.01, loss_rate=0.2, seed=5)
+        outcomes = [model.delivery_time(0, 1, 100, 0.0) for _ in range(2000)]
+        lost = sum(1 for outcome in outcomes if outcome is None)
+        assert 0.15 < lost / len(outcomes) < 0.25
+
+    def test_per_link_streams_are_independent(self):
+        # Drawing heavily on link (0, 1) must not change what (2, 3) yields.
+        quiet = LinkModel(UniformLatency(0.0, 1.0), seed=9)
+        busy = LinkModel(UniformLatency(0.0, 1.0), seed=9)
+        for _ in range(500):
+            busy.delivery_time(0, 1, 100, 0.0)
+        assert busy.delivery_time(2, 3, 100, 0.0) == quiet.delivery_time(2, 3, 100, 0.0)
+
+    def test_streams_are_seed_deterministic(self):
+        first = LinkModel(LognormalLatency(0.02, 0.5), loss_rate=0.1, seed=4)
+        second = LinkModel(LognormalLatency(0.02, 0.5), loss_rate=0.1, seed=4)
+        sequence = [first.delivery_time(1, 2, 64, 0.0) for _ in range(50)]
+        assert sequence == [second.delivery_time(1, 2, 64, 0.0) for _ in range(50)]
+
+    def test_bandwidth_serialises_a_burst_fifo(self):
+        # 1000 bytes/s, zero propagation delay: three 500-byte messages sent
+        # at t=0 drain at 0.5s spacing.
+        model = LinkModel(0.0, bandwidth_bytes_per_second=1000.0, seed=0)
+        times = [model.delivery_time(0, 1, 500, 0.0) for _ in range(3)]
+        assert times == [pytest.approx(0.5), pytest.approx(1.0), pytest.approx(1.5)]
+        # The queue belongs to the directed link: the reverse direction is idle.
+        assert model.delivery_time(1, 0, 500, 0.0) == pytest.approx(0.5)
+
+    def test_queue_drains_between_sends(self):
+        model = LinkModel(0.0, bandwidth_bytes_per_second=1000.0, seed=0)
+        assert model.delivery_time(0, 1, 500, 0.0) == pytest.approx(0.5)
+        # Sent after the link went idle: no queueing delay.
+        assert model.delivery_time(0, 1, 500, 10.0) == pytest.approx(10.5)
+
+
+class TestNetworkWithLinkModel:
+    def test_lost_messages_are_counted_not_delivered(self):
+        engine = SimulationEngine()
+        network = SimulatedNetwork(engine, link_model=LinkModel(0.01, loss_rate=0.5, seed=3))
+        received = []
+        network.register(1, received.append)
+        for _ in range(400):
+            network.send(0, 1, "ping", None)
+        engine.run()
+        stats = network.stats
+        assert stats.messages_sent == 400
+        assert stats.messages_lost > 0
+        assert stats.messages_lost + len(received) == 400
+        assert stats.messages_delivered == len(received)
+
+    def test_byte_accounting(self):
+        engine = SimulationEngine()
+        network = SimulatedNetwork(engine, link_model=LinkModel(0.01))
+        network.register(1, lambda message: None)
+        network.send(0, 1, "ping", None)
+        engine.run()
+        expected = estimate_message_bytes("ping", None)
+        assert network.stats.bytes_sent == expected
+        assert network.stats.bytes_delivered == expected
+        assert network.stats.bytes_of("ping") == expected
+
+    def test_latency_and_link_model_are_mutually_exclusive(self):
+        engine = SimulationEngine()
+        with pytest.raises(ValueError):
+            SimulatedNetwork(engine, latency=0.01, link_model=LinkModel(0.01))
+
+
+# ----------------------------------------------------------------------
+# Seeded equivalence (the keystone)
+# ----------------------------------------------------------------------
+def _run_pair(count, seed, settle_time=25.0):
+    """The same seeded run under the legacy network and the degenerate model."""
+    peers = generate_peers_with_lifetimes(count, 2, seed=seed)
+    legacy = run_gossip_overlay(
+        peers, EmptyRectangleSelection(), latency=0.01, settle_time=settle_time, seed=seed
+    )
+    modelled = run_gossip_overlay(
+        peers,
+        EmptyRectangleSelection(),
+        network=LinkModel(ConstantLatency(0.01)),
+        settle_time=settle_time,
+        seed=seed,
+    )
+    return legacy, modelled
+
+
+class TestSeededEquivalence:
+    def test_degenerate_model_reproduces_the_legacy_run_byte_identically(self):
+        legacy, modelled = _run_pair(count=18, seed=11)
+        assert modelled.snapshot().edges() == legacy.snapshot().edges()
+        assert modelled.preferred_neighbours() == legacy.preferred_neighbours()
+        # Not merely the same fixed point: the identical message history.
+        assert modelled.overlay_stats.messages_sent == legacy.overlay_stats.messages_sent
+        assert modelled.overlay_stats.by_kind == legacy.overlay_stats.by_kind
+        assert modelled.engine.now == legacy.engine.now
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        count=st.integers(min_value=4, max_value=10),
+        seed=st.integers(min_value=0, max_value=2**20),
+    )
+    def test_equivalence_holds_over_populations_and_seeds(self, count, seed):
+        legacy, modelled = _run_pair(count=count, seed=seed, settle_time=15.0)
+        assert modelled.snapshot().edges() == legacy.snapshot().edges()
+        assert modelled.overlay_stats.messages_sent == legacy.overlay_stats.messages_sent
+        assert modelled.overlay_stats.by_kind == legacy.overlay_stats.by_kind
+
+    def test_lossy_overlay_still_reaches_the_analytic_fixed_point(self):
+        peers = generate_peers(22, 2, seed=11)
+        simulated = run_gossip_overlay(
+            peers,
+            EmptyRectangleSelection(),
+            network=LinkModel(0.01, loss_rate=0.05, seed=7),
+            settle_time=60.0,
+            seed=1,
+        )
+        equilibrium = OverlayNetwork.build_equilibrium(peers, EmptyRectangleSelection())
+        assert simulated.snapshot().edges() == equilibrium.snapshot().edges()
+        # Loss actually happened; the protocol absorbed it.
+        assert simulated.overlay_stats.messages_lost > 0
+
+
+# ----------------------------------------------------------------------
+# The dissemination probe
+# ----------------------------------------------------------------------
+class TestDisseminationProbe:
+    def test_probe_reaches_every_peer_on_a_lossless_overlay(self):
+        peers = generate_peers_with_lifetimes(12, 2, seed=3)
+        simulated = run_gossip_overlay(
+            peers, EmptyRectangleSelection(), settle_time=25.0, seed=3
+        )
+        probe = run_dissemination_probe(simulated)
+        assert probe.unreached_peers == set()
+        assert set(probe.latencies) == set(simulated.processes)
+        assert probe.latencies[probe.root] == 0.0
+        others = {p: v for p, v in probe.latencies.items() if p != probe.root}
+        assert all(v > 0 for v in others.values())
+        assert probe.statistics.count == len(peers)
+        assert probe.statistics.p99 >= probe.statistics.p50
+
+    def test_probe_root_defaults_to_the_maintained_tree_root(self):
+        peers = generate_peers_with_lifetimes(10, 2, seed=5)
+        simulated = run_gossip_overlay(
+            peers, EmptyRectangleSelection(), settle_time=25.0, seed=5
+        )
+        probe = run_dissemination_probe(simulated)
+        # The default root is the longest-lived peer without an alive parent:
+        # its preferred-neighbour slot is empty.
+        assert simulated.processes[probe.root].preferred_neighbour is None
+
+    def test_probe_absorbs_loss_through_retransmission(self):
+        peers = generate_peers_with_lifetimes(14, 2, seed=8)
+        simulated = run_gossip_overlay(
+            peers,
+            EmptyRectangleSelection(),
+            network=LinkModel(0.01, loss_rate=0.1, seed=8),
+            settle_time=40.0,
+            seed=8,
+        )
+        probe = run_dissemination_probe(simulated, extra_time=40.0)
+        assert probe.unreached_peers == set()
+        # The probe traffic is counted separately (stats were reset).
+        assert probe.network_stats.count("probe") > 0
+
+    def test_explicit_unknown_root_rejected(self):
+        peers = generate_peers_with_lifetimes(6, 2, seed=2)
+        simulated = run_gossip_overlay(
+            peers, EmptyRectangleSelection(), settle_time=20.0, seed=2
+        )
+        with pytest.raises(KeyError):
+            run_dissemination_probe(simulated, root=999)

@@ -75,6 +75,35 @@ class TestTraceStructure:
             trace.validate()
         trace.validate(initial=[7])
 
+    def test_validate_rejects_move_of_absent_peer(self):
+        move = ChurnEvent(time=1.0, peer_id=4, kind="move", coordinates=(1.0, 2.0))
+        trace = ChurnTrace(batches=(EventBatch(time=1.0, events=(move,)),))
+        with pytest.raises(ValueError, match="not alive"):
+            trace.validate()
+        # A move does not change membership: the peer stays alive after it.
+        trace.validate(initial=[4])
+        trace = ChurnTrace(
+            batches=(
+                EventBatch(
+                    time=1.0,
+                    events=(move, ChurnEvent(time=1.0, peer_id=4, kind="leave")),
+                ),
+            )
+        )
+        trace.validate(initial=[4])
+
+    def test_move_count_property(self):
+        batch = EventBatch(
+            time=0.0,
+            events=(
+                ChurnEvent(time=0.0, peer_id=0, kind="join"),
+                ChurnEvent(time=0.0, peer_id=1, kind="move", coordinates=(3.0,)),
+            ),
+        )
+        assert batch.join_count == 1
+        assert batch.leave_count == 0
+        assert batch.move_count == 1
+
     def test_leave_then_rejoin_inside_one_batch_validates(self):
         trace = ChurnTrace(
             batches=(

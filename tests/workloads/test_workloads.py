@@ -126,6 +126,26 @@ class TestChurnSchedules:
         with pytest.raises(ValueError):
             ChurnEvent(time=-1.0, peer_id=0, kind="join")
 
+    def test_move_events_carry_coordinates(self):
+        move = ChurnEvent(time=1.0, peer_id=3, kind="move", coordinates=[2.0, 4.0])
+        assert move.coordinates == (2.0, 4.0)  # coerced to a tuple
+        with pytest.raises(ValueError):
+            ChurnEvent(time=1.0, peer_id=3, kind="move")
+        with pytest.raises(ValueError):
+            ChurnEvent(time=1.0, peer_id=3, kind="join", coordinates=(2.0, 4.0))
+        with pytest.raises(ValueError):
+            ChurnEvent(time=1.0, peer_id=3, kind="leave", coordinates=(2.0, 4.0))
+
+    def test_mixed_kind_events_stay_sortable(self):
+        events = [
+            ChurnEvent(time=2.0, peer_id=0, kind="leave"),
+            ChurnEvent(time=1.0, peer_id=1, kind="move", coordinates=(0.5, 0.5)),
+            ChurnEvent(time=1.0, peer_id=0, kind="join"),
+        ]
+        # Coordinates are excluded from the ordering, so sorting a mixed
+        # list never compares a tuple against None.
+        assert [e.time for e in sorted(events)] == [1.0, 1.0, 2.0]
+
     def test_poisson_parameters_validated(self):
         with pytest.raises(ValueError):
             poisson_churn_schedule(5, arrival_rate=0.0)
