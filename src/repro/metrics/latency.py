@@ -75,6 +75,11 @@ def latency_statistics(latencies: Iterable[float], *, bins: int = 10) -> Latency
         )
     maximum = values[-1]
     width = maximum / bins if maximum > 0 else 1.0
+    if width == 0.0:
+        # A subnormal maximum can underflow maximum / bins to exactly 0.0;
+        # fall back to the zero-max degenerate width instead of dividing
+        # by zero below.
+        width = 1.0
     counts = [0] * bins
     for value in values:
         index = min(int(value / width), bins - 1)

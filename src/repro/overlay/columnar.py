@@ -17,7 +17,11 @@ representation:
   notifications are O(1) array writes plus one event-log append; a peer's
   candidate delta since its stamp is resolved lazily from the log window in
   O(events in window), shared across every peer with the same stamp; the
-  per-round dirty scan is a single vectorised mask over the row columns.
+  per-round dirty scan is a single vectorised mask over the row columns,
+  and :meth:`~ColumnarCandidateState.plan_round` collapses the whole
+  schedule-and-classify step into verdict mask columns (one shared gained
+  window per stamp group) so a round costs numpy passes plus O(changes)
+  Python, never a per-peer loop.
   Nothing ever materialises an O(N) id set on the per-event path
   (mechanically enforced: the notification methods carry
   :func:`~repro.contracts.hot_path` and reprolint rule RPL005 rejects
@@ -47,12 +51,18 @@ points over whole churn scripts.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple, Union
 
 import numpy as np
 
 from repro.contracts import hot_path
-from repro.overlay.incremental import CandidateView, OverlayDelta, OverlayDeltaRecorder
+from repro.overlay.incremental import (
+    CandidateView,
+    OverlayDelta,
+    OverlayDeltaRecorder,
+    RoundPlan,
+    RoundWindow,
+)
 
 __all__ = [
     "DenseIdMap",
@@ -145,6 +155,10 @@ class DenseIdMap:
         """Peer id stored at ``row`` (as a Python int)."""
         return int(self._id_of_row[row])
 
+    def ids_at(self, rows: "np.ndarray") -> "np.ndarray":
+        """Peer ids at an array of rows (one vectorised gather)."""
+        return self._id_of_row[rows]
+
     def is_alive(self, peer_id: int) -> bool:
         """Whether a known id is currently flagged alive."""
         return bool(self._alive[self._row_of_id[peer_id]])
@@ -191,7 +205,10 @@ class ColumnarCandidateState(CandidateView):
         self._needs_full = np.ones(rows.capacity, dtype=bool)
         #: stamp -> (gained, lost), valid for the current round only.
         self._window_cache: Dict[int, Tuple[Set[int], Set[int]]] = {}
-        self._scheduled_rows: List[int] = []
+        #: Rows scheduled by the open round: a Python list on the per-peer
+        #: protocol (``begin_round``), an int64 array on the vectorised one
+        #: (``plan_round``); ``end_round`` stamps either wholesale.
+        self._scheduled_rows: Union[List[int], "np.ndarray"] = []
 
     @property
     def epoch(self) -> int:
@@ -252,20 +269,112 @@ class ColumnarCandidateState(CandidateView):
     # ------------------------------------------------------------------
     # Rounds
     # ------------------------------------------------------------------
-    def begin_round(self) -> List[int]:
-        """Vectorised dirty scan; returns the sorted alive dirty ids."""
+    def _dirty_row_array(self) -> "np.ndarray":
+        """The alive-and-stale rows, as one vectorised mask pass."""
         self._sync()
         self._window_cache.clear()
         count = self._rows.row_count
         if count == 0:
-            return []
+            return np.zeros(0, dtype=np.int64)
         alive = self._rows.alive_mask()
         stale = self._needs_full[:count] | (self._stamps[:count] != self.epoch)
-        dirty_rows = np.flatnonzero(alive & stale)
+        return np.flatnonzero(alive & stale)
+
+    def begin_round(self) -> List[int]:
+        """Vectorised dirty scan; returns the sorted alive dirty ids."""
+        dirty_rows = self._dirty_row_array()
         self._scheduled_rows = [int(row) for row in dirty_rows]
         schedule = [self._rows.id_at(row) for row in self._scheduled_rows]
         schedule.sort()
         return schedule
+
+    @hot_path
+    def plan_round(
+        self,
+        selectors_of: Mapping[int, Set[int]],
+        path_independent: bool,
+    ) -> Optional[RoundPlan]:
+        """Schedule and classify one round as verdict columns.
+
+        The vectorised round protocol (see
+        :meth:`repro.overlay.incremental.CandidateView.plan_round`): the
+        dirty scan, the per-peer history test and the whole
+        :func:`~repro.overlay.incremental.classify_reselect` decision table
+        collapse into numpy mask algebra over the scheduled rows.  Python
+        touches only change-sized structures -- the distinct stamp values
+        (one per converge generation still tracked, typically one), each
+        window's gained/lost id sets, and the selectors of each lost id
+        (how ``lost & installed_selection`` is resolved without per-peer
+        intersections) -- so the plan costs O(dirty rows) in numpy plus
+        O(changes) in Python, never O(alive) Python iteration.
+
+        Verdict equivalence with the per-peer loop, stamp group by stamp
+        group: rows flagged needs-full have no history -> ``full``; an
+        empty window -> ``skip``; a non-path-independent method -> ``full``;
+        otherwise members whose installed selection intersects the lost set
+        (exactly the scheduled selectors of lost ids) -> ``full``, the rest
+        -> ``additive`` when the window gained and ``skip`` when it only
+        lost.  The one per-peer subtlety -- ``delta()`` defensively drops a
+        peer from its own window, a case the representation provably never
+        produces -- is preserved by falling back (``None``) if it ever did.
+        """
+        scheduled_rows = self._dirty_row_array()
+        self._scheduled_rows = scheduled_rows
+        rows_map = self._rows
+        scheduled_ids = rows_map.ids_at(scheduled_rows)
+        total = int(scheduled_rows.size)
+        full_mask = self._needs_full[scheduled_rows].copy()
+        skip_mask = np.zeros(total, dtype=bool)
+        additive_mask = np.zeros(total, dtype=bool)
+        windows: List[RoundWindow] = []
+        stamped = ~full_mask
+        if stamped.any():
+            stamps = self._stamps[scheduled_rows]
+            position_of_row = np.full(rows_map.row_count, -1, dtype=np.int64)
+            position_of_row[scheduled_rows] = np.arange(total, dtype=np.int64)
+            for stamp in np.unique(stamps[stamped]):
+                member_mask = stamped & (stamps == stamp)
+                gained, lost = self._delta_since(int(stamp))
+                for window_id in gained | lost:
+                    position = int(position_of_row[rows_map.row_of(window_id)])
+                    if position >= 0 and member_mask[position]:
+                        # A peer inside its own window: documented-impossible
+                        # (see delta()); keep the per-peer path's defensive
+                        # semantics by handing the round back to it.
+                        return None
+                if not gained and not lost:
+                    skip_mask |= member_mask
+                    continue
+                if not path_independent:
+                    full_mask |= member_mask
+                    continue
+                rest = member_mask
+                if lost:
+                    hit = np.zeros(total, dtype=bool)
+                    for lost_id in lost:
+                        for selector in selectors_of.get(lost_id, ()):
+                            position = int(
+                                position_of_row[rows_map.row_of(selector)]
+                            )
+                            if position >= 0 and member_mask[position]:
+                                hit[position] = True
+                    full_mask |= member_mask & hit
+                    rest = member_mask & ~hit
+                if not gained:
+                    skip_mask |= rest
+                elif rest.any():
+                    additive_mask |= rest
+                    windows.append(
+                        RoundWindow(members=rest, gained=frozenset(gained))
+                    )
+        return RoundPlan(
+            scheduled_rows=scheduled_rows,
+            scheduled_ids=scheduled_ids,
+            full_mask=full_mask,
+            skip_mask=skip_mask,
+            additive_mask=additive_mask,
+            windows=tuple(windows),
+        )
 
     def delta(self, peer_id: int) -> Tuple[bool, Set[int], Set[int]]:
         """``(has history, gained, lost)`` for one scheduled peer."""
@@ -335,10 +444,8 @@ class ColumnarCandidateState(CandidateView):
 
     def end_round(self) -> None:
         """Stamp the scheduled rows to the current epoch; compact the log."""
-        if self._scheduled_rows:
-            scheduled = np.fromiter(
-                self._scheduled_rows, dtype=np.int64, count=len(self._scheduled_rows)
-            )
+        if len(self._scheduled_rows):
+            scheduled = np.asarray(self._scheduled_rows, dtype=np.int64)
             self._stamps[scheduled] = self.epoch
             self._needs_full[scheduled] = False
             self._scheduled_rows = []
@@ -387,6 +494,10 @@ class ColumnarDeltaRecorder(OverlayDeltaRecorder):
         self._joined_rows = np.zeros(rows.capacity, dtype=bool)
         self._departed_rows = np.zeros(rows.capacity, dtype=bool)
         self._touched_rows = np.zeros(rows.capacity, dtype=bool)
+        # One past the highest row noted since the last drain.  Keeps drain
+        # O(touched area) -- an idle stream drains (and resets) nothing
+        # instead of scanning three capacity-length columns.
+        self._high_water = 0
 
     def _sync(self) -> None:
         capacity = self._rows.capacity
@@ -402,12 +513,16 @@ class ColumnarDeltaRecorder(OverlayDeltaRecorder):
         self._sync()
         self._joined_rows[row] = True
         self._touched_rows[row] = True
+        if row >= self._high_water:
+            self._high_water = row + 1
 
     @hot_path
     def note_leave(self, peer_id: int) -> None:
         """A peer left the overlay."""
         row = self._rows.ensure_row(peer_id)
         self._sync()
+        if row >= self._high_water:
+            self._high_water = row + 1
         if self._joined_rows[row]:
             # Join and leave inside one window cancel: the consumer never
             # saw the peer, so it must not be asked to remove it.
@@ -424,19 +539,31 @@ class ColumnarDeltaRecorder(OverlayDeltaRecorder):
             if row >= len(self._touched_rows):
                 self._sync()
             self._touched_rows[row] = True
+            if row >= self._high_water:
+                self._high_water = row + 1
 
     @hot_path
     def drain(self) -> OverlayDelta:
         """Return the accumulated delta and reset the flag columns."""
+        limit = self._high_water
+        if limit == 0:
+            return OverlayDelta(
+                joined=frozenset(), departed=frozenset(), touched=frozenset()
+            )
         rows = self._rows
         delta = OverlayDelta(
-            joined=frozenset(rows.id_at(int(row)) for row in np.flatnonzero(self._joined_rows)),
-            departed=frozenset(
-                rows.id_at(int(row)) for row in np.flatnonzero(self._departed_rows)
+            joined=frozenset(
+                rows.id_at(int(row)) for row in np.flatnonzero(self._joined_rows[:limit])
             ),
-            touched=frozenset(rows.id_at(int(row)) for row in np.flatnonzero(self._touched_rows)),
+            departed=frozenset(
+                rows.id_at(int(row)) for row in np.flatnonzero(self._departed_rows[:limit])
+            ),
+            touched=frozenset(
+                rows.id_at(int(row)) for row in np.flatnonzero(self._touched_rows[:limit])
+            ),
         )
-        self._joined_rows[:] = False
-        self._departed_rows[:] = False
-        self._touched_rows[:] = False
+        self._joined_rows[:limit] = False
+        self._departed_rows[:limit] = False
+        self._touched_rows[:limit] = False
+        self._high_water = 0
         return delta

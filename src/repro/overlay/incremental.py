@@ -105,11 +105,24 @@ is recorded, and :meth:`OverlayDeltaRecorder.drain` returns the accumulated
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+import numpy as np
 
 from repro.contracts import hot_path
 from repro.overlay.gossip import knowledge_set_deltas, knowledge_sets
 from repro.overlay.peer import PeerInfo
+from repro.overlay.selection.base import AdditiveCohort
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.overlay.network import OverlayNetwork
@@ -125,6 +138,8 @@ __all__ = [
     "OverlayDelta",
     "OverlayDeltaRecorder",
     "DirectedSelectionMirror",
+    "RoundPlan",
+    "RoundWindow",
 ]
 
 
@@ -331,6 +346,44 @@ def classify_reselect(
 #: Per-peer round plan entry: ``(peer_id, verdict, gained, lost)``.
 _PlanEntry = Tuple[int, str, Set[int], Set[int]]
 
+
+@dataclass(frozen=True)
+class RoundWindow:
+    """One shared delta window of a :class:`RoundPlan`.
+
+    ``members`` is a boolean mask over the plan's scheduled positions
+    selecting the peers that carry this window *and* classified additive;
+    ``gained`` is the candidate-id set their candidate sets gained -- one
+    set shared by the whole group, which is what collapses the per-peer
+    delta bookkeeping into a cohort install.  (The window's lost ids never
+    reach the install phase: losses only matter to classification.)
+    """
+
+    members: "np.ndarray"
+    gained: FrozenSet[int]
+
+
+@dataclass(frozen=True)
+class RoundPlan:
+    """A whole convergence round, classified as columns over dense rows.
+
+    Produced by :meth:`CandidateView.plan_round` on views that support the
+    vectorised round protocol: ``scheduled_rows`` are the dirty
+    :class:`~repro.overlay.columnar.DenseIdMap` rows (in row order),
+    ``scheduled_ids`` the aligned peer ids, and the three verdict masks
+    partition the scheduled positions exactly as the per-peer
+    :func:`classify_reselect` loop would (``full | skip | additive``, mutually
+    disjoint).  Additive positions are grouped into :class:`RoundWindow`
+    cohorts sharing one gained set each.
+    """
+
+    scheduled_rows: "np.ndarray"
+    scheduled_ids: "np.ndarray"
+    full_mask: "np.ndarray"
+    skip_mask: "np.ndarray"
+    additive_mask: "np.ndarray"
+    windows: Tuple[RoundWindow, ...]
+
 #: Non-``None`` stand-in passed to :func:`classify_reselect` when a view
 #: reports per-peer history without materialising the candidate set itself
 #: (the rule only distinguishes ``None`` from "history exists"; the actual
@@ -361,6 +414,14 @@ class CandidateView:
     via ``full_candidate_ids`` -> ``commit`` per planned peer ->
     ``end_round``.  Membership notifications (``note_join`` / ``note_leave``
     / ``note_move``) arrive between rounds, never inside one.
+
+    Views may additionally support the *vectorised* round protocol by
+    overriding :meth:`plan_round`: one call replaces ``begin_round`` + the
+    per-peer ``delta``/classify loop, returning verdict columns instead of
+    per-peer triples.  A vectorised round still closes with ``end_round``,
+    but ``commit`` is never invoked on it -- a view that returns plans must
+    fold its round history wholesale in ``end_round`` (the columnar view
+    already does; its ``commit`` is a no-op for exactly this reason).
     """
 
     def note_join(self, peer_id: int) -> None:
@@ -378,6 +439,26 @@ class CandidateView:
     def begin_round(self) -> List[int]:
         """Start a round; return the sorted ids scheduled for classification."""
         raise NotImplementedError
+
+    def plan_round(
+        self,
+        selectors_of: Mapping[int, Set[int]],
+        path_independent: bool,
+    ) -> Optional[RoundPlan]:
+        """Start a round *and* classify it in vectorised column form.
+
+        ``selectors_of`` is the overlay's reverse selector index (``target
+        id -> ids whose installed selection contains it``), which is how a
+        plan resolves the ``lost & installed_selection`` term of
+        :func:`classify_reselect` in O(changes) instead of per-peer set
+        intersections.  Returns ``None`` (the default) when the view keeps
+        the per-peer protocol -- the engine then falls back to
+        ``begin_round``/``delta``/``commit`` -- or a :class:`RoundPlan`
+        whose verdict columns the engine installs directly.  A returned
+        plan, even an empty one, claims the round: the engine will close a
+        non-empty plan with ``end_round`` and never call ``commit``.
+        """
+        return None
 
     def delta(self, peer_id: int) -> Tuple[bool, Set[int], Set[int]]:
         """``(has_history, gained, lost)`` for one scheduled peer."""
@@ -627,7 +708,9 @@ class IncrementalReselectionEngine:
     so the representation choice is invisible above this class.
     """
 
-    def __init__(self, overlay: "OverlayNetwork") -> None:
+    def __init__(
+        self, overlay: "OverlayNetwork", *, vectorised: Optional[bool] = None
+    ) -> None:
         # Imported here: repro.overlay.columnar subclasses this module's
         # CandidateView/OverlayDeltaRecorder, so the dependency must stay
         # one-directional at import time.
@@ -640,6 +723,10 @@ class IncrementalReselectionEngine:
             if id_rows is not None and overlay.gossip_radius is None
             else ExplicitCandidateState(overlay)
         )
+        # Vectorised rounds are on unless explicitly disabled; the flag only
+        # decides whether plan_round is *offered* -- views without a plan
+        # (the explicit fallback) keep the per-peer protocol either way.
+        self._vectorised = vectorised is not False
 
     # ------------------------------------------------------------------
     # Introspection (used by tests)
@@ -682,15 +769,38 @@ class IncrementalReselectionEngine:
         schedule costs one pass over the population (a vectorised mask over
         the row columns in the columnar view, a sort of the dirty set in
         the explicit one), which is the right trade for a synchronous
-        round.  The per-peer work is delegated to the O(dirty + changes)
-        classification core :meth:`_plan_round` -- the hot-path half -- and
-        a batched install phase that only touches planned peers.
+        round.
+
+        Two protocols sit below it.  The vectorised one (the default on
+        views that support it, i.e. the columnar representation): one
+        :meth:`CandidateView.plan_round` call schedules *and* classifies
+        the round as numpy verdict columns, and :meth:`_install_plan`
+        resolves it through the selection family's cohort entry
+        (:meth:`~repro.overlay.selection.base.NeighbourSelectionMethod.install_many`)
+        -- the O(N) sweep is numpy passes, every Python loop is O(dirty
+        ids + changes).  The per-peer one (the explicit view, and the
+        ``vectorised_rounds=False`` baseline arm): the O(dirty + changes)
+        classification core :meth:`_plan_round` -- the hot-path half --
+        followed by a batched install phase that only touches planned
+        peers.  Both install byte-identical selections (property-tested on
+        every representation arm).
         """
+        if self._vectorised:
+            plan = self._view.plan_round(
+                self._overlay._selectors_of,  # noqa: SLF001 - friend class
+                self._overlay.selection.path_independent,
+            )
+            if plan is not None:
+                if plan.scheduled_rows.size == 0:
+                    return False
+                changed = self._install_plan(plan)
+                self._view.end_round()
+                return changed
         schedule = self._view.begin_round()
         if not schedule:
             return False
-        plan = self._plan_round(schedule)
-        changed = self._install_round(plan)
+        entries = self._plan_round(schedule)
+        changed = self._install_round(entries)
         self._view.end_round()
         return changed
 
@@ -794,23 +904,62 @@ class IncrementalReselectionEngine:
             # separate: only full-candidate recomputations may consult the
             # index.
             results.update(selection.select_many(indexed_references, {}, index=index))
-            references = references + indexed_references
-        changed = False
-        for reference in references:
-            selected = set(results[reference.peer_id])
-            previous = neighbour_sets[reference.peer_id]
-            if selected != previous:
-                neighbour_sets[reference.peer_id] = selected
-                overlay.notify_selection_change(reference.peer_id, previous, selected)
-                changed = True
         if additive_results:
-            for peer_id, selected_ids in additive_results.items():
-                selected = set(selected_ids)
-                previous = neighbour_sets[peer_id]
-                if selected != previous:
-                    neighbour_sets[peer_id] = selected
-                    overlay.notify_selection_change(peer_id, previous, selected)
-                    changed = True
+            results.update(additive_results)
+        changed = overlay.install_selections(results)
         for peer_id, verdict, gained, lost in plan:
             view.commit(peer_id, verdict, gained, lost)
         return changed
+
+    def _install_plan(self, plan: RoundPlan) -> bool:
+        """Resolve and install one vectorised round plan.
+
+        The column counterpart of :meth:`_install_round`: the verdict masks
+        are gathered into one cohort-install call --
+        :meth:`~repro.overlay.selection.base.NeighbourSelectionMethod.install_many`
+        -- and the results land in ``OverlayNetwork._neighbours`` through
+        the single :meth:`~repro.overlay.network.OverlayNetwork.install_selections`
+        fan-out, which preserves the RPL001 delta-stream contract per peer.
+        Python work here is O(full verdicts + changed selections): additive
+        cohorts stay implicit id arrays, so the (usually population-sized)
+        additive cohort after an epoch costs numpy passes plus the changed
+        members only.  ``commit`` is never called on this path; the view
+        folds the round wholesale in ``end_round``.
+        """
+        overlay = self._overlay
+        members = overlay._peers  # noqa: SLF001
+        neighbour_sets = overlay._neighbours  # noqa: SLF001
+        selection = overlay.selection
+        view = self._view
+        index = overlay._selection_index()  # noqa: SLF001
+        ids = plan.scheduled_ids
+
+        full_ids = np.sort(ids[plan.full_mask])
+        full_references = [members[int(peer_id)] for peer_id in full_ids]
+        candidates_by_peer: Dict[int, List[PeerInfo]] = {}
+        if index is None:
+            for reference in full_references:
+                candidates_by_peer[reference.peer_id] = [
+                    members[other]
+                    for other in sorted(view.full_candidate_ids(reference.peer_id))
+                ]
+
+        def member_info(peer_id: int) -> PeerInfo:
+            return members[int(peer_id)]
+
+        def selected_infos(peer_id: int) -> List[PeerInfo]:
+            return [members[other] for other in sorted(neighbour_sets[int(peer_id)])]
+
+        cohorts = [
+            AdditiveCohort(
+                member_ids=np.sort(ids[window.members]),
+                gained=tuple(members[gain] for gain in sorted(window.gained)),
+                member_of=member_info,
+                selected_of=selected_infos,
+            )
+            for window in plan.windows
+        ]
+        results = selection.install_many(
+            full_references, candidates_by_peer, cohorts, index=index
+        )
+        return overlay.install_selections(results)

@@ -44,6 +44,7 @@ from typing import (
     FrozenSet,
     Iterable,
     List,
+    Mapping,
     Optional,
     Sequence,
     Set,
@@ -163,6 +164,17 @@ class OverlayNetwork:
         bookkeeping (the benchmark baselines and the cross-checking
         property suites do); passing ``True`` with a ``gossip_radius`` is
         a :class:`ValueError`.
+    vectorised_rounds:
+        Whether the incremental engine may drive convergence rounds through
+        the vectorised round protocol
+        (:meth:`~repro.overlay.incremental.CandidateView.plan_round` +
+        the selection family's cohort install entry).  ``None``/``True``
+        (the default) offers it -- only views that support it (the columnar
+        representation) actually take it, so the flag is inert on explicit
+        or gossip-limited overlays.  Pass ``False`` to pin the per-peer
+        classify/install loop: the baseline arm of the vectorised-round
+        benchmarks and equivalence suites, which install byte-identical
+        topologies either way.
     """
 
     def __init__(
@@ -172,6 +184,7 @@ class OverlayNetwork:
         gossip_radius: Optional[int] = None,
         use_index: Optional[bool] = None,
         columnar: Optional[bool] = None,
+        vectorised_rounds: Optional[bool] = None,
     ) -> None:
         if gossip_radius is not None and gossip_radius < 1:
             raise ValueError("gossip_radius must be at least 1 when given")
@@ -195,6 +208,8 @@ class OverlayNetwork:
         # rejoined id keeps its row and every consumer's columns stay
         # aligned for the overlay's lifetime.
         self._id_rows: Optional[DenseIdMap] = DenseIdMap() if columnar else None
+        # Threaded into every lazily created engine; see the class docstring.
+        self._vectorised_rounds = vectorised_rounds
         self._peers: Dict[int, PeerInfo] = {}
         self._neighbours: Dict[int, Set[int]] = {}
         # Reverse selector index: _selectors_of[target] is the set of peers
@@ -477,6 +492,29 @@ class OverlayNetwork:
     #: sites (plus external consumers of the private name) keep working.
     _notify_selection_change = notify_selection_change
 
+    def install_selections(self, results: Mapping[int, Iterable[int]]) -> bool:
+        """Install a batch of computed selections; ``True`` if any changed.
+
+        The single install fan-out both incremental round protocols end in:
+        each entry replaces one peer's directed selection, and every actual
+        change routes through :meth:`notify_selection_change` -- so the
+        delta-stream contract (RPL001) and the reverse selector index hold
+        per peer no matter how the batch was computed (per-peer loop,
+        vectorised cohort install, or a mix).  Entries equal to the
+        installed selection are skipped without notifying, matching the
+        per-peer install loops this replaces; peers absent from ``results``
+        are untouched.  Iteration is in ascending peer id for determinism.
+        """
+        changed = False
+        for peer_id in sorted(results):
+            selected = set(results[peer_id])
+            previous = self._neighbours[peer_id]
+            if selected != previous:
+                self._neighbours[peer_id] = selected
+                self.notify_selection_change(peer_id, previous, selected)
+                changed = True
+        return changed
+
     # ------------------------------------------------------------------
     # Knowledge sets and convergence
     # ------------------------------------------------------------------
@@ -610,7 +648,9 @@ class OverlayNetwork:
             raise ValueError("max_rounds must be at least 1")
         if incremental:
             if self._engine is None:
-                self._engine = IncrementalReselectionEngine(self)
+                self._engine = IncrementalReselectionEngine(
+                    self, vectorised=self._vectorised_rounds
+                )
             engine = self._engine
             for round_index in range(1, max_rounds + 1):
                 if not engine.run_round():
@@ -770,6 +810,7 @@ class OverlayNetwork:
         incremental: bool = True,
         use_index: Optional[bool] = None,
         columnar: Optional[bool] = None,
+        vectorised_rounds: Optional[bool] = None,
     ) -> "OverlayNetwork":
         """Insert peers one at a time, converging after every insertion.
 
@@ -790,6 +831,7 @@ class OverlayNetwork:
             gossip_radius=gossip_radius,
             use_index=use_index,
             columnar=columnar,
+            vectorised_rounds=vectorised_rounds,
         )
         for peer in peers:
             if overlay.peer_count == 0:

@@ -3,14 +3,51 @@
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.overlay.peer import PeerInfo
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.geometry.index import SpatialIndex
 
-__all__ = ["NeighbourSelectionMethod"]
+__all__ = ["AdditiveCohort", "NeighbourSelectionMethod"]
+
+
+@dataclass(frozen=True)
+class AdditiveCohort:
+    """One shared-window additive batch for :meth:`~NeighbourSelectionMethod.install_many`.
+
+    A cohort is the vectorised round protocol's unit of additive work: every
+    member's candidate set gained exactly the same peers (they share one
+    delta window), so the batch is described *implicitly* -- an ascending id
+    array plus two resolver callables -- instead of per-member Python lists.
+    Methods that can exploit the shared structure (one gain set, many
+    members) stay O(changes); the generic fallback expands members into
+    per-peer :meth:`~NeighbourSelectionMethod.select_many_additive` updates.
+
+    ``member_ids`` must be ascending and contain only peers whose installed
+    selection is known to equal their previous full selection (the additive
+    verdict's precondition); ``gained`` must be ascending by id.  The
+    resolvers are only invoked for members a method actually touches, which
+    is what lets a sub-linear install path skip provably unchanged members
+    without ever materialising their state.
+    """
+
+    member_ids: Sequence[int]
+    gained: Tuple[PeerInfo, ...]
+    member_of: Callable[[int], PeerInfo]
+    selected_of: Callable[[int], List[PeerInfo]]
 
 
 class NeighbourSelectionMethod(abc.ABC):
@@ -207,6 +244,72 @@ class NeighbourSelectionMethod(abc.ABC):
         if index is not None:
             self._check_index_support()
         return None
+
+    def install_many(
+        self,
+        full_references: Sequence[PeerInfo],
+        candidates_by_peer: Mapping[int, Sequence[PeerInfo]],
+        additive_cohorts: Sequence[AdditiveCohort],
+        *,
+        index: "Optional[SpatialIndex]" = None,
+    ) -> Dict[int, List[int]]:
+        """One batched selection call for a whole convergence round.
+
+        The cohort install entry the vectorised round protocol drives:
+        ``full_references`` are recomputed against their complete candidate
+        sets (from ``index`` when given, else from ``candidates_by_peer``),
+        and every :class:`AdditiveCohort` is resolved through the method's
+        additive delta rule.  Returns ``peer_id -> selected ids``; cohort
+        members omitted from the result are provably unchanged -- exactly
+        the contract of :meth:`select_many_additive`, extended to the whole
+        round.
+
+        The default implementation reproduces the per-peer engine loop:
+        cohorts expand into one additive update per member (sharing the
+        cohort's gain list), methods without a delta rule fall back to a
+        scan over ``selected + gained``, and -- matching the engine's
+        install phase -- only full-candidate recomputations may consult the
+        index.  Methods with structure linking full and additive results
+        (see :class:`~repro.overlay.selection.empty_rectangle.EmptyRectangleSelection`)
+        override this to keep the whole round sub-linear in the population.
+        """
+        if index is not None:
+            self._check_index_support()
+        results: Dict[int, List[int]] = {}
+        scan_references: List[PeerInfo] = []
+        scan_candidates: Dict[int, Sequence[PeerInfo]] = {}
+        if index is not None:
+            if full_references:
+                results.update(self.select_many(full_references, {}, index=index))
+        else:
+            scan_references.extend(full_references)
+            for reference in full_references:
+                scan_candidates[reference.peer_id] = candidates_by_peer[
+                    reference.peer_id
+                ]
+        updates: List[Tuple[PeerInfo, Sequence[PeerInfo], Sequence[PeerInfo]]] = []
+        for cohort in additive_cohorts:
+            gained = list(cohort.gained)
+            for raw_id in cohort.member_ids:
+                member_id = int(raw_id)
+                updates.append(
+                    (cohort.member_of(member_id), cohort.selected_of(member_id), gained)
+                )
+        if updates:
+            additive_results = self.select_many_additive(updates)
+            if additive_results is None:
+                # No specialised delta rule: rebuild the reduced candidate
+                # sets (selection + gained) and go through the scan batch.
+                for reference, selected, gained in updates:
+                    scan_candidates[reference.peer_id] = self.merge_candidate_delta(
+                        selected, gained
+                    )
+                    scan_references.append(reference)
+            else:
+                results.update(additive_results)
+        if scan_references:
+            results.update(self.select_many(scan_references, scan_candidates))
+        return results
 
     def select_additive(
         self,

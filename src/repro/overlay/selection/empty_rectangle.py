@@ -43,7 +43,7 @@ from repro.geometry.rectangle import HyperRectangle
 # cannot drift apart.
 from repro.geometry.index import pareto_minima as _pareto_minima
 from repro.overlay.peer import PeerInfo
-from repro.overlay.selection.base import NeighbourSelectionMethod
+from repro.overlay.selection.base import AdditiveCohort, NeighbourSelectionMethod
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.geometry.index import SpatialIndex
@@ -188,6 +188,78 @@ class EmptyRectangleSelection(NeighbourSelectionMethod):
                     reference, self.merge_candidate_delta(selected, gained)
                 )
         results.update(self._additive_step(singles) if singles else {})
+        return results
+
+    def install_many(
+        self,
+        full_references: Sequence[PeerInfo],
+        candidates_by_peer: Mapping[int, Sequence[PeerInfo]],
+        additive_cohorts: Sequence[AdditiveCohort],
+        *,
+        index: "Optional[SpatialIndex]" = None,
+    ) -> Dict[int, List[int]]:
+        """Cohort install via the empty-rectangle symmetry fan-out.
+
+        Under full knowledge, the emptiness of ``box(P, Q)`` is symmetric in
+        ``P`` and ``Q``: ``Q`` is in ``select(P, everyone)`` exactly when
+        ``P`` is in ``select(Q, everyone)``.  On the vectorised round path
+        every gained candidate of an additive cohort is itself a
+        full-recompute reference (joins, moves and rejoins all force the
+        gained peer onto the full path), so the gained peers' own indexed
+        recomputations double as a *reverse index* of exactly the cohort
+        members whose selection can change:
+
+        * a member ``P`` named by some gain's recompute gains that peer
+          (symmetry: the box is empty both ways), so its additive update is
+          a real change and runs through the vectorised single-gain rule;
+        * a member named by no gain provably keeps its selection -- a gain
+          boxed out of ``select(P, everyone)`` can, by dominance
+          transitivity, neither enter it nor evict anything from it.
+
+        Total additive cost is therefore O(changed selections), independent
+        of cohort size -- the property the N=100k round protocol rests on.
+        Falls back to the generic expansion when there is no index (the scan
+        arms) or when a caller hands a cohort whose gains were not fully
+        recomputed (never the engine; the precondition is asserted cheaply).
+        """
+        if index is None:
+            return super().install_many(
+                full_references, candidates_by_peer, additive_cohorts, index=index
+            )
+        full_ids = {reference.peer_id for reference in full_references}
+        if any(
+            gain.peer_id not in full_ids
+            for cohort in additive_cohorts
+            for gain in cohort.gained
+        ):
+            return super().install_many(
+                full_references, candidates_by_peer, additive_cohorts, index=index
+            )
+        results = self._select_many_indexed(full_references, index)
+        updates: List[Tuple[PeerInfo, Sequence[PeerInfo], Sequence[PeerInfo]]] = []
+        for cohort in additive_cohorts:
+            member_ids = np.asarray(cohort.member_ids, dtype=np.int64)
+            affected: Dict[int, List[PeerInfo]] = {}
+            for gain in cohort.gained:
+                for selected_id in results[gain.peer_id]:
+                    position = int(np.searchsorted(member_ids, selected_id))
+                    if (
+                        position < len(member_ids)
+                        and int(member_ids[position]) == selected_id
+                    ):
+                        affected.setdefault(selected_id, []).append(gain)
+            for member_id in sorted(affected):
+                updates.append(
+                    (
+                        cohort.member_of(member_id),
+                        cohort.selected_of(member_id),
+                        affected[member_id],
+                    )
+                )
+        if updates:
+            delta = self.select_many_additive(updates)
+            if delta:
+                results.update(delta)
         return results
 
     def _additive_step(

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+from collections.abc import Mapping
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple, Type, Union
 
@@ -131,10 +132,11 @@ _FIELDS_CACHE: Dict[Type[object], Tuple[str, ...]] = {}
 def _payload_bytes(value: object) -> int:
     """Structural wire-size estimate for one payload value.
 
-    Walks tuples/collections and dataclasses recursively; scalars count 8
-    bytes (ids, floats, ports), strings/bytes their length.  The estimate is
-    deliberately coarse -- overhead comparisons between protocol variants
-    only need a consistent ruler, not a serialisation format.
+    Walks tuples/collections, mappings (keys and values both count) and
+    dataclasses recursively; scalars count 8 bytes (ids, floats, ports),
+    strings/bytes their length.  The estimate is deliberately coarse --
+    overhead comparisons between protocol variants only need a consistent
+    ruler, not a serialisation format.
     """
     if value is None:
         return 0
@@ -146,6 +148,10 @@ def _payload_bytes(value: object) -> int:
         return _SCALAR_BYTES
     if isinstance(value, (tuple, list, set, frozenset)):
         return sum(_payload_bytes(item) for item in value)
+    if isinstance(value, Mapping):
+        return sum(
+            _payload_bytes(key) + _payload_bytes(entry) for key, entry in value.items()
+        )
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         cls = type(value)
         names = _FIELDS_CACHE.get(cls)
@@ -176,6 +182,11 @@ class _LinkState:
 
 class LinkModel:
     """Latency distribution + loss + bandwidth for every directed link.
+
+    A model instance is **single-run**: per-link RNG positions and FIFO
+    ``busy_until`` frontiers advance as messages flow, so
+    :class:`~repro.simulation.network.SimulatedNetwork` claims the instance
+    at construction and a second attachment raises until :meth:`reset`.
 
     Parameters
     ----------
@@ -218,6 +229,7 @@ class LinkModel:
         self._bandwidth = bandwidth_bytes_per_second
         self._seed = seed
         self._links: Dict[Tuple[int, int], _LinkState] = {}
+        self._attached = False
 
     # -- introspection --------------------------------------------------
     @property
@@ -243,6 +255,37 @@ class LinkModel:
             and self._loss_rate == 0.0
             and self._bandwidth is None
         )
+
+    # -- run ownership --------------------------------------------------
+    def _attach(self) -> None:
+        """Claim the model for one simulation run.
+
+        The model is silently stateful: the per-link RNG positions and the
+        absolute-time ``busy_until`` FIFO frontiers advance as messages flow,
+        so a second run reusing the instance would see shifted random draws
+        and links that are "busy" at timestamps from the previous run.
+        :class:`~repro.simulation.network.SimulatedNetwork` calls this at
+        construction; a second attachment raises until :meth:`reset`.
+        """
+        if self._attached:
+            raise ValueError(
+                "LinkModel is already attached to a SimulatedNetwork; its "
+                "per-link RNG streams and FIFO frontiers are positioned by "
+                "that run.  Construct a fresh model per run, or call "
+                "reset() to discard the accumulated link state."
+            )
+        self._attached = True
+
+    def reset(self) -> None:
+        """Discard all accumulated per-link state and release the model.
+
+        Drops every per-link RNG (rewinding each stream to its seeded
+        origin) and every FIFO ``busy_until`` frontier, making the instance
+        byte-identical to a freshly constructed one so it may be attached to
+        a new :class:`~repro.simulation.network.SimulatedNetwork`.
+        """
+        self._links.clear()
+        self._attached = False
 
     def describe(self) -> str:
         parts = [self._latency.describe()]

@@ -86,7 +86,10 @@ class SimulatedNetwork:
     link_model:
         A :class:`~repro.simulation.netmodel.LinkModel` supplying latency
         distributions, loss and bandwidth queueing.  Mutually exclusive
-        with ``latency``.
+        with ``latency``.  The model is claimed for this network's run
+        (its RNG streams and FIFO frontiers are positioned by the traffic);
+        constructing a second network with the same instance raises unless
+        ``link_model.reset()`` is called in between.
     """
 
     def __init__(
@@ -99,6 +102,11 @@ class SimulatedNetwork:
         self._engine = engine
         if link_model is not None and latency is not None:
             raise ValueError("pass either latency= or link_model=, not both")
+        if link_model is not None:
+            # A model is single-run: its RNG positions and FIFO frontiers
+            # advance as messages flow, so sharing one across networks would
+            # silently couple the runs.  Claim it; reset() releases it.
+            link_model._attach()
         self._link_model = link_model
         self._latency_model: Optional[LatencyModel] = None
         if link_model is None:

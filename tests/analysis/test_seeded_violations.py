@@ -51,6 +51,11 @@ def incremental_source() -> str:
 
 
 @pytest.fixture()
+def columnar_source() -> str:
+    return (SRC / "overlay" / "columnar.py").read_text(encoding="utf-8")
+
+
+@pytest.fixture()
 def hyperplanes_source() -> str:
     return (SRC / "overlay" / "selection" / "hyperplanes.py").read_text(
         encoding="utf-8"
@@ -226,6 +231,23 @@ def test_rpl005_catches_an_implicit_set_silently_materialised(
     copy = _mirror(tmp_path, "overlay/incremental.py", seeded)
     violations = lint_paths([copy])
     expected_line = _line_of(seeded, "sorted(self._overlay._peers)")
+    assert [(v.rule_id, v.line) for v in violations] == [("RPL005", expected_line)]
+
+
+def test_rpl005_catches_population_scheduling_in_plan_round(
+    tmp_path, columnar_source
+):
+    """The vectorised round core's regression shape: ``plan_round`` swapping
+    its mask-algebra dirty scan for a materialised population sort would put
+    an O(N) Python pass back on every convergence round."""
+    seeded = _seed(
+        columnar_source,
+        "scheduled_rows = self._dirty_row_array()",
+        "scheduled_rows = np.asarray(sorted(self._rows.peer_ids))",
+    )
+    copy = _mirror(tmp_path, "overlay/columnar.py", seeded)
+    violations = lint_paths([copy])
+    expected_line = _line_of(seeded, "sorted(self._rows.peer_ids)")
     assert [(v.rule_id, v.line) for v in violations] == [("RPL005", expected_line)]
 
 

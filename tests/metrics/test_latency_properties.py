@@ -1,0 +1,109 @@
+"""Hypothesis properties for the latency-statistics summariser.
+
+The invariants, over arbitrary non-negative samples and bin counts:
+
+* the histogram counts always sum to ``count`` (no sample falls between
+  the bins, none is double-counted);
+* the bins tile ``[0, max]`` exactly -- contiguous equal-width intervals
+  starting at 0 and ending at the sample maximum;
+* every sample lands in the bin whose interval contains it (last bin
+  upper-inclusive);
+* the nearest-rank percentiles match an independently written reference;
+* the degenerate samples (empty, all-zero) produce the documented
+  all-zero statistics / width-1 histogram rather than dividing by zero.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.latency import latency_statistics, percentile
+
+_samples = st.lists(
+    st.floats(
+        min_value=0.0,
+        max_value=1e6,
+        allow_nan=False,
+        allow_infinity=False,
+        allow_subnormal=False,
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+def _reference_percentile(values, fraction):
+    """Nearest-rank, written independently of the implementation."""
+    ordered = sorted(values)
+    rank = math.ceil(fraction * len(ordered))
+    return ordered[max(rank, 1) - 1]
+
+
+class TestLatencyStatisticsProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(values=_samples, bins=st.integers(min_value=1, max_value=40))
+    def test_histogram_counts_sum_to_count(self, values, bins):
+        stats = latency_statistics(values, bins=bins)
+        assert stats.count == len(values)
+        assert len(stats.histogram) == bins
+        assert sum(b.count for b in stats.histogram) == stats.count
+
+    @settings(max_examples=200, deadline=None)
+    @given(values=_samples, bins=st.integers(min_value=1, max_value=40))
+    def test_bins_tile_zero_to_max(self, values, bins):
+        stats = latency_statistics(values, bins=bins)
+        histogram = stats.histogram
+        assert histogram[0].lower == 0.0
+        if stats.maximum > 0:
+            assert histogram[-1].upper == pytest.approx(stats.maximum)
+        for left, right in zip(histogram, histogram[1:]):
+            assert left.upper == right.lower
+        widths = [b.upper - b.lower for b in histogram]
+        assert all(w == pytest.approx(widths[0]) for w in widths)
+
+    def test_subnormal_maximum_does_not_divide_by_zero(self):
+        # Regression caught by the property sweep: 5e-324 / 2 underflows to
+        # 0.0 and the binning loop divided by it.
+        stats = latency_statistics([5e-324], bins=2)
+        assert stats.count == 1
+        assert sum(b.count for b in stats.histogram) == 1
+
+    @settings(max_examples=200, deadline=None)
+    @given(values=_samples)
+    def test_percentiles_match_the_nearest_rank_reference(self, values):
+        stats = latency_statistics(values)
+        for fraction, reported in ((0.50, stats.p50), (0.90, stats.p90), (0.99, stats.p99)):
+            assert reported == _reference_percentile(values, fraction)
+        assert stats.maximum == max(values)
+        assert stats.p50 <= stats.p90 <= stats.p99 <= stats.maximum
+        assert stats.mean == pytest.approx(math.fsum(values) / len(values))
+
+    def test_empty_sample_degenerates_to_zeroes(self):
+        stats = latency_statistics([])
+        assert stats.count == 0
+        assert stats.histogram == ()
+        assert (stats.mean, stats.p50, stats.p90, stats.p99, stats.maximum) == (
+            0.0,
+            0.0,
+            0.0,
+            0.0,
+            0.0,
+        )
+        assert stats.describe() == "no samples"
+
+    def test_all_zero_sample_uses_unit_width_bins(self):
+        stats = latency_statistics([0.0, 0.0, 0.0], bins=4)
+        assert stats.maximum == 0.0
+        assert stats.histogram[0].count == 3
+        assert [b.upper - b.lower for b in stats.histogram] == [1.0] * 4
+        assert sum(b.count for b in stats.histogram) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            latency_statistics([1.0], bins=0)
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], 0.0)

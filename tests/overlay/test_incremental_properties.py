@@ -68,14 +68,17 @@ _RADII = st.sampled_from([None, 2, 3])
     gossip_radius=_RADII,
     seed=st.integers(min_value=0, max_value=999),
     columnar=st.booleans(),
+    vectorised=st.booleans(),
 )
 def test_insertion_convergence_matches_full_sweep(
-    peers, selection_factory, gossip_radius, seed, columnar
+    peers, selection_factory, gossip_radius, seed, columnar, vectorised
 ):
     # Under full knowledge the engine's candidate bookkeeping has two
     # representations (implicit columnar / explicit dicts); draw both so the
     # byte-identity hunt covers the representation boundary too.  Gossip
-    # overlays only have the explicit one.
+    # overlays only have the explicit one.  The vectorised-round flag is
+    # drawn as well: plan_round-batched rounds and the per-peer loop must
+    # land on the same fixed point on every arm.
     fast = OverlayNetwork.build_incremental(
         peers,
         selection_factory(),
@@ -83,6 +86,7 @@ def test_insertion_convergence_matches_full_sweep(
         rng=random.Random(seed),
         incremental=True,
         columnar=columnar if gossip_radius is None else None,
+        vectorised_rounds=vectorised,
     )
     slow = OverlayNetwork.build_incremental(
         peers,
@@ -101,9 +105,10 @@ def test_insertion_convergence_matches_full_sweep(
     gossip_radius=_RADII,
     script_seed=st.integers(min_value=0, max_value=999),
     columnar=st.booleans(),
+    vectorised=st.booleans(),
 )
 def test_churn_script_matches_full_sweep_at_every_step(
-    peers, selection_factory, gossip_radius, script_seed, columnar
+    peers, selection_factory, gossip_radius, script_seed, columnar, vectorised
 ):
     """Random interleavings of joins and departures stay in lockstep."""
     rng = random.Random(script_seed)
@@ -111,6 +116,7 @@ def test_churn_script_matches_full_sweep_at_every_step(
         selection_factory(),
         gossip_radius=gossip_radius,
         columnar=columnar if gossip_radius is None else None,
+        vectorised_rounds=vectorised,
     )
     slow = OverlayNetwork(selection_factory(), gossip_radius=gossip_radius)
     alive = []

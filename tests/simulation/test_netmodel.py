@@ -17,14 +17,18 @@ Three layers of guarantees:
   penalty).
 """
 
+import dataclasses
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 import numpy as np
 
+from repro.geometry.rectangle import HyperRectangle, Interval
+from repro.overlay.gossip import ExistenceAnnouncement
 from repro.overlay.network import OverlayNetwork
-from repro.overlay.peer import make_peer
+from repro.overlay.peer import NetworkAddress, make_peer
 from repro.overlay.selection.empty_rectangle import EmptyRectangleSelection
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.netmodel import (
@@ -33,7 +37,14 @@ from repro.simulation.netmodel import (
     LinkModel,
     LognormalLatency,
     UniformLatency,
+    _payload_bytes,
     estimate_message_bytes,
+)
+from repro.simulation.protocol import (
+    ConstructionRequest,
+    LinkNotice,
+    ProbeRequest,
+    ReliablePayload,
 )
 from repro.simulation.network import SimulatedNetwork
 from repro.simulation.runner import run_dissemination_probe, run_gossip_overlay
@@ -100,6 +111,44 @@ class TestByteEstimator:
         # id + 2 coordinates + host string + port, at least.
         assert size > HEADER_BYTES + len("announce") + 3 * 8
 
+    def test_mappings_count_keys_and_values(self):
+        # Regression: a dict used to fall through to the scalar fallback
+        # and count 8 bytes no matter what it carried.
+        assert estimate_message_bytes("x", {}) == HEADER_BYTES + 1
+        assert estimate_message_bytes("x", {"ab": (1.0, 2.0)}) == HEADER_BYTES + 1 + 2 + 16
+        nested = {"k": {"inner": "abcd"}}
+        assert estimate_message_bytes("x", nested) == HEADER_BYTES + 1 + 1 + 5 + 4
+
+    def test_estimator_recurses_into_every_protocol_payload_dataclass(self):
+        # Every payload dataclass the protocol actually puts on the wire:
+        # the estimate must equal the sum over its fields (no payload class
+        # silently hitting the 8-byte scalar fallback), and must exceed one
+        # scalar whenever the class carries more than one scalar's worth.
+        payloads = [
+            LinkNotice(life=1, seq=3, departed_at=4.5),
+            ProbeRequest(session=1, issued_at=2.0),
+            ConstructionRequest(
+                session=1,
+                zone=HyperRectangle([Interval.closed(0.0, 1.0), Interval.closed(0.0, 1.0)]),
+            ),
+            ExistenceAnnouncement(
+                origin=1,
+                coordinates=(0.5, 0.5),
+                address=NetworkAddress(host="127.0.0.1", port=4000),
+                issued_at=0.0,
+                remaining_hops=3,
+            ),
+        ]
+        payloads.append(ReliablePayload(msg_id=7, payload=payloads[0]))
+        for payload in payloads:
+            total = _payload_bytes(payload)
+            field_sum = sum(
+                _payload_bytes(getattr(payload, field.name))
+                for field in dataclasses.fields(payload)
+            )
+            assert total == field_sum, type(payload).__name__
+            assert total > 8, type(payload).__name__
+
 
 # ----------------------------------------------------------------------
 # The link model
@@ -159,6 +208,23 @@ class TestLinkModel:
         # Sent after the link went idle: no queueing delay.
         assert model.delivery_time(0, 1, 500, 10.0) == pytest.approx(10.5)
 
+    def test_reset_rewinds_the_rng_streams(self):
+        model = LinkModel(LognormalLatency(0.02, 0.5), loss_rate=0.1, seed=4)
+        fresh = LinkModel(LognormalLatency(0.02, 0.5), loss_rate=0.1, seed=4)
+        first = [model.delivery_time(1, 2, 64, 0.0) for _ in range(50)]
+        model.reset()
+        assert [model.delivery_time(1, 2, 64, 0.0) for _ in range(50)] == first
+        assert first == [fresh.delivery_time(1, 2, 64, 0.0) for _ in range(50)]
+
+    def test_reset_clears_bandwidth_frontiers(self):
+        model = LinkModel(0.0, bandwidth_bytes_per_second=1000.0, seed=0)
+        assert model.delivery_time(0, 1, 500, 0.0) == pytest.approx(0.5)
+        assert model.delivery_time(0, 1, 500, 0.0) == pytest.approx(1.0)
+        model.reset()
+        # The absolute-time FIFO frontier is gone -- the link is not still
+        # "busy until 1.0" from before the reset.
+        assert model.delivery_time(0, 1, 500, 0.0) == pytest.approx(0.5)
+
 
 class TestNetworkWithLinkModel:
     def test_lost_messages_are_counted_not_delivered(self):
@@ -190,6 +256,37 @@ class TestNetworkWithLinkModel:
         engine = SimulationEngine()
         with pytest.raises(ValueError):
             SimulatedNetwork(engine, latency=0.01, link_model=LinkModel(0.01))
+
+    def test_model_reuse_across_networks_is_rejected(self):
+        model = LinkModel(0.01, loss_rate=0.1, seed=3)
+        SimulatedNetwork(SimulationEngine(), link_model=model)
+        with pytest.raises(ValueError, match="already attached"):
+            SimulatedNetwork(SimulationEngine(), link_model=model)
+        model.reset()
+        SimulatedNetwork(SimulationEngine(), link_model=model)
+
+    def test_reset_model_reruns_byte_identically(self):
+        # Regression: the per-link RNG positions and absolute-time
+        # busy_until frontiers used to survive silently into a second run,
+        # so two "identical" runs sharing one model diverged.
+        peers = generate_peers_with_lifetimes(10, 2, seed=6)
+        model = LinkModel(
+            UniformLatency(0.005, 0.02),
+            loss_rate=0.05,
+            bandwidth_bytes_per_second=50_000.0,
+            seed=6,
+        )
+        first = run_gossip_overlay(
+            peers, EmptyRectangleSelection(), network=model, settle_time=20.0, seed=6
+        )
+        model.reset()
+        second = run_gossip_overlay(
+            peers, EmptyRectangleSelection(), network=model, settle_time=20.0, seed=6
+        )
+        assert second.snapshot().edges() == first.snapshot().edges()
+        assert second.overlay_stats.messages_sent == first.overlay_stats.messages_sent
+        assert second.overlay_stats.by_kind == first.overlay_stats.by_kind
+        assert second.engine.now == first.engine.now
 
 
 # ----------------------------------------------------------------------
